@@ -1,0 +1,333 @@
+package jskernel_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`):
+//
+//	BenchmarkTable1*  — the defense matrix (Table I)
+//	BenchmarkTable2*  — SVG filtering & Loopscan measured values (Table II)
+//	BenchmarkTable3   — Raptor tp6-1 loading times (Table III)
+//	BenchmarkFig2     — script parsing vs file size curves (Figure 2)
+//	BenchmarkFig3     — Alexa loading-time CDFs (Figure 3)
+//	BenchmarkDromaeo* — §V-A1 micro-benchmark overhead
+//	BenchmarkWorkerCreation — §V-A1 16-worker benchmark
+//	BenchmarkCompat*  — §V-B compatibility studies
+//
+// plus micro-benchmarks of the substrate and the kernel hot paths.
+
+import (
+	"testing"
+
+	"jskernel"
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/expr"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+	"jskernel/internal/workload"
+)
+
+// benchConfig keeps each macro-benchmark iteration in the seconds range.
+func benchConfig() expr.Config {
+	cfg := expr.QuickConfig()
+	cfg.Reps = 3
+	cfg.AlexaSites = 15
+	cfg.CompatSites = 8
+	cfg.Fig2SizesMB = []int{2, 6, 10}
+	cfg.Fig2Reps = 2
+	return cfg
+}
+
+// --- Tables and figures ---
+
+func BenchmarkTable1TimingRows(b *testing.B) {
+	cfg := benchConfig()
+	attacks := attack.TimingAttacks()
+	defenses := defense.TableIDefenses()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, a := range attacks {
+			for _, d := range defenses {
+				out := a.Evaluate(d, cfg.Reps, cfg.Seed)
+				if out.AttackID == "" {
+					b.Fatal("empty outcome")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable1CVERows(b *testing.B) {
+	cfg := benchConfig()
+	attacks := attack.CVEAttacks()
+	defenses := defense.TableIDefenses()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, a := range attacks {
+			for _, d := range defenses {
+				_ = attack.EvaluateCVE(a, d, cfg.Seed)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2SVGFiltering(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, d := range defense.TableIIDefenses() {
+			for _, dim := range []int{300, 1200} {
+				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed})
+				if _, err := attack.MeasureSVGLoadMs(env, dim); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable2Loopscan(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, d := range defense.TableIIDefenses() {
+			for _, site := range []string{"google", "youtube"} {
+				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed})
+				if _, err := attack.MeasureLoopscanGapMs(env, site); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkTable3Raptor(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Table3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2ScriptParsing(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := expr.Fig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.SlopeMsPerMB) == 0 {
+			b.Fatal("no slopes")
+		}
+	}
+}
+
+func BenchmarkFig3AlexaCDF(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Fig3(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDromaeoLegacy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunDromaeo(defense.Chrome(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDromaeoJSKernel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunDromaeo(defense.JSKernel("chrome"), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkerCreation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.RunWorkerBench(defense.JSKernel("chrome"), 16, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompatDOMSimilarity(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Compat(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompatApps(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := expr.Apps(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationQuantum(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expr.QuantumAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPolicy(b *testing.B) {
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := expr.PolicyAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryAttacks(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, d := range []defense.Defense{defense.Chrome(), defense.JSKernel("chrome")} {
+			if _, _, err := attack.RecoveryAccuracy(d, 16, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Substrate and kernel micro-benchmarks ---
+
+func BenchmarkSimulatorScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		for j := 0; j < 1000; j++ {
+			s.Schedule(sim.Time(j), "ev", func() {})
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := kernel.NewEventQueue()
+		for j := 0; j < 1000; j++ {
+			q.NewEvent("e", sim.Time(j%97), nil)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+}
+
+func BenchmarkKernelTimerDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := jskernel.Protected("chrome", 1)
+		env.Browser.RunScript("main", func(g *jskernel.Global) {
+			n := 0
+			var chain func(gg *jskernel.Global)
+			chain = func(gg *jskernel.Global) {
+				if n++; n < 200 {
+					gg.SetTimeout(chain, jskernel.Millisecond)
+				}
+			}
+			g.SetTimeout(chain, jskernel.Millisecond)
+		})
+		if err := env.Browser.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeTimerDispatch(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := jskernel.Legacy("chrome", 1)
+		env.Browser.RunScript("main", func(g *jskernel.Global) {
+			n := 0
+			var chain func(gg *jskernel.Global)
+			chain = func(gg *jskernel.Global) {
+				if n++; n < 200 {
+					gg.SetTimeout(chain, jskernel.Millisecond)
+				}
+			}
+			g.SetTimeout(chain, jskernel.Millisecond)
+		})
+		if err := env.Browser.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkerMessageRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := jskernel.Protected("chrome", 1)
+		br := env.Browser
+		br.RegisterWorkerScript("echo.js", func(g *jskernel.Global) {
+			g.SetOnMessage(func(gg *jskernel.Global, m jskernel.MessageEvent) {
+				gg.PostMessage(m.Data)
+			})
+		})
+		br.RunScript("main", func(g *jskernel.Global) {
+			w, err := g.NewWorker("echo.js")
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			w.SetOnMessage(func(*jskernel.Global, jskernel.MessageEvent) {
+				if n++; n < 50 {
+					w.PostMessage(n)
+				}
+			})
+			w.PostMessage(0)
+		})
+		if err := br.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSiteLoad(b *testing.B) {
+	site := workload.GenerateSites(1, 3)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := defense.JSKernel("chrome").NewEnv(defense.EnvOptions{Seed: int64(i + 1)})
+		if _, err := workload.LoadSite(env, site); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicyEvaluate(b *testing.B) {
+	full := policy.FullDefense()
+	ctx := kernel.CallContext{API: "worker.terminate", PendingFetches: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := full.Evaluate(ctx); v.Action != kernel.ActionDefer {
+			b.Fatal("unexpected verdict")
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command jsk-attack runs a single attack against a single defense and
+// prints the detailed verdict: per-channel measurements for timing
+// attacks, registry state for CVE exploits.
+//
+// Usage:
+//
+//	jsk-attack -list
+//	jsk-attack -attack svg-filtering -defense chrome
+//	jsk-attack -attack CVE-2018-5092 -defense jskernel-chrome
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("jsk-attack", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list attacks and defenses")
+		attackID  = fs.String("attack", "", "attack id or CVE id")
+		defenseID = fs.String("defense", "chrome", "defense id")
+		reps      = fs.Int("reps", attack.Reps, "repetitions for timing attacks")
+		seed      = fs.Int64("seed", 1, "base seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Fprintln(w, "timing attacks:")
+		for _, a := range attack.TimingAttacks() {
+			fmt.Fprintf(w, "  %-18s %s (clock: %s)\n", a.ID, a.Label, a.ClockGroup)
+		}
+		fmt.Fprintln(w, "cve attacks:")
+		for _, a := range attack.CVEAttacks() {
+			fmt.Fprintf(w, "  %s\n", a.CVE)
+		}
+		fmt.Fprintln(w, "defenses:")
+		for _, d := range append(defense.TableIDefenses(), defense.JSKernel("firefox"), defense.JSKernel("edge")) {
+			fmt.Fprintf(w, "  %-18s %s\n", d.ID, d.Label)
+		}
+		return nil
+	}
+	if *attackID == "" {
+		fs.Usage()
+		return fmt.Errorf("pass -attack (see -list)")
+	}
+
+	d, err := defense.ByID(*defenseID)
+	if err != nil {
+		return err
+	}
+
+	for _, a := range attack.TimingAttacks() {
+		if a.ID == *attackID {
+			out := a.Evaluate(d, *reps, *seed)
+			fmt.Fprintf(w, "%s vs %s: %s\n", a.Label, d.Label, verdict(out.Defended))
+			for _, c := range out.Channels {
+				fmt.Fprintf(w, "  channel %-14s meanA=%.3f meanB=%.3f cohens-d=%.2f leaks=%v\n",
+					c.Channel, c.MeanA, c.MeanB, c.CohensD, c.Leaks)
+			}
+			return nil
+		}
+	}
+	for _, a := range attack.CVEAttacks() {
+		if string(a.CVE) == *attackID {
+			out := attack.EvaluateCVE(a, d, *seed)
+			fmt.Fprintf(w, "%s vs %s: %s (exploited=%v)\n", a.CVE, d.Label, verdict(out.Defended), out.Exploited)
+			if out.Err != nil {
+				fmt.Fprintf(w, "  driver note: %v\n", out.Err)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown attack %q (see -list)", *attackID)
+}
+
+func verdict(defended bool) string {
+	if defended {
+		return report.CheckDefended + " defended"
+	}
+	return report.CheckVulnerable + " vulnerable"
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"svg-filtering", "CVE-2018-5092", "jskernel-chrome", "timing attacks:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestMissingAttackFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, nil); err == nil {
+		t.Fatal("missing -attack should error")
+	}
+}
+
+func TestUnknownAttack(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-attack", "quantum-leap"}); err == nil {
+		t.Fatal("unknown attack should error")
+	}
+}
+
+func TestUnknownDefense(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-attack", "cache-attack", "-defense", "netscape"}); err == nil {
+		t.Fatal("unknown defense should error")
+	}
+}
+
+func TestTimingAttackVerdict(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-attack", "history-sniffing", "-defense", "chrome", "-reps", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "vulnerable") {
+		t.Errorf("legacy verdict should be vulnerable:\n%s", out)
+	}
+	if !strings.Contains(out, "channel") {
+		t.Errorf("verdict should list channels:\n%s", out)
+	}
+}
+
+func TestCVEAttackVerdict(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-attack", "CVE-2013-1714", "-defense", "jskernel-chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "defended") {
+		t.Errorf("kernel verdict should be defended:\n%s", b.String())
+	}
+}

@@ -1,0 +1,222 @@
+// Command jsk-eval regenerates the paper's evaluation artifacts: Tables
+// I–III, Figures 2–3, and the Dromaeo / worker / compatibility numbers.
+//
+// Usage:
+//
+//	jsk-eval -all                 # everything at quick scale
+//	jsk-eval -all -paper          # everything at paper scale (slow)
+//	jsk-eval -table 1             # one artifact
+//	jsk-eval -fig 3 -csv          # figure data as CSV-ish rows
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"jskernel/internal/expr"
+	"jskernel/internal/report"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-eval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("jsk-eval", flag.ContinueOnError)
+	var (
+		table    = fs.Int("table", 0, "regenerate Table 1, 2 or 3")
+		fig      = fs.Int("fig", 0, "regenerate Figure 2 or 3")
+		dromaeo  = fs.Bool("dromaeo", false, "run the Dromaeo overhead experiment")
+		workers  = fs.Bool("workers", false, "run the 16-worker creation benchmark")
+		compat   = fs.Bool("compat", false, "run the Alexa DOM-similarity compatibility test")
+		apps     = fs.Bool("apps", false, "run the CodePen API-specific compatibility test")
+		ablation = fs.Bool("ablation", false, "run the quantum and policy ablation studies")
+		recovery = fs.Bool("recovery", false, "run the end-to-end secret recovery experiment")
+		all      = fs.Bool("all", false, "run every experiment")
+		paper    = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
+		seed     = fs.Int64("seed", 0, "override the experiment seed")
+		reps     = fs.Int("reps", 0, "override the repetition budget")
+		csv      = fs.Bool("csv", false, "emit tables as CSV")
+		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored markdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := expr.QuickConfig()
+	if *paper {
+		cfg = expr.PaperConfig()
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	emit := func(t *report.Table) error {
+		switch {
+		case *csv:
+			return t.CSV(w)
+		case *markdown:
+			if err := t.Markdown(w); err != nil {
+				return err
+			}
+		default:
+			if err := t.Render(w); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+
+	any := false
+	if *all || *table == 1 {
+		any = true
+		res, err := expr.Table1(cfg)
+		if err != nil {
+			return fmt.Errorf("table 1: %w", err)
+		}
+		if err := emit(res.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *table == 2 {
+		any = true
+		res, err := expr.Table2(cfg)
+		if err != nil {
+			return fmt.Errorf("table 2: %w", err)
+		}
+		if err := emit(res.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *table == 3 {
+		any = true
+		res, err := expr.Table3(cfg)
+		if err != nil {
+			return fmt.Errorf("table 3: %w", err)
+		}
+		if err := emit(res.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *fig == 2 {
+		any = true
+		res, err := expr.Fig2(cfg)
+		if err != nil {
+			return fmt.Errorf("figure 2: %w", err)
+		}
+		if err := res.Figure.Render(w); err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(res.SlopeMsPerMB))
+		for id := range res.SlopeMsPerMB {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "slope %-18s %8.2f ms/MB   %s\n",
+				id, res.SlopeMsPerMB[id], report.Sparkline(res.ReportedMs[id]))
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *fig == 3 {
+		any = true
+		res, err := expr.Fig3(cfg)
+		if err != nil {
+			return fmt.Errorf("figure 3: %w", err)
+		}
+		if err := res.Figure.Render(w); err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(res.Median))
+		for id := range res.Median {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(w, "median %-18s %10.1f ms\n", id, res.Median[id])
+		}
+		fmt.Fprintln(w)
+	}
+	if *all || *dromaeo {
+		any = true
+		rep, err := expr.Dromaeo(cfg)
+		if err != nil {
+			return fmt.Errorf("dromaeo: %w", err)
+		}
+		if err := emit(rep.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *workers {
+		any = true
+		rep, err := expr.WorkerBench(cfg)
+		if err != nil {
+			return fmt.Errorf("workers: %w", err)
+		}
+		if err := emit(rep.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *compat {
+		any = true
+		rep, err := expr.Compat(cfg)
+		if err != nil {
+			return fmt.Errorf("compat: %w", err)
+		}
+		if err := emit(rep.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *apps {
+		any = true
+		rep, err := expr.Apps(cfg)
+		if err != nil {
+			return fmt.Errorf("apps: %w", err)
+		}
+		if err := emit(rep.Table); err != nil {
+			return err
+		}
+	}
+	if *all || *ablation {
+		any = true
+		_, qtbl, err := expr.QuantumAblation(cfg)
+		if err != nil {
+			return fmt.Errorf("quantum ablation: %w", err)
+		}
+		if err := emit(qtbl); err != nil {
+			return err
+		}
+		_, ptbl, err := expr.PolicyAblation(cfg)
+		if err != nil {
+			return fmt.Errorf("policy ablation: %w", err)
+		}
+		if err := emit(ptbl); err != nil {
+			return err
+		}
+	}
+	if *all || *recovery {
+		any = true
+		rep, err := expr.Recovery(cfg)
+		if err != nil {
+			return fmt.Errorf("recovery: %w", err)
+		}
+		if err := emit(rep.Table); err != nil {
+			return err
+		}
+	}
+	if !any {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, or an experiment flag")
+	}
+	return nil
+}

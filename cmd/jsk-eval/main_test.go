@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRequiresSelection(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, nil); err == nil {
+		t.Fatal("no flags should be an error")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-bogus"}); err == nil {
+		t.Fatal("bad flag should error")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-table", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Table III", "amazon", "JSKernel (chrome)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunDromaeoCSV(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-dromaeo", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Test,Chrome (ms),JSKernel (ms),Overhead") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "dom-attr") {
+		t.Error("csv missing dom-attr row")
+	}
+}
+
+func TestRunFig2WithOverrides(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-fig", "2", "-seed", "7", "-reps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "slope jskernel-chrome") {
+		t.Errorf("fig2 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunWorkersAndApps(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-workers", "-apps"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "16 workers") || !strings.Contains(out, "Fuzzyfox") {
+		t.Errorf("combined output incomplete:\n%s", out)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-ablation"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Ablation A1") || !strings.Contains(out, "Ablation A2") {
+		t.Errorf("ablation output incomplete:\n%s", out)
+	}
+}
+
+func TestRunRemainingArtifacts(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-table", "2", "-fig", "3", "-compat", "-recovery", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table II", "Figure 3", "cosine similarity", "recovery accuracy", "| --- |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("combined output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix via CLI")
+	}
+	var b strings.Builder
+	if err := run(&b, []string{"-table", "1", "-reps", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "CVE-2010-4576") {
+		t.Error("table 1 output incomplete")
+	}
+}

@@ -1,0 +1,182 @@
+// Command jsk-policy works with JSKernel security policies:
+//
+//	jsk-policy list                          builtin policies
+//	jsk-policy show CVE-2018-5092            dump a builtin policy as JSON
+//	jsk-policy validate my-policy.json       parse-check a policy file
+//	jsk-policy record CVE-2014-1488 t.json   record an exploit's native trace
+//	jsk-policy synth t.json                  synthesize a policy from a trace
+//
+// record + synth together implement the paper's future work: automatic
+// policy extraction for a new vulnerability.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/policy"
+	"jskernel/internal/vuln"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-policy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	switch args[0] {
+	case "list":
+		return list(w)
+	case "show":
+		if len(args) < 2 {
+			return fmt.Errorf("show: need a policy name (e.g. CVE-2018-5092, full, deterministic)")
+		}
+		return show(w, args[1])
+	case "validate":
+		if len(args) < 2 {
+			return fmt.Errorf("validate: need a policy file")
+		}
+		return validate(w, args[1])
+	case "record":
+		if len(args) < 3 {
+			return fmt.Errorf("record: need a CVE id and an output file")
+		}
+		return record(w, args[1], args[2])
+	case "synth":
+		if len(args) < 2 {
+			return fmt.Errorf("synth: need a trace file")
+		}
+		return synth(w, args[1])
+	default:
+		return usageError()
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: jsk-policy list | show <name> | validate <file> | record <cve> <out.json> | synth <trace.json>")
+}
+
+func list(w io.Writer) error {
+	fmt.Fprintln(w, "builtin policies:")
+	fmt.Fprintln(w, "  deterministic        general deterministic scheduling (§II-B1)")
+	fmt.Fprintln(w, "  full                 deterministic + all CVE policies")
+	fmt.Fprintln(w, "  no-shared-buffers    deny SharedArrayBuffer (post-Spectre hardening)")
+	for _, id := range policy.CVEIDs() {
+		fmt.Fprintf(w, "  %-20s %s\n", id, vuln.Description(vuln.CVE(id)))
+	}
+	return nil
+}
+
+func resolve(name string) (*policy.Spec, error) {
+	switch name {
+	case "deterministic":
+		return policy.Deterministic(), nil
+	case "full":
+		return policy.FullDefense(), nil
+	case "no-shared-buffers":
+		return policy.DisableSharedBuffers(), nil
+	default:
+		return policy.ForCVE(name)
+	}
+}
+
+func show(w io.Writer, name string) error {
+	spec, err := resolve(name)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+func validate(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := policy.Parse(data)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "ok: policy %q, deterministic=%v, quantum=%dµs, %d rules\n",
+		spec.PolicyName, spec.Deterministic(), spec.QuantumMicros, len(spec.Rules))
+	return nil
+}
+
+// record runs a known exploit driver against the undefended browser and
+// writes the native trace, giving synth something to work on (for a real
+// zero-day, the trace would come from instrumented browsing).
+func record(w io.Writer, cveID, outPath string) error {
+	var target *attack.CVEAttack
+	for _, a := range attack.CVEAttacks() {
+		if string(a.CVE) == cveID {
+			target = a
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("unknown CVE %q (see jsk-policy list)", cveID)
+	}
+	d := defense.Chrome()
+	env := d.NewEnv(defense.EnvOptions{
+		Seed:        1,
+		PrivateMode: target.CVE == vuln.CVE20177843,
+	})
+	rec := &browser.Recorder{}
+	env.Browser.AddTracer(rec)
+	if err := target.Exploit(env); err != nil {
+		return fmt.Errorf("exploit: %w", err)
+	}
+	if !env.Registry.Exploited(target.CVE) {
+		return fmt.Errorf("exploit did not trigger; nothing to record")
+	}
+	data, err := json.MarshalIndent(rec.Events(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded %d native events to %s (trigger reached: %s)\n",
+		rec.Len(), outPath, target.CVE)
+	return nil
+}
+
+func synth(w io.Writer, tracePath string) error {
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	var events []browser.TraceEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return fmt.Errorf("trace file: %w", err)
+	}
+	spec, findings, err := policy.Synthesize("synthesized", events)
+	if err != nil {
+		return err
+	}
+	for _, f := range findings {
+		fmt.Fprintf(w, "finding: %s -> %s\n  evidence: %v %q\n  analysis: %s\n",
+			f.Rule.When.API, f.Rule.Action, f.Evidence.Kind, f.Evidence.Detail, f.Analysis)
+	}
+	out, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\n%s\n", out)
+	return err
+}

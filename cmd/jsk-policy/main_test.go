@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUsage(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, nil); err == nil {
+		t.Fatal("no args should error")
+	}
+	if err := run(&b, []string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand should error")
+	}
+}
+
+func TestList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"deterministic", "full", "CVE-2018-5092", "no-shared-buffers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestShowBuiltins(t *testing.T) {
+	for _, name := range []string{"deterministic", "full", "no-shared-buffers", "CVE-2013-1714"} {
+		var b strings.Builder
+		if err := run(&b, []string{"show", name}); err != nil {
+			t.Errorf("show %s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(b.String(), `"name"`) {
+			t.Errorf("show %s produced no JSON", name)
+		}
+	}
+	var b strings.Builder
+	if err := run(&b, []string{"show", "CVE-0000-0000"}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"name":"p","deterministic":true,"rules":[{"when":{"api":"xhr"},"action":"deny"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, []string{"validate", good}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ok: policy") {
+		t.Fatalf("validate output: %s", b.String())
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"rules": 7}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, []string{"validate", bad}); err == nil {
+		t.Fatal("bad policy should fail validation")
+	}
+	if err := run(&b, []string{"validate", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestRecordAndSynthRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	var b strings.Builder
+	if err := run(&b, []string{"record", "CVE-2013-1714", trace}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "trigger reached") {
+		t.Fatalf("record output: %s", b.String())
+	}
+	b.Reset()
+	if err := run(&b, []string{"synth", trace}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"api": "xhr"`) || !strings.Contains(out, `"action": "deny"`) {
+		t.Fatalf("synth did not produce the XHR denial rule:\n%s", out)
+	}
+	if !strings.Contains(out, "analysis:") {
+		t.Fatal("synth output missing analysis")
+	}
+}
+
+func TestRecordUnknownCVE(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"record", "CVE-1999-0001", "/tmp/x.json"}); err == nil {
+		t.Fatal("unknown CVE should error")
+	}
+}
+
+func TestSynthBadTrace(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"not":"a trace"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, []string{"synth", bad}); err == nil {
+		t.Fatal("malformed trace should error")
+	}
+	benign := filepath.Join(dir, "benign.json")
+	if err := os.WriteFile(benign, []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, []string{"synth", benign}); err == nil {
+		t.Fatal("benign trace should synthesize nothing")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenarios(t *testing.T) {
+	for _, sc := range []string{"clock", "worker", "fetch", "svg"} {
+		for _, def := range []string{"chrome", "jskernel-chrome"} {
+			var b strings.Builder
+			if err := run(&b, []string{"-scenario", sc, "-defense", def}); err != nil {
+				t.Errorf("scenario %s under %s: %v", sc, def, err)
+				continue
+			}
+			out := b.String()
+			if !strings.Contains(out, "simulation finished") {
+				t.Errorf("scenario %s under %s did not finish:\n%s", sc, def, out)
+			}
+			if !strings.Contains(out, "page clock") {
+				t.Errorf("scenario %s produced no observations", sc)
+			}
+		}
+	}
+}
+
+func TestClockScenarioShowsKernelFreeze(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-scenario", "clock", "-defense", "jskernel-chrome"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Under the kernel, 25ms of busy work leaves the page clock at 0.
+	if !strings.Contains(out, "after 25ms of busy work") {
+		t.Fatalf("missing busy line:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "after 25ms of busy work") &&
+			!strings.Contains(line, "page clock    0.000 ms") {
+			t.Fatalf("kernel clock advanced across busy work: %s", line)
+		}
+	}
+}
+
+func TestUnknownScenario(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-scenario", "teleport"}); err == nil {
+		t.Fatal("unknown scenario should error")
+	}
+}
+
+func TestUnknownDefenseErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-defense", "mosaic"}); err == nil {
+		t.Fatal("unknown defense should error")
+	}
+}
+
+func TestPolicyScenarioWithDecisions(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, []string{"-scenario", "policy", "-defense", "jskernel-chrome", "-decisions"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"policy enforcement journal:", "deny on xhr", "sanitize on importScripts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := run(&b, []string{"-scenario", "clock", "-defense", "chrome", "-decisions"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no kernel in this defense") {
+		t.Error("legacy defense should report no journal")
+	}
+}

@@ -1,0 +1,82 @@
+// CVE defense demo: reproduces Attack Example 2 of the paper (Listing 2,
+// CVE-2018-5092) — a worker fetch, a false worker termination, then an
+// abort signal into the freed request — and shows how the kernel's
+// scheduling policy (Listing 4) breaks the triggering sequence by holding
+// the native termination until the fetch drains.
+//
+//	go run ./examples/cvedefense
+package main
+
+import (
+	"fmt"
+
+	"jskernel"
+)
+
+// exploit drives the Listing 2 sequence and reports whether the
+// vulnerability's trigger was reached at the native layer.
+func exploit(env *jskernel.Env) bool {
+	b := env.Browser
+	b.Net.RegisterScript("https://site.example/fetchedfile0.html", 3_000_000)
+
+	var ctl *struct{ abort func() }
+	b.RegisterWorkerScript("fetcher.js", func(g *jskernel.Global) {
+		c := g.NewAbortController()
+		ctl = &struct{ abort func() }{abort: c.Abort}
+		// Line 5 of Listing 2: the fetch with an abort signal.
+		g.Fetch("https://site.example/fetchedfile0.html",
+			jskernel.FetchOptions{Signal: c.Signal()},
+			func(*jskernel.Response, error) {})
+		g.PostMessage("fetch-started")
+	})
+
+	b.RunScript("exploit", func(g *jskernel.Global) {
+		w, err := g.NewWorker("fetcher.js")
+		if err != nil {
+			fmt.Println("worker:", err)
+			return
+		}
+		w.SetOnMessage(func(*jskernel.Global, jskernel.MessageEvent) {
+			w.Terminate() // the false termination, while the fetch is pending
+			if ctl != nil {
+				ctl.abort() // the abort signal into freed state
+			}
+		})
+	})
+	if err := b.RunFor(10 * jskernel.Second); err != nil {
+		fmt.Println("run:", err)
+	}
+	return env.Registry.Exploited("CVE-2018-5092")
+}
+
+func main() {
+	fmt.Println("CVE-2018-5092: use-after-free via fetch abort into a falsely terminated worker")
+	fmt.Println()
+
+	legacy := jskernel.Legacy("chrome", 1)
+	if exploit(legacy) {
+		fmt.Println("legacy Chrome:      EXPLOITED — the abort reached the freed fetch")
+	} else {
+		fmt.Println("legacy Chrome:      not triggered (unexpected)")
+	}
+
+	protected := jskernel.Protected("chrome", 1)
+	if exploit(protected) {
+		fmt.Println("Chrome + JSKernel:  EXPLOITED (unexpected)")
+	} else {
+		fmt.Println("Chrome + JSKernel:  defended — the kernel deferred the native terminate")
+	}
+
+	// The policy that does it, in its JSON form:
+	spec, err := jskernel.PolicyForCVE("CVE-2018-5092")
+	if err != nil {
+		fmt.Println("policy:", err)
+		return
+	}
+	data, err := spec.MarshalJSON()
+	if err != nil {
+		fmt.Println("marshal:", err)
+		return
+	}
+	fmt.Printf("\nthe defending policy:\n%s\n", data)
+}

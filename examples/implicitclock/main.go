@@ -1,0 +1,80 @@
+// Implicit clock demo: reproduces Attack Example 1 of the paper (Listing
+// 1) — a worker spraying postMessage as an implicit clock that measures a
+// secret-dependent SVG filter — against legacy Chrome and against
+// JSKernel. The legacy browser leaks the image resolution; the kernel's
+// deterministic scheduling reports identical counts for both secrets.
+//
+//	go run ./examples/implicitclock
+package main
+
+import (
+	"fmt"
+
+	"jskernel"
+)
+
+// measure runs the Listing-1 attack in one environment: a worker sprays
+// ticks, the main thread performs an SVG erode filter on an image of the
+// given resolution, and the attacker reads how many ticks interleaved.
+func measure(env *jskernel.Env, resolution int) int {
+	b := env.Browser
+	b.RegisterWorkerScript("clock.js", func(g *jskernel.Global) {
+		var spray func(gg *jskernel.Global)
+		spray = func(gg *jskernel.Global) {
+			gg.PostMessage("tick")  // Listing 1, line 4
+			gg.SetTimeout(spray, 0) // keep the clock running
+		}
+		spray(g)
+	})
+
+	observed := -1
+	b.RunScript("attack", func(g *jskernel.Global) {
+		w, err := g.NewWorker("clock.js")
+		if err != nil {
+			fmt.Println("worker:", err)
+			return
+		}
+		count := 0
+		w.SetOnMessage(func(*jskernel.Global, jskernel.MessageEvent) { count++ })
+
+		// Give the clock time to start ticking, then measure the secret.
+		g.SetTimeout(func(gg *jskernel.Global) {
+			el := gg.Document().CreateElement("img")
+			el.SetAttribute("width", fmt.Sprint(resolution))
+			el.SetAttribute("height", fmt.Sprint(resolution))
+
+			before := count
+			for i := 0; i < 20; i++ {
+				gg.ApplySVGFilter(el, "feMorphology:erode") // the secret op
+			}
+			gg.SetTimeout(func(*jskernel.Global) {
+				observed = count - before // queued ticks drained first
+			}, 0)
+		}, 30*jskernel.Millisecond)
+	})
+	if err := b.RunFor(2 * jskernel.Second); err != nil {
+		fmt.Println("run:", err)
+	}
+	return observed
+}
+
+func main() {
+	fmt.Println("Listing 1: worker postMessage as an implicit clock measuring an SVG filter")
+	fmt.Println()
+	fmt.Printf("%-22s %16s %16s %s\n", "browser", "ticks (200px)", "ticks (1200px)", "verdict")
+	for _, setup := range []struct {
+		name string
+		env  func(seed int64) *jskernel.Env
+	}{
+		{"legacy Chrome", func(seed int64) *jskernel.Env { return jskernel.Legacy("chrome", seed) }},
+		{"Chrome + JSKernel", func(seed int64) *jskernel.Env { return jskernel.Protected("chrome", seed) }},
+	} {
+		low := measure(setup.env(1), 200)
+		high := measure(setup.env(2), 1200)
+		verdict := "LEAKS: resolutions distinguishable"
+		if low == high {
+			verdict = "defended: counts identical"
+		}
+		fmt.Printf("%-22s %16d %16d %s\n", setup.name, low, high, verdict)
+	}
+}

@@ -1,0 +1,58 @@
+// Quickstart: create a JSKernel-protected browser, run "website
+// JavaScript" against it, and watch the kernel's logical clock hide real
+// execution time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"jskernel"
+)
+
+func main() {
+	// Protected() assembles the whole stack: a deterministic simulator, a
+	// Chrome-profile browser, and a kernel in every JavaScript context
+	// running the paper's full defense policy.
+	env := jskernel.Protected("chrome", 1)
+	b := env.Browser
+
+	// Website JavaScript is a Go closure over the global scope. All API
+	// calls go through the kernel's bindings.
+	b.RunScript("page", func(g *jskernel.Global) {
+		fmt.Printf("page start:                 performance.now() = %6.2f ms\n", g.PerformanceNow())
+
+		// Heavy synchronous work. On a legacy browser the clock would
+		// advance by 40ms; under the kernel the logical clock is frozen
+		// inside a task, so the page learns nothing.
+		g.Busy(40 * jskernel.Millisecond)
+		fmt.Printf("after 40ms of busy work:    performance.now() = %6.2f ms\n", g.PerformanceNow())
+
+		// Asynchronous callbacks dispatch at their *predicted* logical
+		// times: setTimeout(7ms) displays exactly 7ms, always.
+		g.SetTimeout(func(gg *jskernel.Global) {
+			fmt.Printf("setTimeout(7ms) callback:   performance.now() = %6.2f ms\n", gg.PerformanceNow())
+		}, 7*jskernel.Millisecond)
+
+		// DOM manipulation works as usual.
+		doc := g.Document()
+		h1 := doc.CreateElement("h1")
+		h1.SetText("hello from user space")
+		if err := g.AppendChild(doc.Body(), h1); err != nil {
+			fmt.Println("append:", err)
+		}
+
+		// The bindings table is frozen: adversarial redefinition fails.
+		err := g.Redefine(func(bn *jskernel.Bindings) { bn.PerformanceNow = nil })
+		fmt.Printf("redefining performance.now: %v\n", err)
+	})
+
+	if err := b.Run(); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Printf("\nDOM: %s\n", b.Window().Document().Body().Serialize())
+	fmt.Printf("simulation processed %d events in %v of virtual time\n",
+		env.Sim.Steps(), env.Sim.Now())
+}

@@ -1,0 +1,3 @@
+module jskernel
+
+go 1.22

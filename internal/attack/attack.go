@@ -1,0 +1,173 @@
+// Package attack implements every attack evaluated in the paper: the ten
+// implicit-clock timing attacks of Table I's upper half (measured through
+// the attacker's best available channel, exactly as a real adversary
+// would) and exploit drivers for the twelve web-concurrency CVEs of its
+// lower half.
+//
+// A timing attack succeeds against a defense when measurements of two
+// secret variants remain statistically distinguishable (Cohen's d over the
+// repetition budget); a CVE attack succeeds when the vulnerability
+// registry observes the triggering sequence at the native layer.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/stats"
+	"jskernel/internal/vuln"
+)
+
+// Reps is the paper's repetition budget ("we run each test 25 times").
+const Reps = 25
+
+// TimingAttack is one implicit-clock attack row.
+type TimingAttack struct {
+	// ID is the machine-readable row key, e.g. "svg-filtering".
+	ID string
+	// Label is the row header with its paper citation, e.g. "SVG Filtering [9]".
+	Label string
+	// ClockGroup names the implicit clock section the row appears under in
+	// Table I ("setTimeout" or "requestAnimationFrame").
+	ClockGroup string
+	// Measure performs one measurement of the given secret variant (0 or
+	// 1) in a fresh environment, returning one value per measurement
+	// channel. Returning an error marks the attack as failed-to-run
+	// (counts as defended: the attacker got nothing).
+	Measure func(env *defense.Env, variant int) (map[string]float64, error)
+}
+
+// CVEAttack is one web-concurrency CVE row.
+type CVEAttack struct {
+	CVE   vuln.CVE
+	Label string
+	// Exploit drives the triggering sequence in the environment. Errors
+	// mean the attack could not even be attempted under this defense
+	// (e.g. an API the defense removed), which counts as defended.
+	Exploit func(env *defense.Env) error
+}
+
+// ChannelResult is the per-channel statistical outcome of a timing attack.
+type ChannelResult struct {
+	Channel string
+	MeanA   float64
+	MeanB   float64
+	CohensD float64
+	Leaks   bool
+}
+
+// Outcome is the verdict for one (attack, defense) cell of Table I.
+type Outcome struct {
+	AttackID  string
+	DefenseID string
+	Defended  bool
+	// Channels holds per-channel statistics for timing attacks.
+	Channels []ChannelResult
+	// Samples retains the raw per-variant measurements per channel, for
+	// criterion sensitivity analysis (e.g. Welch's t-test vs Cohen's d).
+	Samples map[string][2][]float64
+	// Exploited reports registry state for CVE attacks.
+	Exploited bool
+	// Err records a measurement failure, if any.
+	Err error
+}
+
+// WelchDefended re-judges the outcome under Welch's t-test at the 1%
+// level instead of the Cohen's d threshold.
+func (o Outcome) WelchDefended() bool {
+	for _, pair := range o.Samples {
+		if len(pair[0]) == 0 || len(pair[1]) == 0 {
+			continue
+		}
+		if stats.WelchDistinguishable(pair[0], pair[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BestChannel returns the channel with the largest effect size.
+func (o Outcome) BestChannel() ChannelResult {
+	best := ChannelResult{}
+	for _, c := range o.Channels {
+		if c.CohensD >= best.CohensD {
+			best = c
+		}
+	}
+	return best
+}
+
+// Evaluate runs the timing attack against a defense with the given
+// repetition budget. Each (rep, variant) pair gets a fresh environment
+// with its own seed, so network jitter and fuzzing re-randomize per run —
+// matching how the paper repeats and averages experiments.
+func (a *TimingAttack) Evaluate(d defense.Defense, reps int, baseSeed int64) Outcome {
+	if reps <= 0 {
+		reps = Reps
+	}
+	samples := make(map[string][2][]float64)
+	for rep := 0; rep < reps; rep++ {
+		for variant := 0; variant < 2; variant++ {
+			seed := baseSeed + int64(rep)*2 + int64(variant) + 1
+			env := d.NewEnv(defense.EnvOptions{Seed: seed})
+			vals, err := a.Measure(env, variant)
+			if err != nil {
+				// The attack could not run under this defense (e.g. API
+				// unavailable): the channel yields nothing.
+				continue
+			}
+			for ch, v := range vals {
+				if strings.HasPrefix(ch, "_") {
+					// Harness metadata, not an attacker-observable value.
+					continue
+				}
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					continue
+				}
+				pair := samples[ch]
+				pair[variant] = append(pair[variant], v)
+				samples[ch] = pair
+			}
+		}
+	}
+	out := Outcome{AttackID: a.ID, DefenseID: d.ID, Defended: true, Samples: samples}
+	for ch, pair := range samples {
+		if len(pair[0]) == 0 || len(pair[1]) == 0 {
+			continue
+		}
+		cr := ChannelResult{
+			Channel: ch,
+			MeanA:   stats.Mean(pair[0]),
+			MeanB:   stats.Mean(pair[1]),
+			CohensD: stats.CohensD(pair[0], pair[1]),
+		}
+		cr.Leaks = cr.CohensD >= stats.DistinguishableThreshold
+		if cr.Leaks {
+			out.Defended = false
+		}
+		out.Channels = append(out.Channels, cr)
+	}
+	return out
+}
+
+// Evaluate runs the CVE exploit against a defense once (the trigger is
+// deterministic) and consults the vulnerability registry.
+func (a *CVEAttack) Evaluate(d defense.Defense, baseSeed int64) Outcome {
+	env := d.NewEnv(defense.EnvOptions{Seed: baseSeed + 1})
+	err := a.Exploit(env)
+	exploited := env.Registry.Exploited(a.CVE)
+	return Outcome{
+		AttackID:  string(a.CVE),
+		DefenseID: d.ID,
+		Defended:  !exploited,
+		Exploited: exploited,
+		Err:       err,
+	}
+}
+
+// errSkip marks attacks that could not start under a defense.
+func errSkip(what string, err error) error {
+	return fmt.Errorf("attack %s could not run: %w", what, err)
+}

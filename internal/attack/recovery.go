@@ -1,0 +1,209 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/sim"
+	"jskernel/internal/stats"
+)
+
+// This file implements full end-to-end secret *recovery* — the actual
+// goal of the paper's motivating attacks, beyond the two-variant
+// distinguishability criterion of Table I:
+//
+//   - PixelSteal: the floating-point attack of Andrysco et al. [10]
+//     recovers individual pixels of a cross-origin image. Dark pixels
+//     produce subnormal intermediate values in the filter convolution,
+//     which take the slow FPU path; timing each pixel's filter pass
+//     reveals its value.
+//   - SniffHistory: Stone's attack [9] recovers which of a set of URLs
+//     the victim has visited, from :visited repaint timing.
+//
+// Recovery accuracy is the metric: ~100% on legacy browsers, chance
+// level under JSKernel.
+
+// PixelStealResult reports an end-to-end pixel-stealing run.
+type PixelStealResult struct {
+	Truth     []bool // ground truth: pixel dark?
+	Recovered []bool
+	Accuracy  float64
+}
+
+// stealOnePixel times one filter pass over a pixel through the parallel
+// worker clock and returns the tick measurement.
+func stealOnePixel(g *browser.Global, ticks *int, dark bool, done func(measured int)) {
+	// Secret-dependent cost: a dark pixel drives the convolution through
+	// subnormal operands.
+	start := *ticks
+	g.FloatOps(60_000, dark)
+	g.SetTimeout(func(*browser.Global) {
+		done(*ticks - start)
+	}, 0)
+}
+
+// PixelSteal recovers n pixels of a synthetic cross-origin image in one
+// environment. The image content is seeded so ground truth is known to
+// the harness but not, of course, to the attacker.
+func PixelSteal(env *defense.Env, n int, seed int64) (PixelStealResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]bool, n)
+	for i := range truth {
+		truth[i] = rng.Intn(2) == 1
+	}
+
+	b := env.Browser
+	installWorkerClock(b)
+	measurements := make([]int, 0, n)
+	var startErr error
+	b.RunScript("pixel-steal", func(g *browser.Global) {
+		cnt, err := startWorkerClock(g)
+		if err != nil {
+			startErr = errSkip("pixel-steal", err)
+			return
+		}
+		var next func(gg *browser.Global)
+		i := 0
+		next = func(gg *browser.Global) {
+			if i >= n {
+				return
+			}
+			dark := truth[i]
+			i++
+			stealOnePixel(gg, cnt, dark, func(m int) {
+				measurements = append(measurements, m)
+				gg.SetTimeout(next, 0)
+			})
+		}
+		g.SetTimeout(next, warmupDelay)
+	})
+	if err := b.RunFor(sim.Duration(n)*60*sim.Millisecond + sim.Second); err != nil {
+		return PixelStealResult{}, err
+	}
+	if startErr != nil {
+		return PixelStealResult{}, startErr
+	}
+	if len(measurements) != n {
+		return PixelStealResult{}, fmt.Errorf("attack recovered %d/%d measurements", len(measurements), n)
+	}
+
+	// Classification: threshold at the midpoint between the measurement
+	// extremes (the attacker calibrates from its own data).
+	vals := make([]float64, n)
+	for i, m := range measurements {
+		vals[i] = float64(m)
+	}
+	lo, hi, err := stats.MinMax(vals)
+	if err != nil {
+		return PixelStealResult{}, err
+	}
+	threshold := (lo + hi) / 2
+	res := PixelStealResult{Truth: truth, Recovered: make([]bool, n)}
+	correct := 0
+	for i, v := range vals {
+		res.Recovered[i] = hi > lo && v > threshold
+		if res.Recovered[i] == truth[i] {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(n)
+	return res, nil
+}
+
+// HistorySniffResult reports an end-to-end history recovery run.
+type HistorySniffResult struct {
+	Truth     []bool // ground truth: URL visited?
+	Recovered []bool
+	Accuracy  float64
+}
+
+// SniffHistory recovers the visited-state of n candidate URLs.
+func SniffHistory(env *defense.Env, n int, seed int64) (HistorySniffResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	truth := make([]bool, n)
+	urls := make([]string, n)
+	for i := range truth {
+		urls[i] = fmt.Sprintf("https://site%02d.example/login", i)
+		truth[i] = rng.Intn(2) == 1
+		if truth[i] {
+			env.Browser.MarkVisited(urls[i])
+		}
+	}
+
+	b := env.Browser
+	installWorkerClock(b)
+	measurements := make([]int, 0, n)
+	var startErr error
+	b.RunScript("history-sniff", func(g *browser.Global) {
+		cnt, err := startWorkerClock(g)
+		if err != nil {
+			startErr = errSkip("history-sniff", err)
+			return
+		}
+		var next func(gg *browser.Global)
+		i := 0
+		next = func(gg *browser.Global) {
+			if i >= n {
+				return
+			}
+			url := urls[i]
+			i++
+			start := *cnt
+			for r := 0; r < 60; r++ {
+				gg.RenderLink(url) // repaint probe
+			}
+			gg.SetTimeout(func(*browser.Global) {
+				measurements = append(measurements, *cnt-start)
+				gg.SetTimeout(next, 0)
+			}, 0)
+		}
+		g.SetTimeout(next, warmupDelay)
+	})
+	if err := b.RunFor(sim.Duration(n)*80*sim.Millisecond + sim.Second); err != nil {
+		return HistorySniffResult{}, err
+	}
+	if startErr != nil {
+		return HistorySniffResult{}, startErr
+	}
+	if len(measurements) != n {
+		return HistorySniffResult{}, fmt.Errorf("attack recovered %d/%d measurements", len(measurements), n)
+	}
+
+	vals := make([]float64, n)
+	for i, m := range measurements {
+		vals[i] = float64(m)
+	}
+	lo, hi, err := stats.MinMax(vals)
+	if err != nil {
+		return HistorySniffResult{}, err
+	}
+	threshold := (lo + hi) / 2
+	res := HistorySniffResult{Truth: truth, Recovered: make([]bool, n)}
+	correct := 0
+	for i, v := range vals {
+		res.Recovered[i] = hi > lo && v > threshold
+		if res.Recovered[i] == truth[i] {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(n)
+	return res, nil
+}
+
+// RecoveryAccuracy runs both recovery attacks under a defense and returns
+// (pixel accuracy, history accuracy).
+func RecoveryAccuracy(d defense.Defense, n int, seed int64) (float64, float64, error) {
+	envP := d.NewEnv(defense.EnvOptions{Seed: seed})
+	pix, err := PixelSteal(envP, n, seed+1)
+	if err != nil {
+		return 0, 0, fmt.Errorf("pixel steal under %s: %w", d.ID, err)
+	}
+	envH := d.NewEnv(defense.EnvOptions{Seed: seed + 2})
+	hist, err := SniffHistory(envH, n, seed+3)
+	if err != nil {
+		return 0, 0, fmt.Errorf("history sniff under %s: %w", d.ID, err)
+	}
+	return pix.Accuracy, hist.Accuracy, nil
+}

@@ -1,0 +1,74 @@
+package attack
+
+import (
+	"testing"
+
+	"jskernel/internal/defense"
+)
+
+const recoveryBits = 32
+
+func TestPixelStealRecoversOnLegacy(t *testing.T) {
+	env := defense.Chrome().NewEnv(defense.EnvOptions{Seed: 5})
+	res, err := PixelSteal(env, recoveryBits, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.95 {
+		t.Fatalf("pixel recovery accuracy %.2f on legacy, want near-perfect", res.Accuracy)
+	}
+}
+
+func TestPixelStealChanceUnderJSKernel(t *testing.T) {
+	env := defense.JSKernel("chrome").NewEnv(defense.EnvOptions{Seed: 5})
+	res, err := PixelSteal(env, recoveryBits, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy > 0.70 {
+		t.Fatalf("pixel recovery accuracy %.2f under JSKernel, want near chance", res.Accuracy)
+	}
+}
+
+func TestSniffHistoryRecoversOnLegacy(t *testing.T) {
+	env := defense.Chrome().NewEnv(defense.EnvOptions{Seed: 9})
+	res, err := SniffHistory(env, recoveryBits, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.95 {
+		t.Fatalf("history recovery accuracy %.2f on legacy, want near-perfect", res.Accuracy)
+	}
+}
+
+func TestSniffHistoryChanceUnderJSKernel(t *testing.T) {
+	env := defense.JSKernel("chrome").NewEnv(defense.EnvOptions{Seed: 9})
+	res, err := SniffHistory(env, recoveryBits, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy > 0.70 {
+		t.Fatalf("history recovery accuracy %.2f under JSKernel, want near chance", res.Accuracy)
+	}
+}
+
+func TestSniffHistoryChanceUnderDeterFox(t *testing.T) {
+	env := defense.DeterFox().NewEnv(defense.EnvOptions{Seed: 9})
+	res, err := SniffHistory(env, recoveryBits, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy > 0.70 {
+		t.Fatalf("history recovery accuracy %.2f under DeterFox, want near chance", res.Accuracy)
+	}
+}
+
+func TestRecoveryAccuracyHelper(t *testing.T) {
+	pix, hist, err := RecoveryAccuracy(defense.Chrome(), 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pix < 0.9 || hist < 0.9 {
+		t.Fatalf("legacy accuracies %.2f / %.2f, want high", pix, hist)
+	}
+}

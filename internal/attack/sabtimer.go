@@ -1,0 +1,109 @@
+package attack
+
+import (
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/sim"
+)
+
+// This file implements an extension beyond Table I: the SharedArrayBuffer
+// fine-grained timer of Schwarz et al.'s "Fantastic Timers" [12]. A worker
+// increments a shared counter in a tight loop; the main thread reads the
+// counter around a secret operation, turning shared memory into a clock
+// far finer than any timer API. The paper notes SAB was "rarely used and
+// currently disabled in many browsers due to Spectre" (§III-E2); the
+// kernel's serializing queue coarsens the channel, and the
+// DisableSharedBuffers hardening policy closes it outright.
+
+// ChannelSABDelta is the SAB counter delta observed across the secret op.
+const ChannelSABDelta = "sab-delta"
+
+// sabCounterSrc is the incrementing worker.
+const sabCounterSrc = "__sab_counter_worker.js"
+
+// SABTimerAttack measures a secret-dependent synchronous operation with a
+// worker-incremented shared counter.
+func SABTimerAttack() *TimingAttack {
+	costs := [2]sim.Duration{2 * sim.Millisecond, 40 * sim.Millisecond}
+	return &TimingAttack{
+		ID:         "sab-timer",
+		Label:      "SAB Timer [12] (extension)",
+		ClockGroup: "extension",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			b := env.Browser
+			b.RegisterWorkerScript(sabCounterSrc, func(g *browser.Global) {
+				g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+					buf := m.Transfer
+					if buf == nil {
+						return
+					}
+					// Tight increment loop, rescheduled so the thread's
+					// event loop stays live. Each batch bumps the counter
+					// in real time.
+					var pump func(gg2 *browser.Global)
+					pump = func(gg2 *browser.Global) {
+						v, err := gg2.SharedBufferRead(buf, 0)
+						if err != nil {
+							return // hardened configuration: channel closed
+						}
+						for i := 0; i < 50; i++ {
+							v++
+							if err := gg2.SharedBufferWrite(buf, 0, v); err != nil {
+								return
+							}
+							gg2.Busy(20 * sim.Microsecond)
+						}
+						gg2.SetTimeout(pump, 0)
+					}
+					pump(gg)
+				})
+			})
+
+			res := make(map[string]float64)
+			done := false
+			var startErr error
+			b.RunScript("sab-timer", func(g *browser.Global) {
+				buf := g.NewSharedBuffer(2)
+				w, err := g.NewWorker(sabCounterSrc)
+				if err != nil {
+					startErr = errSkip("sab-timer", err)
+					return
+				}
+				w.PostMessageTransfer("start", buf)
+				g.SetTimeout(func(gg *browser.Global) {
+					before, err1 := gg.SharedBufferRead(buf, 0)
+					gg.Busy(costs[variant]) // the secret
+					// The closing read runs in the next task, after the
+					// worker's concurrent increments have landed.
+					gg.SetTimeout(func(g3 *browser.Global) {
+						after, err2 := g3.SharedBufferRead(buf, 0)
+						if err1 != nil || err2 != nil {
+							startErr = errSkip("sab-timer", err1)
+							if err1 == nil {
+								startErr = errSkip("sab-timer", err2)
+							}
+							return
+						}
+						res[ChannelSABDelta] = float64(after - before)
+						done = true
+					}, 0)
+				}, 60*sim.Millisecond)
+			})
+			if err := b.RunFor(2 * sim.Second); err != nil {
+				return nil, err
+			}
+			if startErr != nil {
+				return nil, startErr
+			}
+			if !done {
+				return nil, errSkip("sab-timer", errHorizon)
+			}
+			return res, nil
+		},
+	}
+}
+
+// ExtensionAttacks returns attacks beyond the paper's Table I rows.
+func ExtensionAttacks() []*TimingAttack {
+	return []*TimingAttack{SABTimerAttack()}
+}

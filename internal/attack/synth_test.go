@@ -1,0 +1,149 @@
+package attack
+
+import (
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+	"jskernel/internal/vuln"
+	"jskernel/internal/webnet"
+)
+
+// This file closes the loop on the paper's future work: record an exploit
+// against the undefended browser, synthesize a policy from the trace, and
+// verify the synthesized policy actually defends a fresh browser against
+// the same exploit — for every modeled CVE.
+
+// recordExploit runs the exploit on legacy Chrome with a trace recorder.
+func recordExploit(t *testing.T, a *CVEAttack, private bool, seed int64) []browser.TraceEvent {
+	t.Helper()
+	s := sim.New(seed)
+	s.MaxSteps = 10_000_000
+	cfg := webnet.DefaultConfig()
+	cfg.JitterFrac = 0
+	net := webnet.New(cfg, s.Rand())
+	reg := vuln.NewRegistry()
+	rec := &browser.Recorder{}
+	b := browser.New(s, browser.Options{Net: net, PrivateMode: private, Tracer: reg})
+	b.AddTracer(rec)
+	b.Origin = "https://site.example"
+	env := &defense.Env{Defense: defense.Chrome(), Sim: s, Browser: b, Registry: reg}
+	if err := a.Exploit(env); err != nil {
+		t.Fatalf("exploit on legacy: %v", err)
+	}
+	if !reg.Exploited(a.CVE) {
+		t.Fatalf("%s did not trigger on the recording run", a.CVE)
+	}
+	return rec.Events()
+}
+
+// envWithPolicy builds a kernelized environment under an arbitrary policy.
+func envWithPolicy(p kernel.Policy, private bool, seed int64) *defense.Env {
+	s := sim.New(seed)
+	s.MaxSteps = 10_000_000
+	cfg := webnet.DefaultConfig()
+	cfg.JitterFrac = 0
+	net := webnet.New(cfg, s.Rand())
+	reg := vuln.NewRegistry()
+	shared := kernel.NewShared(p)
+	b := browser.New(s, browser.Options{
+		Net: net, PrivateMode: private, Tracer: reg, InstallScope: shared.Install,
+	})
+	b.Origin = "https://site.example"
+	return &defense.Env{Defense: defense.JSKernel("chrome"), Sim: s, Browser: b, Registry: reg, Kernel: shared}
+}
+
+func TestSynthesizedPoliciesDefendEveryCVE(t *testing.T) {
+	for _, a := range CVEAttacks() {
+		a := a
+		t.Run(string(a.CVE), func(t *testing.T) {
+			t.Parallel()
+			private := a.CVE == vuln.CVE20177843
+
+			// 1. Record the exploit against the undefended browser.
+			trace := recordExploit(t, a, private, 11)
+
+			// 2. Synthesize a policy from the trace alone.
+			spec, findings, err := policy.Synthesize("synth-"+string(a.CVE), trace)
+			if err != nil {
+				t.Fatalf("synthesize: %v", err)
+			}
+			if len(findings) == 0 || len(spec.Rules) == 0 {
+				t.Fatal("synthesizer produced no rules")
+			}
+			for _, f := range findings {
+				if f.Analysis == "" || f.Rule.Reason == "" {
+					t.Errorf("finding lacks explanation: %+v", f)
+				}
+			}
+
+			// 3. The synthesized policy must defend a fresh browser.
+			env := envWithPolicy(spec, private, 12)
+			if err := a.Exploit(env); err != nil {
+				// Policy-mediated failures of the exploit's own calls are
+				// fine — the exploit being unable to run is a defense.
+				t.Logf("exploit under synthesized policy: %v", err)
+			}
+			if env.Registry.Exploited(a.CVE) {
+				t.Fatalf("%s still triggered under the synthesized policy %v", a.CVE, spec.Rules)
+			}
+		})
+	}
+}
+
+// TestSynthesizeRejectsBenignTrace: a trace with no dangerous condition
+// must not produce a policy.
+func TestSynthesizeRejectsBenignTrace(t *testing.T) {
+	benign := []browser.TraceEvent{
+		{Kind: browser.TraceWorkerCreated, WorkerID: 1},
+		{Kind: browser.TracePostMessage, Detail: "to-worker"},
+		{Kind: browser.TraceMessageDelivered, Detail: "to-worker"},
+		{Kind: browser.TraceWorkerTerminated, Detail: ""},
+	}
+	if _, _, err := policy.Synthesize("x", benign); err == nil {
+		t.Fatal("benign trace should synthesize nothing")
+	}
+}
+
+// TestSynthesizeDeduplicates: repeated trigger events yield one rule.
+func TestSynthesizeDeduplicates(t *testing.T) {
+	trace := []browser.TraceEvent{
+		{Kind: browser.TraceXHR, Detail: "cross-origin-worker"},
+		{Kind: browser.TraceXHR, Detail: "cross-origin-worker"},
+		{Kind: browser.TraceXHR, Detail: "cross-origin-worker"},
+	}
+	spec, findings, err := policy.Synthesize("dedup", trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rules) != 1 || len(findings) != 1 {
+		t.Fatalf("rules = %d, findings = %d; want 1 each", len(spec.Rules), len(findings))
+	}
+}
+
+// TestSynthesizedCombinedPolicy: one synthesis over all twelve exploit
+// traces yields a policy equivalent in coverage to the handwritten
+// FullDefense.
+func TestSynthesizedCombinedPolicy(t *testing.T) {
+	var combined []browser.TraceEvent
+	for _, a := range CVEAttacks() {
+		private := a.CVE == vuln.CVE20177843
+		combined = append(combined, recordExploit(t, a, private, 31)...)
+	}
+	spec, _, err := policy.Synthesize("synth-all", combined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every CVE must be defended by the single combined policy.
+	for _, a := range CVEAttacks() {
+		private := a.CVE == vuln.CVE20177843
+		env := envWithPolicy(spec, private, 33)
+		_ = a.Exploit(env)
+		if env.Registry.Exploited(a.CVE) {
+			t.Errorf("%s not covered by the combined synthesized policy", a.CVE)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/dom"
+)
+
+// This file exposes the exact measurements Table II of the paper reports:
+// the averaged image loading time of the SVG filtering attack (low/high
+// resolution) and the maximum measured event interval of the Loopscan
+// attack (google/youtube), both in milliseconds as observed through the
+// attacker's implicit tick-loop clock (1 tick ≈ 1ms).
+
+// MeasureSVGLoadMs loads a dim×dim cross-origin image, applies the SVG
+// erode filter on arrival, and returns the attacker-measured loading time
+// in milliseconds.
+func MeasureSVGLoadMs(env *defense.Env, dim int) (float64, error) {
+	url := "https://victim.example/probe.png"
+	env.Browser.Net.RegisterImage(url, dim, dim)
+	vals, err := measureAsyncOp(env, func(g *browser.Global, done func(*browser.Global)) {
+		g.LoadImage(url, func(gg *browser.Global, el *dom.Element) {
+			gg.ApplySVGFilter(el, "feMorphology:erode")
+			done(gg)
+		}, func(gg *browser.Global) { done(gg) })
+	}, shortHorizon)
+	if err != nil {
+		return 0, err
+	}
+	// One tick of the setTimeout chain is one timer-clamp period ≈ 1ms.
+	return vals[ChannelTickLoop], nil
+}
+
+// MeasureScriptParseMs loads a cross-origin script of the given size and
+// returns the attacker-reported loading time in milliseconds via the
+// setTimeout implicit clock — the measurement Figure 2 sweeps over file
+// sizes.
+func MeasureScriptParseMs(env *defense.Env, bytes int64) (float64, error) {
+	url := "https://victim.example/payload.js"
+	env.Browser.Net.RegisterScript(url, bytes)
+	vals, err := measureAsyncOp(env, func(g *browser.Global, done func(*browser.Global)) {
+		g.LoadScript(url, func(gg *browser.Global) { done(gg) }, func(gg *browser.Global) { done(gg) })
+	}, longHorizon)
+	if err != nil {
+		return 0, err
+	}
+	return vals[ChannelTickLoop], nil
+}
+
+// MeasureLoopscanGapMs returns the maximum event interval the Loopscan
+// attacker observes while the named site's load pattern runs, in
+// milliseconds, through the attacker's best available channel: implicit
+// worker ticks when a real worker exists, the explicit clock otherwise
+// (how the attack still reports values under Chrome Zero's polyfill).
+func MeasureLoopscanGapMs(env *defense.Env, site string) (float64, error) {
+	vals, err := measureLoopscan(env, site)
+	if err != nil {
+		return 0, err
+	}
+	// A usable worker clock ticks roughly once per millisecond over the
+	// ~900ms observation window; below that resolution the attacker
+	// switches to the explicit clock.
+	if vals[channelTickTotal] >= 400 {
+		return vals[ChannelMaxGap], nil // one worker tick ≈ 1ms
+	}
+	return vals[ChannelPerfNow], nil
+}

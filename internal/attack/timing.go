@@ -1,0 +1,381 @@
+package attack
+
+import (
+	"fmt"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/dom"
+	"jskernel/internal/sim"
+)
+
+// This file defines the ten implicit-clock timing attacks of Table I's
+// upper half. Each attack encodes a two-valued secret; a defense holds if
+// no measurement channel can tell the two values apart over the
+// repetition budget.
+
+// Horizons are generous: virtual time is cheap and measurements must
+// complete under the slowest defense.
+const (
+	shortHorizon = 3 * sim.Second
+	longHorizon  = 30 * sim.Second
+)
+
+// CacheAttack (Oren et al. [7]): the secret is whether a shared resource
+// resides in the cache. The attacker measures access time via the
+// setTimeout tick loop.
+func CacheAttack() *TimingAttack {
+	const url = "https://cdn.shared.example/lib/common.js"
+	return &TimingAttack{
+		ID:         "cache-attack",
+		Label:      "Cache Attack [7]",
+		ClockGroup: "setTimeout",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			env.Browser.Net.RegisterScript(url, 600_000)
+			if variant == 1 {
+				env.Browser.Net.Warm(url) // secret: content cached
+			}
+			return measureAsyncOp(env, func(g *browser.Global, done func(*browser.Global)) {
+				g.Fetch(url, browser.FetchOptions{}, func(_ *browser.Response, err error) {
+					done(g)
+				})
+			}, shortHorizon)
+		},
+	}
+}
+
+// ScriptParsingAttack (van Goethem et al. [8]): the secret is the byte
+// size of a cross-origin resource loaded as a script.
+func ScriptParsingAttack() *TimingAttack {
+	sizes := [2]int64{2_000_000, 8_000_000}
+	return &TimingAttack{
+		ID:         "script-parsing",
+		Label:      "Script Parsing [8]",
+		ClockGroup: "setTimeout",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			url := "https://social.example/friends.json" // cross-origin secret
+			env.Browser.Net.RegisterScript(url, sizes[variant])
+			return measureAsyncOp(env, func(g *browser.Global, done func(*browser.Global)) {
+				g.LoadScript(url, func(gg *browser.Global) { done(gg) }, func(gg *browser.Global) { done(gg) })
+			}, longHorizon)
+		},
+	}
+}
+
+// ImageDecodingAttack (van Goethem et al. [8]): the secret is the pixel
+// count of a cross-origin image.
+func ImageDecodingAttack() *TimingAttack {
+	dims := [2]int{500, 2500}
+	return &TimingAttack{
+		ID:         "image-decoding",
+		Label:      "Image Decoding [8]",
+		ClockGroup: "setTimeout",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			url := "https://social.example/avatar.png"
+			d := dims[variant]
+			env.Browser.Net.RegisterImage(url, d, d)
+			return measureAsyncOp(env, func(g *browser.Global, done func(*browser.Global)) {
+				g.LoadImage(url,
+					func(gg *browser.Global, _ *dom.Element) { done(gg) },
+					func(gg *browser.Global) { done(gg) })
+			}, longHorizon)
+		},
+	}
+}
+
+// ClockEdgeAttack (Kohlbrenner & Shacham [6]): the secret is the duration
+// of a cheap operation, measured by counting padding loops between two
+// edges of the coarse explicit clock.
+func ClockEdgeAttack() *TimingAttack {
+	iters := [2]int{2000, 6000}
+	const (
+		chunk    = 1000  // BusyIters per probe
+		maxProbe = 40000 // cap so frozen clocks terminate
+	)
+	return &TimingAttack{
+		ID:         "clock-edge",
+		Label:      "Clock Edge [6]",
+		ClockGroup: "setTimeout",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			res := make(map[string]float64)
+			done := false
+			env.Browser.RunScript("clock-edge", func(g *browser.Global) {
+				// Align to a clock edge.
+				start := g.PerformanceNow()
+				guard := 0
+				for g.PerformanceNow() == start && guard < maxProbe {
+					g.BusyIters(chunk)
+					guard++
+				}
+				// Run the target operation.
+				g.BusyIters(iters[variant])
+				// Count padding probes to the next edge.
+				cur := g.PerformanceNow()
+				pad := 0
+				for g.PerformanceNow() == cur && pad < maxProbe {
+					g.BusyIters(chunk)
+					pad++
+				}
+				res[ChannelEdgePad] = float64(pad)
+				done = true
+			})
+			if err := env.Browser.RunFor(shortHorizon); err != nil {
+				return nil, err
+			}
+			if !done {
+				return nil, errSkip("clock-edge", errHorizon)
+			}
+			return res, nil
+		},
+	}
+}
+
+// HistorySniffingAttack (Stone [9]): the secret is whether a URL is in the
+// browser history; :visited links repaint on a slower path.
+func HistorySniffingAttack() *TimingAttack {
+	const url = "https://bank.example/account"
+	return &TimingAttack{
+		ID:         "history-sniffing",
+		Label:      "History Sniffing [9]",
+		ClockGroup: "requestAnimationFrame",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			if variant == 1 {
+				env.Browser.MarkVisited(url)
+			}
+			return measureSyncOp(env, func(g *browser.Global) {
+				for i := 0; i < 150; i++ {
+					g.RenderLink(url)
+				}
+			}, shortHorizon)
+		},
+	}
+}
+
+// SVGFilteringAttack (Stone [9] / DeterFox [14]): the secret is an image's
+// resolution, recovered from the runtime of an SVG erode filter.
+func SVGFilteringAttack() *TimingAttack {
+	return SVGFilteringAttackWithDims(200, 1000)
+}
+
+// SVGFilteringAttackWithDims parameterizes the two secret resolutions
+// (Table II uses specific low/high values).
+func SVGFilteringAttackWithDims(low, high int) *TimingAttack {
+	dims := [2]int{low, high}
+	return &TimingAttack{
+		ID:         "svg-filtering",
+		Label:      "SVG Filtering [9]",
+		ClockGroup: "requestAnimationFrame",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			d := dims[variant]
+			return measureSyncOp(env, func(g *browser.Global) {
+				el := g.Document().CreateElement("img")
+				el.SetAttribute("width", fmt.Sprint(d))
+				el.SetAttribute("height", fmt.Sprint(d))
+				for i := 0; i < 20; i++ {
+					g.ApplySVGFilter(el, "feMorphology:erode")
+				}
+			}, shortHorizon)
+		},
+	}
+}
+
+// FloatingPointAttack (Andrysco et al. [10]): the secret is whether pixel
+// math hits subnormal operands, which take the slow microcode path.
+func FloatingPointAttack() *TimingAttack {
+	return &TimingAttack{
+		ID:         "floating-point",
+		Label:      "Floating Point [10]",
+		ClockGroup: "requestAnimationFrame",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			return measureSyncOp(env, func(g *browser.Global) {
+				g.FloatOps(400_000, variant == 1)
+			}, shortHorizon)
+		},
+	}
+}
+
+// LoopscanAttack (Vila & Köpf [11]): the secret is which site is loading
+// in another context, inferred from the main event loop's usage pattern.
+func LoopscanAttack() *TimingAttack {
+	return &TimingAttack{
+		ID:         "loopscan",
+		Label:      "Loopscan [11]",
+		ClockGroup: "requestAnimationFrame",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			site := "google"
+			if variant == 1 {
+				site = "youtube"
+			}
+			return measureLoopscan(env, site)
+		},
+	}
+}
+
+// CSSAnimationAttack (Schwarz et al. [12]): CSS animation frame events as
+// the implicit clock; the secret is a cross-origin transfer size.
+func CSSAnimationAttack() *TimingAttack {
+	sizes := [2]int64{1_000_000, 8_000_000}
+	return &TimingAttack{
+		ID:         "css-animation",
+		Label:      "CSS Animation [12]",
+		ClockGroup: "requestAnimationFrame",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			url := "https://social.example/payload.bin"
+			env.Browser.Net.RegisterScript(url, sizes[variant])
+			return measureWithFrameClock(env, ChannelFrames,
+				func(g *browser.Global, cb func(*browser.Global)) func() {
+					id := g.StartCSSAnimation(nil, func(gg *browser.Global, _ int) { cb(gg) })
+					return func() { g.StopCSSAnimation(id) }
+				},
+				func(g *browser.Global, done func(*browser.Global)) {
+					g.Fetch(url, browser.FetchOptions{}, func(*browser.Response, error) { done(g) })
+				}, longHorizon)
+		},
+	}
+}
+
+// VideoWebVTTAttack (Kohlbrenner & Shacham [6]): WebVTT cue events as the
+// implicit clock; the secret is a cross-origin transfer size.
+func VideoWebVTTAttack() *TimingAttack {
+	sizes := [2]int64{1_000_000, 8_000_000}
+	return &TimingAttack{
+		ID:         "video-webvtt",
+		Label:      "Video/WebVTT [6]",
+		ClockGroup: "requestAnimationFrame",
+		Measure: func(env *defense.Env, variant int) (map[string]float64, error) {
+			url := "https://social.example/payload2.bin"
+			env.Browser.Net.RegisterScript(url, sizes[variant])
+			return measureWithFrameClock(env, ChannelCues,
+				func(g *browser.Global, cb func(*browser.Global)) func() {
+					return g.PlayVideo(func(gg *browser.Global, _ int) { cb(gg) })
+				},
+				func(g *browser.Global, done func(*browser.Global)) {
+					g.Fetch(url, browser.FetchOptions{}, func(*browser.Response, error) { done(g) })
+				}, longHorizon)
+		},
+	}
+}
+
+// TimingAttacks returns the ten Table I timing rows in paper order.
+func TimingAttacks() []*TimingAttack {
+	return []*TimingAttack{
+		CacheAttack(), ScriptParsingAttack(), ImageDecodingAttack(), ClockEdgeAttack(),
+		HistorySniffingAttack(), SVGFilteringAttack(), FloatingPointAttack(),
+		LoopscanAttack(), CSSAnimationAttack(), VideoWebVTTAttack(),
+	}
+}
+
+// measureWithFrameClock measures an async target with a periodic callback
+// source (CSS animation frames or video cues) as the implicit clock.
+func measureWithFrameClock(
+	env *defense.Env,
+	channel string,
+	startClock func(g *browser.Global, cb func(*browser.Global)) (stop func()),
+	start func(g *browser.Global, done func(*browser.Global)),
+	horizon sim.Duration,
+) (map[string]float64, error) {
+	b := env.Browser
+	res := make(map[string]float64)
+	completed := false
+	b.RunScript("measure-frame-clock", func(g *browser.Global) {
+		count := 0
+		stop := startClock(g, func(*browser.Global) { count++ })
+		g.SetTimeout(func(gg *browser.Global) {
+			startCount := count
+			startNow := gg.PerformanceNow()
+			start(gg, func(g3 *browser.Global) {
+				res[channel] = float64(count - startCount)
+				res[ChannelPerfNow] = g3.PerformanceNow() - startNow
+				completed = true
+				stop()
+			})
+		}, warmupDelay)
+	})
+	if err := b.RunFor(horizon); err != nil {
+		return nil, err
+	}
+	if !completed {
+		return nil, errSkip("frame-clock", errHorizon)
+	}
+	return res, nil
+}
+
+// measureLoopscan monitors the attacker's own event-loop latency while a
+// victim site's load pattern runs, reporting the maximum observed event
+// interval in worker ticks and milliseconds.
+func measureLoopscan(env *defense.Env, site string) (map[string]float64, error) {
+	b := env.Browser
+	installWorkerClock(b)
+	rng := env.Sim.Rand()
+
+	// Victim load pattern: many short tasks (google) vs fewer long tasks
+	// (youtube's decode bursts), spread over the observation window.
+	type burst struct {
+		at   sim.Duration
+		cost sim.Duration
+	}
+	var bursts []burst
+	switch site {
+	case "youtube":
+		for i := 0; i < 25; i++ {
+			at := sim.Duration(rng.Int63n(int64(700 * sim.Millisecond)))
+			cost := 8*sim.Millisecond + sim.Duration(rng.Int63n(int64(6*sim.Millisecond)))
+			bursts = append(bursts, burst{at: at, cost: cost})
+		}
+	default: // google
+		for i := 0; i < 60; i++ {
+			at := sim.Duration(rng.Int63n(int64(700 * sim.Millisecond)))
+			cost := 2*sim.Millisecond + sim.Duration(rng.Int63n(int64(3*sim.Millisecond)))
+			bursts = append(bursts, burst{at: at, cost: cost})
+		}
+	}
+
+	res := make(map[string]float64)
+	sampled := 0
+	var startErr error
+	b.RunScript("loopscan", func(g *browser.Global) {
+		cnt, err := startWorkerClock(g)
+		if err != nil {
+			startErr = errSkip("loopscan", err)
+			return
+		}
+		// Victim workload tasks.
+		for _, bu := range bursts {
+			cost := bu.cost
+			g.SetTimeout(func(gg *browser.Global) { gg.Busy(cost) }, warmupDelay+bu.at)
+		}
+		// Attacker probe: a 1ms self-rescheduling task recording the
+		// largest gap it observes.
+		lastTicks, maxTicks := -1, 0.0
+		lastNow, maxNow := -1.0, 0.0
+		var probe func(gg *browser.Global)
+		probe = func(gg *browser.Global) {
+			sampled++
+			if lastTicks >= 0 {
+				if d := float64(*cnt - lastTicks); d > maxTicks {
+					maxTicks = d
+				}
+				if d := gg.PerformanceNow() - lastNow; d > maxNow {
+					maxNow = d
+				}
+			}
+			lastTicks = *cnt
+			lastNow = gg.PerformanceNow()
+			res[ChannelMaxGap] = maxTicks
+			res[ChannelPerfNow] = maxNow
+			res[channelTickTotal] = float64(*cnt)
+			gg.SetTimeout(probe, 0)
+		}
+		g.SetTimeout(probe, warmupDelay)
+	})
+	if err := b.RunFor(warmupDelay + 900*sim.Millisecond); err != nil {
+		return nil, err
+	}
+	if startErr != nil {
+		return nil, startErr
+	}
+	if sampled < 10 {
+		return nil, errSkip("loopscan", errHorizon)
+	}
+	return res, nil
+}

@@ -1,0 +1,860 @@
+package browser
+
+import (
+	"testing"
+
+	"jskernel/internal/dom"
+	"jskernel/internal/sim"
+	"jskernel/internal/webnet"
+)
+
+// newTestBrowser builds a Chrome-profile browser on a fresh simulator with
+// a jitter-free network for exact-time assertions.
+func newTestBrowser(t *testing.T) *Browser {
+	t.Helper()
+	s := sim.New(1)
+	s.MaxSteps = 5_000_000
+	cfg := webnet.DefaultConfig()
+	cfg.JitterFrac = 0
+	net := webnet.New(cfg, s.Rand())
+	b := New(s, Options{Net: net})
+	b.Origin = "https://site.example"
+	return b
+}
+
+func run(t *testing.T, b *Browser) {
+	t.Helper()
+	if err := b.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunScriptExecutes(t *testing.T) {
+	b := newTestBrowser(t)
+	ran := false
+	b.RunScript("main", func(g *Global) { ran = true })
+	run(t, b)
+	if !ran {
+		t.Fatal("script did not run")
+	}
+}
+
+func TestSetTimeoutFiresAfterDelay(t *testing.T) {
+	b := newTestBrowser(t)
+	var at sim.Time
+	b.RunScript("main", func(g *Global) {
+		g.SetTimeout(func(gg *Global) { at = gg.Thread().Now() }, 5*sim.Millisecond)
+	})
+	run(t, b)
+	if at < 5*sim.Millisecond {
+		t.Fatalf("timeout fired at %v, want >= 5ms", at)
+	}
+	if at > 6*sim.Millisecond {
+		t.Fatalf("timeout fired at %v, want ~5ms", at)
+	}
+}
+
+func TestSetTimeoutClamp(t *testing.T) {
+	b := newTestBrowser(t)
+	var at sim.Time
+	b.RunScript("main", func(g *Global) {
+		g.SetTimeout(func(gg *Global) { at = gg.Thread().Now() }, 0)
+	})
+	run(t, b)
+	if at < b.Profile.TimerClampMin {
+		t.Fatalf("timeout fired at %v, want clamped to >= %v", at, b.Profile.TimerClampMin)
+	}
+}
+
+func TestClearTimeout(t *testing.T) {
+	b := newTestBrowser(t)
+	fired := false
+	b.RunScript("main", func(g *Global) {
+		id := g.SetTimeout(func(*Global) { fired = true }, 2*sim.Millisecond)
+		g.ClearTimeout(id)
+	})
+	run(t, b)
+	if fired {
+		t.Fatal("cleared timeout fired")
+	}
+}
+
+func TestSetIntervalRepeatsUntilCleared(t *testing.T) {
+	b := newTestBrowser(t)
+	count := 0
+	b.RunScript("main", func(g *Global) {
+		var id int
+		id = g.SetInterval(func(gg *Global) {
+			count++
+			if count == 4 {
+				gg.ClearInterval(id)
+			}
+		}, 2*sim.Millisecond)
+	})
+	run(t, b)
+	if count != 4 {
+		t.Fatalf("interval fired %d times, want 4", count)
+	}
+}
+
+func TestTasksRunSerially(t *testing.T) {
+	b := newTestBrowser(t)
+	var order []int
+	b.RunScript("a", func(g *Global) {
+		order = append(order, 1)
+		g.Busy(10 * sim.Millisecond) // long synchronous work
+	})
+	b.RunScript("b", func(g *Global) {
+		order = append(order, 2)
+		if g.Thread().Now() < 10*sim.Millisecond {
+			t.Errorf("task b started at %v, before a finished", g.Thread().Now())
+		}
+	})
+	run(t, b)
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBusyAdvancesCursorWithinTask(t *testing.T) {
+	b := newTestBrowser(t)
+	var before, after float64
+	b.RunScript("main", func(g *Global) {
+		before = g.PerformanceNow()
+		g.Busy(3 * sim.Millisecond)
+		after = g.PerformanceNow()
+	})
+	run(t, b)
+	if after-before < 2.9 {
+		t.Fatalf("Busy advanced clock by %v ms, want ~3", after-before)
+	}
+}
+
+func TestPerformanceNowGranularity(t *testing.T) {
+	b := newTestBrowser(t) // chrome: 5µs granularity
+	var reads []float64
+	b.RunScript("main", func(g *Global) {
+		for i := 0; i < 10; i++ {
+			reads = append(reads, g.PerformanceNow())
+			g.Busy(2 * sim.Microsecond)
+		}
+	})
+	run(t, b)
+	granMs := b.Profile.PerfNowGranularity.Milliseconds()
+	for _, v := range reads {
+		steps := v / granMs
+		if steps != float64(int64(steps)) {
+			t.Fatalf("PerformanceNow %v is not a multiple of granularity %v", v, granMs)
+		}
+	}
+}
+
+func TestDateNowMilliseconds(t *testing.T) {
+	b := newTestBrowser(t)
+	var d int64
+	b.RunScript("main", func(g *Global) {
+		g.Busy(1500 * sim.Microsecond)
+		d = g.DateNow()
+	})
+	run(t, b)
+	if d != 1 {
+		t.Fatalf("DateNow = %d, want 1 (ms floor)", d)
+	}
+}
+
+func TestRequestAnimationFrameAlignsToFrames(t *testing.T) {
+	b := newTestBrowser(t)
+	var ts sim.Time
+	b.RunScript("main", func(g *Global) {
+		g.RequestAnimationFrame(func(gg *Global, _ float64) { ts = gg.Thread().Now() })
+	})
+	run(t, b)
+	period := b.Profile.FramePeriod
+	if ts < period || ts > period+sim.Millisecond {
+		t.Fatalf("rAF fired at %v, want around frame boundary %v", ts, period)
+	}
+}
+
+func TestCancelAnimationFrame(t *testing.T) {
+	b := newTestBrowser(t)
+	fired := false
+	b.RunScript("main", func(g *Global) {
+		id := g.RequestAnimationFrame(func(*Global, float64) { fired = true })
+		g.CancelAnimationFrame(id)
+	})
+	run(t, b)
+	if fired {
+		t.Fatal("cancelled rAF fired")
+	}
+}
+
+func TestMicrotasksRunBeforeNextTask(t *testing.T) {
+	b := newTestBrowser(t)
+	var order []string
+	b.RunScript("main", func(g *Global) {
+		g.SetTimeout(func(*Global) { order = append(order, "task") }, sim.Millisecond)
+		g.QueueMicrotask(func(*Global) { order = append(order, "micro") })
+		order = append(order, "sync")
+	})
+	run(t, b)
+	want := []string{"sync", "micro", "task"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWorkerRoundTrip(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RegisterWorkerScript("echo.js", func(g *Global) {
+		g.SetOnMessage(func(gg *Global, m MessageEvent) {
+			gg.PostMessage(m.Data)
+		})
+	})
+	var got any
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("echo.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(*Global, MessageEvent) {})
+		w.SetOnMessage(func(gg *Global, m MessageEvent) { got = m.Data })
+		w.PostMessage("ping")
+	})
+	run(t, b)
+	if got != "ping" {
+		t.Fatalf("round trip got %v", got)
+	}
+}
+
+func TestWorkerMessagesBeforeHandlerAreQueued(t *testing.T) {
+	b := newTestBrowser(t)
+	var received []any
+	b.RegisterWorkerScript("late.js", func(g *Global) {
+		// Install the handler only after a delay; earlier messages must
+		// still be delivered (inbox semantics).
+		g.SetTimeout(func(gg *Global) {
+			gg.SetOnMessage(func(_ *Global, m MessageEvent) {
+				received = append(received, m.Data)
+			})
+		}, 10*sim.Millisecond)
+	})
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("late.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.PostMessage(1)
+		w.PostMessage(2)
+	})
+	run(t, b)
+	if len(received) != 2 {
+		t.Fatalf("received %v, want both queued messages", received)
+	}
+}
+
+func TestWorkerTerminateStopsDelivery(t *testing.T) {
+	b := newTestBrowser(t)
+	delivered := 0
+	b.RegisterWorkerScript("w.js", func(g *Global) {
+		g.SetOnMessage(func(*Global, MessageEvent) { delivered++ })
+	})
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("w.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		g.SetTimeout(func(*Global) {
+			w.Terminate()
+			w.PostMessage("dropped")
+		}, 20*sim.Millisecond)
+	})
+	run(t, b)
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages, want 0 (post-terminate drops)", delivered)
+	}
+}
+
+func TestWorkerParallelism(t *testing.T) {
+	// A worker's Busy work must overlap the main thread's Busy work in
+	// virtual time: total elapsed ≈ max, not sum.
+	b := newTestBrowser(t)
+	b.RegisterWorkerScript("crunch.js", func(g *Global) {
+		g.Busy(100 * sim.Millisecond)
+		g.PostMessage("done")
+	})
+	var doneAt sim.Time
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("crunch.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(gg *Global, _ MessageEvent) { doneAt = gg.Thread().Now() })
+		g.Busy(100 * sim.Millisecond) // main works concurrently
+	})
+	run(t, b)
+	if doneAt == 0 {
+		t.Fatal("worker result never arrived")
+	}
+	if doneAt > 150*sim.Millisecond {
+		t.Fatalf("worker done at %v; threads did not run in parallel", doneAt)
+	}
+}
+
+func TestCrossOriginWorkerCreationLeakyError(t *testing.T) {
+	b := newTestBrowser(t)
+	var errMsg string
+	b.RunScript("main", func(g *Global) {
+		_, err := g.NewWorker("https://evil.example/w.js")
+		if err != nil {
+			errMsg = err.Error()
+		}
+	})
+	run(t, b)
+	if errMsg == "" {
+		t.Fatal("cross-origin worker creation should fail")
+	}
+	// The vulnerable native error leaks the URL (CVE-2014-1487 model).
+	if want := "https://evil.example/w.js"; !contains(errMsg, want) {
+		t.Fatalf("error %q does not leak URL", errMsg)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestFetchCompletesWithLatency(t *testing.T) {
+	b := newTestBrowser(t)
+	b.Net.RegisterScript("https://site.example/data.js", 100_000)
+	var resp *Response
+	var doneAt sim.Time
+	b.RunScript("main", func(g *Global) {
+		g.Fetch("https://site.example/data.js", FetchOptions{}, func(r *Response, err error) {
+			if err != nil {
+				t.Errorf("fetch: %v", err)
+				return
+			}
+			resp = r
+			doneAt = g.Thread().Now()
+		})
+	})
+	run(t, b)
+	if resp == nil {
+		t.Fatal("fetch never completed")
+	}
+	if resp.Opaque || resp.Bytes != 100_000 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if doneAt < 30*sim.Millisecond {
+		t.Fatalf("fetch completed at %v, faster than RTT", doneAt)
+	}
+}
+
+func TestFetchCrossOriginOpaque(t *testing.T) {
+	b := newTestBrowser(t)
+	b.Net.RegisterScript("https://other.example/s.js", 5000)
+	var resp *Response
+	b.RunScript("main", func(g *Global) {
+		g.Fetch("https://other.example/s.js", FetchOptions{}, func(r *Response, err error) {
+			resp = r
+		})
+	})
+	run(t, b)
+	if resp == nil || !resp.Opaque || resp.Bytes != 0 {
+		t.Fatalf("resp = %+v, want opaque with hidden size", resp)
+	}
+}
+
+func TestFetchAbort(t *testing.T) {
+	b := newTestBrowser(t)
+	b.Net.RegisterScript("https://site.example/slow.js", 10_000_000)
+	var gotErr error
+	completed := false
+	b.RunScript("main", func(g *Global) {
+		ctl := g.NewAbortController()
+		g.Fetch("https://site.example/slow.js", FetchOptions{Signal: ctl.Signal()}, func(r *Response, err error) {
+			if err != nil {
+				gotErr = err
+				return
+			}
+			completed = true
+		})
+		g.SetTimeout(func(*Global) { ctl.Abort() }, 5*sim.Millisecond)
+	})
+	run(t, b)
+	if completed {
+		t.Fatal("aborted fetch completed")
+	}
+	if gotErr != ErrAborted {
+		t.Fatalf("err = %v, want ErrAborted", gotErr)
+	}
+}
+
+func TestFetchUnknownURLFails(t *testing.T) {
+	b := newTestBrowser(t)
+	var gotErr error
+	b.RunScript("main", func(g *Global) {
+		g.Fetch("https://site.example/missing.js", FetchOptions{}, func(_ *Response, err error) {
+			gotErr = err
+		})
+	})
+	run(t, b)
+	if gotErr == nil {
+		t.Fatal("fetch of unknown URL should fail")
+	}
+}
+
+func TestXHROriginEnforcementMainVsWorker(t *testing.T) {
+	b := newTestBrowser(t)
+	b.Net.RegisterJSON("https://other.example/secret.json", `{"secret":42}`)
+	var mainErr error
+	var workerBody string
+	b.RegisterWorkerScript("xhr.js", func(g *Global) {
+		body, err := g.XHR("https://other.example/secret.json")
+		if err != nil {
+			t.Errorf("worker XHR (vulnerable path) failed: %v", err)
+			return
+		}
+		workerBody = body
+	})
+	b.RunScript("main", func(g *Global) {
+		_, mainErr = g.XHR("https://other.example/secret.json")
+		if _, err := g.NewWorker("xhr.js"); err != nil {
+			t.Errorf("new worker: %v", err)
+		}
+	})
+	run(t, b)
+	if mainErr == nil {
+		t.Fatal("main-thread cross-origin XHR should be blocked")
+	}
+	if workerBody != `{"secret":42}` {
+		t.Fatalf("worker XHR body = %q; vulnerable native layer should leak it", workerBody)
+	}
+}
+
+func TestImportScriptsLeakyError(t *testing.T) {
+	b := newTestBrowser(t)
+	var leak string
+	b.RegisterWorkerScript("imp.js", func(g *Global) {
+		if err := g.ImportScripts("https://other.example/lib.js"); err != nil {
+			leak = err.Error()
+		}
+	})
+	b.RunScript("main", func(g *Global) {
+		if _, err := g.NewWorker("imp.js"); err != nil {
+			t.Errorf("new worker: %v", err)
+		}
+	})
+	run(t, b)
+	if !contains(leak, "https://other.example/lib.js") {
+		t.Fatalf("importScripts error %q should leak cross-origin URL", leak)
+	}
+}
+
+func TestLoadScriptParseCostScalesWithSize(t *testing.T) {
+	elapsedFor := func(bytes int64) sim.Time {
+		b := newTestBrowser(t)
+		url := "https://cdn.example/f.js"
+		b.Net.RegisterScript(url, bytes)
+		var done sim.Time
+		b.RunScript("main", func(g *Global) {
+			g.LoadScript(url, func(gg *Global) { done = gg.Thread().Now() }, nil)
+		})
+		run(t, b)
+		return done
+	}
+	small, large := elapsedFor(100_000), elapsedFor(8_000_000)
+	if large <= small {
+		t.Fatalf("parse+fetch of 8MB (%v) not slower than 100KB (%v)", large, small)
+	}
+}
+
+func TestLoadImageDecodeCostScalesWithPixels(t *testing.T) {
+	measure := func(w, h int) sim.Time {
+		b := newTestBrowser(t)
+		url := "https://cdn.example/i.png"
+		b.Net.RegisterImage(url, w, h)
+		var el *dom.Element
+		b.RunScript("main", func(g *Global) {
+			g.LoadImage(url, func(gg *Global, loaded *dom.Element) { el = loaded }, nil)
+		})
+		run(t, b)
+		if el == nil {
+			t.Fatal("image element not created")
+		}
+		return b.Sim.Now()
+	}
+	small, large := measure(100, 100), measure(2000, 2000)
+	if large <= small {
+		t.Fatalf("decode of 4MPx (%v) not slower than 10KPx (%v)", large, small)
+	}
+}
+
+func TestSVGFilterCostScalesWithResolution(t *testing.T) {
+	measure := func(w, h int) sim.Time {
+		b := newTestBrowser(t)
+		var elapsed sim.Time
+		b.RunScript("main", func(g *Global) {
+			el := g.Document().CreateElement("img")
+			el.SetAttribute("width", itoa(w))
+			el.SetAttribute("height", itoa(h))
+			start := g.Thread().Now()
+			g.ApplySVGFilter(el, "erode")
+			elapsed = g.Thread().Now() - start
+		})
+		run(t, b)
+		return elapsed
+	}
+	low, high := measure(200, 200), measure(1000, 1000)
+	if high <= low {
+		t.Fatalf("high-res filter (%v) not slower than low-res (%v)", high, low)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestRenderLinkVisitedCost(t *testing.T) {
+	measure := func(visited bool) sim.Time {
+		b := newTestBrowser(t)
+		if visited {
+			b.MarkVisited("https://bank.example/")
+		}
+		var elapsed sim.Time
+		b.RunScript("main", func(g *Global) {
+			start := g.Thread().Now()
+			for i := 0; i < 100; i++ {
+				g.RenderLink("https://bank.example/")
+			}
+			elapsed = g.Thread().Now() - start
+		})
+		run(t, b)
+		return elapsed
+	}
+	unvisited, visited := measure(false), measure(true)
+	if visited <= unvisited {
+		t.Fatalf("visited repaint (%v) not slower than unvisited (%v)", visited, unvisited)
+	}
+}
+
+func TestRenderLinkColor(t *testing.T) {
+	b := newTestBrowser(t)
+	b.MarkVisited("https://a.example/")
+	var vc, uc string
+	b.RunScript("main", func(g *Global) {
+		vc = g.RenderLink("https://a.example/").Style("color")
+		uc = g.RenderLink("https://b.example/").Style("color")
+	})
+	run(t, b)
+	if vc != "purple" || uc != "blue" {
+		t.Fatalf("colors = %q, %q", vc, uc)
+	}
+}
+
+func TestFloatOpsSubnormalSlower(t *testing.T) {
+	measure := func(sub bool) sim.Time {
+		b := newTestBrowser(t)
+		var elapsed sim.Time
+		b.RunScript("main", func(g *Global) {
+			start := g.Thread().Now()
+			g.FloatOps(1_000_000, sub)
+			elapsed = g.Thread().Now() - start
+		})
+		run(t, b)
+		return elapsed
+	}
+	if measure(true) <= measure(false) {
+		t.Fatal("subnormal float ops not slower than normal")
+	}
+}
+
+func TestCSSAnimationTicksAtFramePeriod(t *testing.T) {
+	b := newTestBrowser(t)
+	var ticks []sim.Time
+	b.RunScript("main", func(g *Global) {
+		id := g.StartCSSAnimation(nil, func(gg *Global, frame int) {
+			ticks = append(ticks, gg.Thread().Now())
+		})
+		g.SetTimeout(func(gg *Global) { gg.StopCSSAnimation(id) }, 100*sim.Millisecond)
+	})
+	run(t, b)
+	if len(ticks) < 4 || len(ticks) > 8 {
+		t.Fatalf("got %d animation ticks in 100ms, want ~6", len(ticks))
+	}
+}
+
+func TestPlayVideoCues(t *testing.T) {
+	b := newTestBrowser(t)
+	cues := 0
+	b.RunScript("main", func(g *Global) {
+		stop := g.PlayVideo(func(*Global, int) { cues++ })
+		g.SetTimeout(func(*Global) { stop() }, 550*sim.Millisecond)
+	})
+	run(t, b)
+	if cues < 4 || cues > 6 {
+		t.Fatalf("got %d cues in 550ms at 100ms period, want ~5", cues)
+	}
+}
+
+func TestSharedBufferReadWrite(t *testing.T) {
+	b := newTestBrowser(t)
+	var got int64
+	b.RunScript("main", func(g *Global) {
+		buf := g.NewSharedBuffer(4)
+		if err := g.SharedBufferWrite(buf, 2, 99); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		v, err := g.SharedBufferRead(buf, 2)
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got = v
+		if _, err := g.SharedBufferRead(buf, 9); err == nil {
+			t.Error("out-of-range read should fail")
+		}
+	})
+	run(t, b)
+	if got != 99 {
+		t.Fatalf("read %d, want 99", got)
+	}
+}
+
+func TestTransferableUseAfterFree(t *testing.T) {
+	b := newTestBrowser(t)
+	var uafErr error
+	var handle Worker
+	b.RegisterWorkerScript("transfer.js", func(g *Global) {
+		buf := g.NewSharedBuffer(8)
+		if err := g.TransferToParent("here", buf); err != nil {
+			t.Errorf("transfer: %v", err)
+		}
+	})
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("transfer.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		handle = w
+		w.SetOnMessage(func(gg *Global, m MessageEvent) {
+			buf := m.Transfer
+			// Terminate the original owner, then touch the buffer.
+			handle.Terminate()
+			_, uafErr = gg.SharedBufferRead(buf, 0)
+		})
+	})
+	run(t, b)
+	if uafErr == nil {
+		t.Fatal("use of buffer after owner termination should fail (freed)")
+	}
+}
+
+func TestIndexedDBPersistsInPrivateMode(t *testing.T) {
+	s := sim.New(1)
+	b := New(s, Options{PrivateMode: true})
+	b.Origin = "https://site.example"
+	b.RunScript("main", func(g *Global) {
+		store, err := g.IndexedDBOpen("fp-store")
+		if err != nil {
+			t.Errorf("open: %v", err)
+			return
+		}
+		if err := store.Put("id", "fingerprint"); err != nil {
+			t.Errorf("put: %v", err)
+		}
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Vulnerable native behaviour: the private-mode write persisted.
+	stores := b.PersistedStores()
+	if len(stores) != 1 || stores[0] != "fp-store" {
+		t.Fatalf("persisted = %v, want the private-mode store (vulnerable native layer)", stores)
+	}
+}
+
+func TestRedefineAndFreeze(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RunScript("main", func(g *Global) {
+		orig := g.Bindings().PerformanceNow
+		err := g.Redefine(func(bn *Bindings) {
+			bn.PerformanceNow = func() float64 { return 0 }
+		})
+		if err != nil {
+			t.Errorf("redefine before freeze: %v", err)
+		}
+		if g.PerformanceNow() != 0 {
+			t.Error("redefinition not effective")
+		}
+		g.Bindings().PerformanceNow = orig
+		g.Freeze()
+		if err := g.Redefine(func(bn *Bindings) { bn.PerformanceNow = nil }); err == nil {
+			t.Error("redefine after freeze should fail")
+		}
+		if !g.Frozen() {
+			t.Error("Frozen() = false after Freeze")
+		}
+	})
+	run(t, b)
+}
+
+type recordingTracer struct {
+	events []TraceEvent
+}
+
+func (r *recordingTracer) Trace(ev TraceEvent) { r.events = append(r.events, ev) }
+
+func (r *recordingTracer) kinds() map[TraceKind]int {
+	m := make(map[TraceKind]int)
+	for _, ev := range r.events {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+func TestTraceEventsEmitted(t *testing.T) {
+	b := newTestBrowser(t)
+	tr := &recordingTracer{}
+	b.AddTracer(tr)
+	b.RegisterWorkerScript("w.js", func(g *Global) {
+		g.SetOnMessage(func(gg *Global, m MessageEvent) { gg.PostMessage("pong") })
+	})
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("w.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(*Global, MessageEvent) {})
+		w.PostMessage("ping")
+		g.SetTimeout(func(*Global) { w.Terminate() }, 50*sim.Millisecond)
+	})
+	run(t, b)
+	k := tr.kinds()
+	for _, want := range []TraceKind{
+		TraceWorkerCreated, TraceWorkerReady, TracePostMessage,
+		TraceMessageDelivered, TraceOnMessageSet, TraceWorkerTerminated,
+	} {
+		if k[want] == 0 {
+			t.Errorf("no %v event traced; kinds = %v", want, k)
+		}
+	}
+}
+
+func TestOrphanedFetchAbortTraced(t *testing.T) {
+	// The full CVE-2018-5092 native sequence: worker fetch pending, worker
+	// terminated, abort fired → FetchAbort with detail "orphaned".
+	b := newTestBrowser(t)
+	tr := &recordingTracer{}
+	b.AddTracer(tr)
+	b.Net.RegisterScript("https://site.example/file0.html", 5_000_000)
+	var ctl *AbortController
+	b.RegisterWorkerScript("fetcher.js", func(g *Global) {
+		ctl = g.NewAbortController()
+		g.Fetch("https://site.example/file0.html", FetchOptions{Signal: ctl.Signal()}, func(*Response, error) {})
+		g.PostMessage("fetch-started")
+	})
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("fetcher.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(gg *Global, _ MessageEvent) {
+			w.Terminate() // false termination while fetch pending
+			ctl.Abort()   // abort into freed state
+		})
+	})
+	run(t, b)
+	found := false
+	for _, ev := range tr.events {
+		if ev.Kind == TraceFetchAbort && ev.Detail == "orphaned" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no orphaned-abort trace; events: %+v", tr.kinds())
+	}
+}
+
+func TestThreadsListedAndTerminatedExcluded(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RegisterWorkerScript("w.js", func(g *Global) {})
+	b.RunScript("main", func(g *Global) {
+		w, err := g.NewWorker("w.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		if len(b.Threads()) != 2 {
+			t.Errorf("threads = %d, want 2", len(b.Threads()))
+		}
+		w.Terminate()
+		if len(b.Threads()) != 1 {
+			t.Errorf("threads after terminate = %d, want 1", len(b.Threads()))
+		}
+	})
+	run(t, b)
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"chrome", "firefox", "edge"} {
+		if got := ProfileByName(name).Name; got != name {
+			t.Errorf("ProfileByName(%q).Name = %q", name, got)
+		}
+	}
+	if ProfileByName("netscape").Name != "chrome" {
+		t.Error("unknown profile should default to chrome")
+	}
+}
+
+func TestWorkerScopeCannotTouchDocument(t *testing.T) {
+	b := newTestBrowser(t)
+	var isNil bool
+	b.RegisterWorkerScript("w.js", func(g *Global) { isNil = g.Document() == nil })
+	b.RunScript("main", func(g *Global) {
+		if _, err := g.NewWorker("w.js"); err != nil {
+			t.Errorf("new worker: %v", err)
+		}
+	})
+	run(t, b)
+	if !isNil {
+		t.Fatal("worker scope should have no document")
+	}
+}
+
+func TestUnknownWorkerScriptErrors(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RunScript("main", func(g *Global) {
+		if _, err := g.NewWorker("missing.js"); err == nil {
+			t.Error("unknown worker script should error")
+		}
+	})
+	run(t, b)
+}

@@ -1,0 +1,200 @@
+package browser
+
+import (
+	"testing"
+
+	"jskernel/internal/sim"
+)
+
+func TestCreateFrameBasics(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("https://widget.example")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		if !f.Attached() || f.Origin() != "https://widget.example" {
+			t.Errorf("frame state: attached=%v origin=%q", f.Attached(), f.Origin())
+		}
+		if f.Scope() == g {
+			t.Error("frame scope must be distinct from the window scope")
+		}
+		if f.Scope().Thread() != g.Thread() {
+			t.Error("frame must share the main thread")
+		}
+		if !f.Scope().IsFrameScope() || f.Scope().FrameOrigin() != "https://widget.example" {
+			t.Error("frame scope not marked as frame")
+		}
+		if f.Scope().Document() == g.Document() {
+			t.Error("frame must have its own document")
+		}
+		// The embedding shows in the parent DOM.
+		if g.Document().CountByTag("iframe") != 1 {
+			t.Error("iframe element missing from parent document")
+		}
+	})
+	run(t, b)
+}
+
+func TestFrameDefaultsToParentOrigin(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		if f.Origin() != b.Origin {
+			t.Errorf("origin = %q, want parent origin", f.Origin())
+		}
+	})
+	run(t, b)
+}
+
+func TestCreateFrameRejectsWorkersAndBadOrigins(t *testing.T) {
+	b := newTestBrowser(t)
+	b.RegisterWorkerScript("w.js", func(g *Global) {
+		if _, err := g.CreateFrame("https://x.example"); err == nil {
+			t.Error("worker scope should not create frames")
+		}
+	})
+	b.RunScript("main", func(g *Global) {
+		if _, err := g.NewWorker("w.js"); err != nil {
+			t.Errorf("worker: %v", err)
+		}
+		if _, err := g.CreateFrame("not-a-url"); err == nil {
+			t.Error("invalid origin should be rejected")
+		}
+	})
+	run(t, b)
+}
+
+func TestFrameMessagingRoundTrip(t *testing.T) {
+	b := newTestBrowser(t)
+	var frameGot any
+	var parentGot any
+	var parentOrigin string
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("https://widget.example")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		f.RunScript("widget", func(fg *Global) {
+			fg.SetOnMessage(func(_ *Global, m MessageEvent) {
+				frameGot = m.Data
+				fg.PostMessage("pong") // frame → parent window
+			})
+		})
+		g.SetOnMessage(func(_ *Global, m MessageEvent) {
+			parentGot = m.Data
+			parentOrigin = m.Origin
+		})
+		f.PostMessage("ping", "https://widget.example")
+	})
+	run(t, b)
+	if frameGot != "ping" {
+		t.Fatalf("frame got %v", frameGot)
+	}
+	if parentGot != "pong" {
+		t.Fatalf("parent got %v", parentGot)
+	}
+	if parentOrigin != "https://widget.example" {
+		t.Fatalf("parent saw origin %q (event.origin semantics)", parentOrigin)
+	}
+}
+
+func TestFrameTargetOriginFiltering(t *testing.T) {
+	b := newTestBrowser(t)
+	delivered := 0
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("https://widget.example")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		f.RunScript("widget", func(fg *Global) {
+			fg.SetOnMessage(func(*Global, MessageEvent) { delivered++ })
+		})
+		f.PostMessage("a", "https://other.example") // mis-targeted: dropped
+		f.PostMessage("b", "https://widget.example")
+		f.PostMessage("c", "*")
+	})
+	run(t, b)
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want 2 (mis-targeted message dropped)", delivered)
+	}
+}
+
+func TestFrameMessagesBeforeHandlerQueued(t *testing.T) {
+	b := newTestBrowser(t)
+	got := 0
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("https://w.example")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		f.PostMessage(1, "*")
+		f.PostMessage(2, "*")
+		// Handler installed later; parked messages must drain.
+		g.SetTimeout(func(*Global) {
+			f.RunScript("late", func(fg *Global) {
+				fg.SetOnMessage(func(*Global, MessageEvent) { got++ })
+			})
+		}, 10*sim.Millisecond)
+	})
+	run(t, b)
+	if got != 2 {
+		t.Fatalf("drained %d parked frame messages, want 2", got)
+	}
+}
+
+func TestFrameRemoveTearsDown(t *testing.T) {
+	b := newTestBrowser(t)
+	delivered := 0
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("https://w.example")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		f.RunScript("widget", func(fg *Global) {
+			fg.SetOnMessage(func(*Global, MessageEvent) { delivered++ })
+		})
+		g.SetTimeout(func(*Global) {
+			f.Remove()
+			if f.Attached() {
+				t.Error("frame still attached after Remove")
+			}
+			f.PostMessage("late", "*") // dropped
+			f.RunScript("dead", func(*Global) { delivered += 100 })
+			f.Remove() // idempotent
+		}, 10*sim.Millisecond)
+	})
+	run(t, b)
+	if delivered != 0 {
+		t.Fatalf("delivered = %d after removal, want 0", delivered)
+	}
+}
+
+func TestFrameClockAndTimersWork(t *testing.T) {
+	b := newTestBrowser(t)
+	fired := false
+	b.RunScript("main", func(g *Global) {
+		f, err := g.CreateFrame("https://w.example")
+		if err != nil {
+			t.Errorf("create frame: %v", err)
+			return
+		}
+		f.RunScript("widget", func(fg *Global) {
+			_ = fg.PerformanceNow()
+			fg.SetTimeout(func(*Global) { fired = true }, 3*sim.Millisecond)
+		})
+	})
+	run(t, b)
+	if !fired {
+		t.Fatal("frame timer never fired")
+	}
+}

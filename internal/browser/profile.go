@@ -1,0 +1,126 @@
+// Package browser implements the simulated multi-threaded web browser that
+// JSKernel interposes on: per-thread event loops on virtual time, timers,
+// message channels, workers, a renderer cost model, fetch/XHR, and the
+// feature surface (SharedArrayBuffer, IndexedDB, CSS animation, video cues)
+// the paper's attacks exercise.
+//
+// The browser plays the role the paper's real Chrome/Firefox/Edge played:
+// the "native layer" underneath the kernel. Scripts are Go closures that
+// receive a *Global — the JavaScript global object — whose bindings table a
+// defense can redefine, trap, or stub exactly as the paper's kernel does
+// with the JS Proxy/setter machinery.
+package browser
+
+import "jskernel/internal/sim"
+
+// Profile is a browser engine's cost model. Three profiles approximate the
+// relative behaviour of the paper's Chrome, Firefox, and Edge: absolute
+// values are synthetic, but ordering (e.g. Edge's slower renderer, Firefox's
+// coarser event loop) follows Table II of the paper.
+type Profile struct {
+	Name string
+
+	// Event loop and timers.
+	TimerClampMin  sim.Duration // minimum setTimeout delay
+	TaskDispatch   sim.Duration // fixed overhead per task dispatch
+	MessageLatency sim.Duration // postMessage cross-thread delivery latency
+	FramePeriod    sim.Duration // rAF / CSS animation frame interval
+
+	// Clock characteristics.
+	PerfNowGranularity sim.Duration // performance.now quantization
+
+	// Thread management.
+	WorkerSpawnCost sim.Duration // time to create a worker thread
+	FrameCreateCost sim.Duration // time to embed an iframe context
+
+	// Renderer / engine costs. These carry the secrets timing attacks
+	// steal: script parse scales with bytes, decode and filters with pixels.
+	ScriptParsePerKB  sim.Duration
+	ImageDecodePerKPx sim.Duration
+	SVGFilterPerKPx   sim.Duration
+	SVGFilterBase     sim.Duration
+	DOMAppend         sim.Duration
+	DOMAttrAccess     sim.Duration // one getAttribute/setAttribute call
+	LayoutPerElement  sim.Duration
+	LinkRepaintBase   sim.Duration
+	VisitedRepaint    sim.Duration // extra repaint work for :visited links
+	BusyLoopPerIter   sim.Duration // one i++ iteration
+	FloatOpNormal     sim.Duration
+	FloatOpSubnormal  sim.Duration // subnormal floats are much slower
+	VideoCuePeriod    sim.Duration // WebVTT cue firing interval
+}
+
+// ChromeProfile models a Blink-like engine: fine clocks, fast dispatch.
+func ChromeProfile() Profile {
+	return Profile{
+		Name:               "chrome",
+		TimerClampMin:      1 * sim.Millisecond,
+		TaskDispatch:       4 * sim.Microsecond,
+		MessageLatency:     12 * sim.Microsecond,
+		FramePeriod:        16_667 * sim.Microsecond,
+		PerfNowGranularity: 5 * sim.Microsecond,
+		WorkerSpawnCost:    550 * sim.Microsecond,
+		FrameCreateCost:    900 * sim.Microsecond,
+		ScriptParsePerKB:   1300 * sim.Nanosecond,
+		ImageDecodePerKPx:  18 * sim.Microsecond,
+		SVGFilterPerKPx:    26 * sim.Microsecond,
+		SVGFilterBase:      2 * sim.Millisecond,
+		DOMAppend:          2 * sim.Microsecond,
+		DOMAttrAccess:      240 * sim.Nanosecond,
+		LayoutPerElement:   400 * sim.Nanosecond,
+		LinkRepaintBase:    60 * sim.Microsecond,
+		VisitedRepaint:     45 * sim.Microsecond,
+		BusyLoopPerIter:    3 * sim.Nanosecond,
+		FloatOpNormal:      8 * sim.Nanosecond,
+		FloatOpSubnormal:   110 * sim.Nanosecond,
+		VideoCuePeriod:     100 * sim.Millisecond,
+	}
+}
+
+// FirefoxProfile models a Gecko-like engine: 1ms clock quantization, a
+// coarser event loop (visible in the paper's Loopscan column), slightly
+// cheaper SVG filtering.
+func FirefoxProfile() Profile {
+	p := ChromeProfile()
+	p.Name = "firefox"
+	p.TaskDispatch = 9 * sim.Microsecond
+	p.MessageLatency = 40 * sim.Microsecond
+	p.PerfNowGranularity = 1 * sim.Millisecond
+	p.WorkerSpawnCost = 800 * sim.Microsecond
+	p.ScriptParsePerKB = 1500 * sim.Nanosecond
+	p.SVGFilterPerKPx = 22 * sim.Microsecond
+	p.ImageDecodePerKPx = 21 * sim.Microsecond
+	p.LinkRepaintBase = 80 * sim.Microsecond
+	p.BusyLoopPerIter = 4 * sim.Nanosecond
+	return p
+}
+
+// EdgeProfile models an EdgeHTML-like engine: slowest renderer of the
+// three, matching Edge's larger SVG-filter times in Table II.
+func EdgeProfile() Profile {
+	p := ChromeProfile()
+	p.Name = "edge"
+	p.TaskDispatch = 7 * sim.Microsecond
+	p.MessageLatency = 25 * sim.Microsecond
+	p.PerfNowGranularity = 1 * sim.Millisecond
+	p.WorkerSpawnCost = 900 * sim.Microsecond
+	p.ScriptParsePerKB = 1900 * sim.Nanosecond
+	p.SVGFilterPerKPx = 38 * sim.Microsecond
+	p.SVGFilterBase = 4 * sim.Millisecond
+	p.ImageDecodePerKPx = 26 * sim.Microsecond
+	p.BusyLoopPerIter = 5 * sim.Nanosecond
+	return p
+}
+
+// ProfileByName returns the profile for a browser name, defaulting to
+// Chrome for unknown names.
+func ProfileByName(name string) Profile {
+	switch name {
+	case "firefox":
+		return FirefoxProfile()
+	case "edge":
+		return EdgeProfile()
+	default:
+		return ChromeProfile()
+	}
+}

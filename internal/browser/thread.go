@@ -1,0 +1,202 @@
+package browser
+
+import (
+	"sort"
+
+	"jskernel/internal/sim"
+)
+
+// task is one unit of work queued on a thread's event loop.
+type task struct {
+	arrival sim.Time
+	seq     uint64
+	name    string
+	fn      func(g *Global)
+}
+
+// Thread is one browser thread — the main thread or a web worker — with a
+// serial event loop multiplexed onto the simulator. A thread executes one
+// task at a time; while a task runs, the thread's virtual cursor advances
+// with each costed operation, and queued tasks wait until the cursor's
+// final position (the task's completion time).
+type Thread struct {
+	b      *Browser
+	id     int
+	name   string
+	isMain bool
+
+	pending   []*task
+	seq       uint64
+	running   bool
+	busyUntil sim.Time
+	cursor    sim.Time
+	wakeup    sim.EventID
+	hasWakeup bool
+
+	global     *Global
+	terminated bool
+
+	// onMessage is the native message handler slot. Defenses trap the
+	// setter; this field holds whatever the effective handler is.
+	onMessage func(g *Global, m MessageEvent)
+	// onError is the native error handler slot (worker onerror).
+	onError func(g *Global, err *WorkerError)
+	// inbox holds messages delivered before a handler was installed.
+	inbox []MessageEvent
+
+	// tasksExecuted counts dispatched tasks (loopscan instrumentation).
+	tasksExecuted int
+}
+
+// ID returns the thread's unique id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// IsMain reports whether this is the browser's main thread.
+func (t *Thread) IsMain() bool { return t.isMain }
+
+// Terminated reports whether the thread has been terminated.
+func (t *Thread) Terminated() bool { return t.terminated }
+
+// Global returns the thread's global object (its JS scope).
+func (t *Thread) Global() *Global { return t.global }
+
+// TasksExecuted reports how many tasks the loop has dispatched.
+func (t *Thread) TasksExecuted() int { return t.tasksExecuted }
+
+// Now returns the thread's current virtual time: the in-task cursor while
+// executing, otherwise the later of simulator time and the loop's busy
+// horizon.
+func (t *Thread) Now() sim.Time {
+	if t.running {
+		return t.cursor
+	}
+	if t.busyUntil > t.b.Sim.Now() {
+		return t.busyUntil
+	}
+	return t.b.Sim.Now()
+}
+
+// PostTask enqueues fn to run on this thread no earlier than `at`. Tasks
+// run in (arrival, insertion) order, one at a time.
+func (t *Thread) PostTask(at sim.Time, name string, fn func(g *Global)) {
+	if t.terminated || fn == nil {
+		return
+	}
+	t.seq++
+	tk := &task{arrival: at, seq: t.seq, name: name, fn: fn}
+	// Insert keeping (arrival, seq) order.
+	i := sort.Search(len(t.pending), func(i int) bool {
+		p := t.pending[i]
+		if p.arrival != tk.arrival {
+			return p.arrival > tk.arrival
+		}
+		return p.seq > tk.seq
+	})
+	t.pending = append(t.pending, nil)
+	copy(t.pending[i+1:], t.pending[i:])
+	t.pending[i] = tk
+	t.pump()
+}
+
+// QueueDepth reports the number of tasks waiting to run.
+func (t *Thread) QueueDepth() int { return len(t.pending) }
+
+// pump (re)schedules the loop's next dispatch. Called whenever the queue or
+// busy state changes.
+func (t *Thread) pump() {
+	if t.running || t.terminated || len(t.pending) == 0 {
+		return
+	}
+	head := t.pending[0]
+	startAt := head.arrival
+	if t.busyUntil > startAt {
+		startAt = t.busyUntil
+	}
+	if now := t.b.Sim.Now(); now > startAt {
+		startAt = now
+	}
+	if t.hasWakeup {
+		t.b.Sim.Cancel(t.wakeup)
+	}
+	t.wakeup = t.b.Sim.Schedule(startAt, "loop:"+t.name, t.dispatchOne)
+	t.hasWakeup = true
+}
+
+// dispatchOne pops and runs the head task.
+func (t *Thread) dispatchOne() {
+	t.hasWakeup = false
+	if t.terminated || len(t.pending) == 0 {
+		return
+	}
+	head := t.pending[0]
+	t.pending = t.pending[1:]
+	t.running = true
+	t.cursor = t.b.Sim.Now()
+	t.cursor += t.b.Profile.TaskDispatch
+	t.tasksExecuted++
+	head.fn(t.global)
+	t.global.drainMicrotasks()
+	t.running = false
+	t.busyUntil = t.cursor
+	t.pump()
+}
+
+// advance moves the in-task cursor forward by a cost. Calling it outside a
+// task (e.g. from harness code) pushes the busy horizon instead, modeling
+// synchronous work between events.
+func (t *Thread) advance(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	if t.running {
+		t.cursor += d
+		return
+	}
+	now := t.Now()
+	t.busyUntil = now + d
+	t.pump()
+}
+
+// terminate tears the thread down, dropping queued tasks.
+func (t *Thread) terminate() {
+	if t.terminated {
+		return
+	}
+	t.terminated = true
+	t.pending = nil
+	if t.hasWakeup {
+		t.b.Sim.Cancel(t.wakeup)
+		t.hasWakeup = false
+	}
+}
+
+// deliverMessage hands a message event to the thread's handler, or parks it
+// in the inbox until one is installed.
+func (t *Thread) deliverMessage(m MessageEvent) {
+	if t.terminated {
+		return
+	}
+	if t.onMessage == nil {
+		t.inbox = append(t.inbox, m)
+		return
+	}
+	h := t.onMessage
+	h(t.global, m)
+}
+
+// setOnMessage installs the native message handler and drains the inbox.
+func (t *Thread) setOnMessage(h func(g *Global, m MessageEvent)) {
+	t.onMessage = h
+	if h == nil || len(t.inbox) == 0 {
+		return
+	}
+	queued := t.inbox
+	t.inbox = nil
+	for _, m := range queued {
+		m := m
+		t.PostTask(t.Now(), "inbox-drain", func(g *Global) { h(g, m) })
+	}
+}

@@ -1,0 +1,123 @@
+package browser
+
+import "jskernel/internal/sim"
+
+// TraceKind identifies what happened at the browser's native layer. The
+// vulnerability registry (internal/vuln) consumes these events to detect
+// whether a CVE's triggering sequence was reached — post-interposition, so
+// a kernel policy that rewrites or suppresses the native calls prevents the
+// trigger from ever appearing in the trace.
+type TraceKind int
+
+// Trace kinds emitted by the native layer.
+const (
+	TraceWorkerCreated TraceKind = iota + 1
+	TraceWorkerReady
+	TraceWorkerTerminated
+	TraceWorkerError
+	TracePostMessage
+	TraceOnMessageSet
+	TraceMessageDelivered
+	TraceFetchStart
+	TraceFetchDone
+	TraceFetchAbort
+	TraceXHR
+	TraceImportScripts
+	TraceTransferable
+	TraceIndexedDBOpen
+	TraceIndexedDBPut
+	TraceDocumentTeardown
+	TraceNavigationError
+	TraceSharedBufferOp
+)
+
+// String names the trace kind for diagnostics.
+func (k TraceKind) String() string {
+	names := map[TraceKind]string{
+		TraceWorkerCreated:    "worker-created",
+		TraceWorkerReady:      "worker-ready",
+		TraceWorkerTerminated: "worker-terminated",
+		TraceWorkerError:      "worker-error",
+		TracePostMessage:      "post-message",
+		TraceOnMessageSet:     "onmessage-set",
+		TraceMessageDelivered: "message-delivered",
+		TraceFetchStart:       "fetch-start",
+		TraceFetchDone:        "fetch-done",
+		TraceFetchAbort:       "fetch-abort",
+		TraceXHR:              "xhr",
+		TraceImportScripts:    "import-scripts",
+		TraceTransferable:     "transferable",
+		TraceIndexedDBOpen:    "indexeddb-open",
+		TraceIndexedDBPut:     "indexeddb-put",
+		TraceDocumentTeardown: "document-teardown",
+		TraceNavigationError:  "navigation-error",
+		TraceSharedBufferOp:   "shared-buffer-op",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// TraceEvent is one native-layer occurrence.
+type TraceEvent struct {
+	Kind     TraceKind
+	At       sim.Time
+	ThreadID int    // thread on which the event occurred
+	WorkerID int    // worker involved, when applicable (0 = none)
+	URL      string // resource involved, when applicable
+	Detail   string // free-form qualifier (e.g. "pending", "private-mode")
+	Value    int64  // numeric payload (e.g. fetch ID, buffer ID)
+}
+
+// Tracer observes native-layer events. Implementations must not retain the
+// event past the call.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// Recorder is a Tracer that retains every native-layer event, for
+// offline analysis (e.g. the policy synthesizer) and debugging.
+type Recorder struct {
+	events []TraceEvent
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(ev TraceEvent) { r.events = append(r.events, ev) }
+
+// Events returns a copy of the recorded trace.
+func (r *Recorder) Events() []TraceEvent {
+	out := make([]TraceEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Reset clears the recording.
+func (r *Recorder) Reset() { r.events = nil }
+
+// multiTracer fans a trace out to several tracers.
+type multiTracer []Tracer
+
+func (m multiTracer) Trace(ev TraceEvent) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// trace emits a native-layer event if a tracer is installed. Events carry
+// the simulator clock unless the emitter already stamped a finer in-task
+// cursor time.
+func (b *Browser) trace(ev TraceEvent) {
+	if b.tracer == nil {
+		return
+	}
+	if ev.At == 0 {
+		ev.At = b.Sim.Now()
+	}
+	b.tracer.Trace(ev)
+}

@@ -1,0 +1,232 @@
+// Package defense configures the seven browser defenses the paper
+// evaluates side by side (Tables I–III, Figures 2–3): the three legacy
+// browsers, Fuzzyfox, DeterFox, Tor Browser, Chrome Zero, and JSKernel.
+//
+// Each Defense value knows how to build a ready-to-use environment — a
+// simulator, a configured browser, and an armed vulnerability registry —
+// so experiments can run any (attack, defense) pair uniformly.
+package defense
+
+import (
+	"fmt"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+	"jskernel/internal/vuln"
+	"jskernel/internal/webnet"
+)
+
+// Kind enumerates the defense mechanisms.
+type Kind int
+
+// Defense mechanisms.
+const (
+	KindLegacy Kind = iota + 1
+	KindFuzzyfox
+	KindDeterFox
+	KindTorBrowser
+	KindChromeZero
+	KindJSKernel
+)
+
+// Defense is one evaluated configuration.
+type Defense struct {
+	// ID is a stable machine-readable identifier ("jskernel-chrome").
+	ID string
+	// Label is the column header used in tables ("JSKernel (C)").
+	Label string
+	// Base names the underlying browser profile.
+	Base string
+	// Kind selects the mechanism.
+	Kind Kind
+	// Policy overrides the kernel policy for KindJSKernel defenses (nil
+	// means the full defense policy). Ablation studies use it to sweep
+	// scheduling parameters and rule subsets.
+	Policy kernel.Policy
+}
+
+// EnvOptions tunes environment construction.
+type EnvOptions struct {
+	Seed        int64
+	PrivateMode bool
+	// NetConfig overrides the default network model when non-nil.
+	NetConfig *webnet.Config
+	// MaxSteps bounds the simulation (default 20M).
+	MaxSteps uint64
+}
+
+// Env is a ready-to-run environment: one browser under one defense.
+type Env struct {
+	Defense  Defense
+	Sim      *sim.Simulator
+	Browser  *browser.Browser
+	Registry *vuln.Registry
+	// Kernel is non-nil for kernel-based defenses (JSKernel, DeterFox).
+	Kernel *kernel.Shared
+}
+
+// NewEnv builds an environment for this defense.
+func (d Defense) NewEnv(opts EnvOptions) *Env {
+	s := sim.New(opts.Seed)
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 20_000_000
+	}
+	s.MaxSteps = opts.MaxSteps
+
+	cfg := webnet.DefaultConfig()
+	if opts.NetConfig != nil {
+		cfg = *opts.NetConfig
+	}
+	if d.Kind == KindTorBrowser {
+		// Tor routes traffic through a three-hop circuit: latency and
+		// bandwidth degrade, which dominates its Figure 3 curve.
+		cfg.RTT *= 4
+		cfg.BytesPerSec /= 3
+		cfg.JitterFrac *= 3
+	}
+	net := webnet.New(cfg, s.Rand())
+	reg := vuln.NewRegistry()
+
+	bopts := browser.Options{
+		Profile:     browser.ProfileByName(d.Base),
+		Net:         net,
+		PrivateMode: opts.PrivateMode,
+		Tracer:      reg,
+	}
+
+	var shared *kernel.Shared
+	switch d.Kind {
+	case KindLegacy:
+		// Unmodified browser.
+	case KindJSKernel:
+		p := d.Policy
+		if p == nil {
+			p = policy.FullDefense()
+		}
+		shared = kernel.NewShared(p)
+		bopts.InstallScope = shared.Install
+	case KindDeterFox:
+		// DeterFox applies the same deterministic scheduling discipline in
+		// the browser source itself, stepping its deterministic clock at a
+		// coarser per-frame granularity; it carries no CVE policies, so
+		// the web-concurrency CVE rows stay exploitable.
+		p := policy.Deterministic()
+		p.PolicyName = "deterfox-determinism"
+		p.QuantumMicros = 4000
+		shared = kernel.NewShared(p)
+		bopts.InstallScope = shared.Install
+	case KindFuzzyfox:
+		bopts.InstallScope = fuzzyfoxInstall(s)
+	case KindTorBrowser:
+		bopts.InstallScope = torInstall
+	case KindChromeZero:
+		bopts.InstallScope = chromeZeroInstall(s)
+	}
+
+	b := browser.New(s, bopts)
+	b.Origin = "https://site.example"
+	return &Env{Defense: d, Sim: s, Browser: b, Registry: reg, Kernel: shared}
+}
+
+// Catalog construction -------------------------------------------------
+
+// Chrome, Firefox and Edge are the unmodified "Legacy Three".
+func Chrome() Defense {
+	return Defense{ID: "chrome", Label: "Chrome", Base: "chrome", Kind: KindLegacy}
+}
+
+// Firefox is the legacy Firefox profile.
+func Firefox() Defense {
+	return Defense{ID: "firefox", Label: "Firefox", Base: "firefox", Kind: KindLegacy}
+}
+
+// Edge is the legacy Edge profile.
+func Edge() Defense {
+	return Defense{ID: "edge", Label: "Edge", Base: "edge", Kind: KindLegacy}
+}
+
+// Fuzzyfox randomizes clocks and event pacing (Kohlbrenner & Shacham).
+func Fuzzyfox() Defense {
+	return Defense{ID: "fuzzyfox", Label: "Fuzzyfox", Base: "firefox", Kind: KindFuzzyfox}
+}
+
+// DeterFox enforces deterministic cross-origin timing in the browser
+// source (Cao et al.); Firefox-only, no CVE policies.
+func DeterFox() Defense {
+	return Defense{ID: "deterfox", Label: "DeterFox", Base: "firefox", Kind: KindDeterFox}
+}
+
+// TorBrowser coarsens explicit clocks to 100ms.
+func TorBrowser() Defense {
+	return Defense{ID: "tor", Label: "Tor Browser", Base: "firefox", Kind: KindTorBrowser}
+}
+
+// ChromeZero redefines timing APIs with fuzz and replaces workers with a
+// non-parallel polyfill (Schwarz et al.).
+func ChromeZero() Defense {
+	return Defense{ID: "chromezero", Label: "Chrome Zero", Base: "chrome", Kind: KindChromeZero}
+}
+
+// JSKernel is the paper's defense on a given base browser.
+func JSKernel(base string) Defense {
+	return Defense{
+		ID:    "jskernel-" + base,
+		Label: fmt.Sprintf("JSKernel (%s)", base),
+		Base:  base,
+		Kind:  KindJSKernel,
+	}
+}
+
+// JSKernelWithPolicy is a JSKernel variant running a custom policy, for
+// ablation studies and synthesized-policy evaluation.
+func JSKernelWithPolicy(base, id string, p kernel.Policy) Defense {
+	return Defense{
+		ID:     id,
+		Label:  fmt.Sprintf("JSKernel[%s]", id),
+		Base:   base,
+		Kind:   KindJSKernel,
+		Policy: p,
+	}
+}
+
+// TableIDefenses returns the seven columns of Table I in paper order:
+// the Legacy Three (as one logical column each), Fuzzyfox, DeterFox,
+// Tor Browser, Chrome Zero and JSKernel.
+func TableIDefenses() []Defense {
+	return []Defense{
+		Chrome(), Firefox(), Edge(),
+		Fuzzyfox(), DeterFox(), TorBrowser(), ChromeZero(),
+		JSKernel("chrome"),
+	}
+}
+
+// TableIIDefenses returns the seven rows of Table II in paper order.
+func TableIIDefenses() []Defense {
+	return []Defense{
+		Chrome(), Firefox(), Edge(),
+		Fuzzyfox(), TorBrowser(), ChromeZero(),
+		JSKernel("chrome"),
+	}
+}
+
+// Figure3Defenses returns the CDF series of Figure 3 in legend order.
+func Figure3Defenses() []Defense {
+	return []Defense{
+		Chrome(), JSKernel("chrome"), ChromeZero(),
+		Firefox(), JSKernel("firefox"),
+		DeterFox(), TorBrowser(), Fuzzyfox(),
+	}
+}
+
+// ByID resolves a defense from its identifier.
+func ByID(id string) (Defense, error) {
+	all := append(TableIDefenses(), JSKernel("firefox"), JSKernel("edge"))
+	for _, d := range all {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Defense{}, fmt.Errorf("defense: unknown id %q", id)
+}

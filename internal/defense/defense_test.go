@@ -1,0 +1,327 @@
+package defense
+
+import (
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/dom"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+)
+
+func TestCatalogIDsUniqueAndResolvable(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range TableIDefenses() {
+		if seen[d.ID] {
+			t.Errorf("duplicate defense id %q", d.ID)
+		}
+		seen[d.ID] = true
+		got, err := ByID(d.ID)
+		if err != nil {
+			t.Errorf("ByID(%q): %v", d.ID, err)
+			continue
+		}
+		if got.Label != d.Label {
+			t.Errorf("ByID(%q) label mismatch", d.ID)
+		}
+	}
+	if _, err := ByID("netscape"); err == nil {
+		t.Error("unknown defense should error")
+	}
+}
+
+func TestNewEnvBasics(t *testing.T) {
+	for _, d := range TableIDefenses() {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			env := d.NewEnv(EnvOptions{Seed: 1})
+			if env.Browser == nil || env.Sim == nil || env.Registry == nil {
+				t.Fatal("incomplete env")
+			}
+			if env.Browser.Profile.Name != d.Base {
+				t.Fatalf("profile = %s, want %s", env.Browser.Profile.Name, d.Base)
+			}
+			ran := false
+			env.Browser.RunScript("probe", func(g *browser.Global) {
+				ran = true
+				_ = g.PerformanceNow()
+				g.SetTimeout(func(*browser.Global) {}, sim.Millisecond)
+			})
+			if err := env.Browser.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !ran {
+				t.Fatal("script did not run")
+			}
+		})
+	}
+}
+
+func TestKernelDefensesHaveKernel(t *testing.T) {
+	if JSKernel("chrome").NewEnv(EnvOptions{Seed: 1}).Kernel == nil {
+		t.Error("JSKernel env has no kernel")
+	}
+	if DeterFox().NewEnv(EnvOptions{Seed: 1}).Kernel == nil {
+		t.Error("DeterFox env has no kernel")
+	}
+	if Chrome().NewEnv(EnvOptions{Seed: 1}).Kernel != nil {
+		t.Error("legacy env should have no kernel")
+	}
+}
+
+func TestTorClockCoarse(t *testing.T) {
+	env := TorBrowser().NewEnv(EnvOptions{Seed: 1})
+	var reads []float64
+	env.Browser.RunScript("main", func(g *browser.Global) {
+		for i := 0; i < 5; i++ {
+			reads = append(reads, g.PerformanceNow())
+			g.Busy(30 * sim.Millisecond)
+		}
+	})
+	if err := env.Browser.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, v := range reads {
+		if int64(v)%100 != 0 {
+			t.Fatalf("Tor clock read %v not on the 100ms grid", v)
+		}
+	}
+}
+
+func TestFuzzyfoxClockNoisyButMonotone(t *testing.T) {
+	env := Fuzzyfox().NewEnv(EnvOptions{Seed: 7})
+	var reads []float64
+	env.Browser.RunScript("main", func(g *browser.Global) {
+		for i := 0; i < 50; i++ {
+			reads = append(reads, g.PerformanceNow())
+			g.Busy(time500us())
+		}
+	})
+	if err := env.Browser.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i := 1; i < len(reads); i++ {
+		if reads[i] < reads[i-1] {
+			t.Fatalf("fuzzy clock went backwards at %d: %v -> %v", i, reads[i-1], reads[i])
+		}
+	}
+	// Noise: deltas should not all equal the true 0.5ms advance.
+	exact := 0
+	for i := 1; i < len(reads); i++ {
+		if reads[i]-reads[i-1] == 0.5 {
+			exact++
+		}
+	}
+	if exact == len(reads)-1 {
+		t.Fatal("fuzzyfox clock shows exact time; no fuzz applied")
+	}
+}
+
+func time500us() sim.Duration { return 500 * sim.Microsecond }
+
+func TestChromeZeroPolyfillRunsOnMainThread(t *testing.T) {
+	env := ChromeZero().NewEnv(EnvOptions{Seed: 1})
+	b := env.Browser
+	var workerThread, mainThread int
+	b.RegisterWorkerScript("w.js", func(g *browser.Global) {
+		workerThread = g.Thread().ID()
+		g.PostMessage("hi")
+	})
+	var got any
+	b.RunScript("main", func(g *browser.Global) {
+		mainThread = g.Thread().ID()
+		w, err := g.NewWorker("w.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(_ *browser.Global, m browser.MessageEvent) { got = m.Data })
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if workerThread != mainThread {
+		t.Fatalf("polyfill worker ran on thread %d, want main %d (no parallelism)", workerThread, mainThread)
+	}
+	if got != "hi" {
+		t.Fatalf("polyfill message round-trip got %v", got)
+	}
+	if len(b.Threads()) != 1 {
+		t.Fatalf("polyfill spawned %d threads, want 1", len(b.Threads()))
+	}
+}
+
+func TestChromeZeroPolyfillRoundTripAndTerminate(t *testing.T) {
+	env := ChromeZero().NewEnv(EnvOptions{Seed: 1})
+	b := env.Browser
+	delivered := 0
+	b.RegisterWorkerScript("echo.js", func(g *browser.Global) {
+		g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+			gg.PostMessage(m.Data)
+		})
+	})
+	b.RunScript("main", func(g *browser.Global) {
+		w, err := g.NewWorker("echo.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(*browser.Global, browser.MessageEvent) { delivered++ })
+		w.PostMessage(1)
+		g.SetTimeout(func(*browser.Global) {
+			w.Terminate()
+			w.PostMessage(2) // dropped
+		}, 10*sim.Millisecond)
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (echo before terminate only)", delivered)
+	}
+}
+
+func TestDeterministicEnvsAreReproducible(t *testing.T) {
+	trace := func(seed int64) []float64 {
+		env := JSKernel("chrome").NewEnv(EnvOptions{Seed: seed})
+		var out []float64
+		env.Browser.RunScript("main", func(g *browser.Global) {
+			for i := 0; i < 3; i++ {
+				g.SetTimeout(func(gg *browser.Global) {
+					out = append(out, gg.PerformanceNow())
+				}, sim.Duration(i+1)*sim.Millisecond)
+			}
+		})
+		if err := env.Browser.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	a, b := trace(1), trace(99)
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("JSKernel observable timing depends on seed: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCatalogListsComplete(t *testing.T) {
+	if got := len(TableIIDefenses()); got != 7 {
+		t.Fatalf("TableIIDefenses = %d, want 7", got)
+	}
+	if got := len(Figure3Defenses()); got != 8 {
+		t.Fatalf("Figure3Defenses = %d, want 8", got)
+	}
+	for _, d := range Figure3Defenses() {
+		if d.Label == "" || d.Base == "" {
+			t.Errorf("incomplete defense entry %+v", d)
+		}
+	}
+}
+
+func TestJSKernelWithPolicyOverride(t *testing.T) {
+	p := policy.Deterministic()
+	p.PolicyName = "custom"
+	p.QuantumMicros = 2000
+	d := JSKernelWithPolicy("firefox", "jskernel-custom", p)
+	env := d.NewEnv(EnvOptions{Seed: 1})
+	if env.Kernel == nil {
+		t.Fatal("no kernel")
+	}
+	if env.Kernel.Policy().Name() != "custom" {
+		t.Fatalf("policy = %s", env.Kernel.Policy().Name())
+	}
+	if env.Browser.Profile.Name != "firefox" {
+		t.Fatalf("base = %s", env.Browser.Profile.Name)
+	}
+}
+
+func TestTorNetworkPenalty(t *testing.T) {
+	// Tor's env loads the same resource slower than Firefox's.
+	measure := func(d Defense) sim.Duration {
+		env := d.NewEnv(EnvOptions{Seed: 4})
+		env.Browser.Net.RegisterScript("https://site.example/a.js", 1_000_000)
+		res, err := env.Browser.Net.Fetch("https://site.example/a.js", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency
+	}
+	if tor, ff := measure(TorBrowser()), measure(Firefox()); tor < ff*2 {
+		t.Fatalf("tor latency %v not clearly slower than firefox %v", tor, ff)
+	}
+}
+
+func TestPolyfillWorkerInterface(t *testing.T) {
+	env := ChromeZero().NewEnv(EnvOptions{Seed: 1})
+	b := env.Browser
+	b.RegisterWorkerScript("p.js", func(g *browser.Global) {
+		g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+			gg.PostMessage(m.Data)
+		})
+		// Polyfill functionality losses are explicit errors, not crashes.
+		if err := g.ImportScripts("https://x.example/lib.js"); err == nil {
+			t.Error("polyfill importScripts should fail")
+		}
+		if loc := g.WorkerLocation(); loc != "" {
+			t.Errorf("polyfill worker location = %q, want empty", loc)
+		}
+	})
+	got := 0
+	b.RunScript("main", func(g *browser.Global) {
+		w, err := g.NewWorker("p.js")
+		if err != nil {
+			t.Errorf("new worker: %v", err)
+			return
+		}
+		if w.ID() == 0 || w.Src() != "p.js" || !w.Alive() {
+			t.Errorf("polyfill identity: id=%d src=%q alive=%v", w.ID(), w.Src(), w.Alive())
+		}
+		if w.Thread() != g.Thread() {
+			t.Error("polyfill thread should be main")
+		}
+		w.SetOnError(func(*browser.Global, *browser.WorkerError) {})
+		w.SetOnMessage(func(*browser.Global, browser.MessageEvent) { got++ })
+		buf := g.NewSharedBuffer(1)
+		w.PostMessageTransfer("x", buf) // degrades to plain message
+		w.Release()                     // no-op
+		_ = w.InFlight()
+		if _, err := g.NewWorker("unregistered.js"); err == nil {
+			t.Error("polyfill should reject unknown scripts")
+		}
+	})
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("echoes = %d, want 1", got)
+	}
+}
+
+func TestFuzzyfoxLoadPathsPaced(t *testing.T) {
+	// The fuzzed load wrappers (LoadScript/LoadImage error+success paths,
+	// Fetch) must all function.
+	env := Fuzzyfox().NewEnv(EnvOptions{Seed: 6})
+	b := env.Browser
+	b.Net.RegisterScript("https://site.example/ok.js", 10_000)
+	b.Net.RegisterImage("https://site.example/ok.png", 50, 50)
+	events := 0
+	b.RunScript("main", func(g *browser.Global) {
+		g.LoadScript("https://site.example/ok.js", func(*browser.Global) { events++ }, nil)
+		g.LoadScript("https://site.example/missing.js", nil, func(*browser.Global) { events++ })
+		g.LoadImage("https://site.example/ok.png", func(*browser.Global, *dom.Element) { events++ }, nil)
+		g.LoadImage("https://site.example/missing.png", nil, func(*browser.Global) { events++ })
+		g.Fetch("https://site.example/ok.js", browser.FetchOptions{}, func(*browser.Response, error) { events++ })
+		g.SetInterval(func(gg *browser.Global) {}, 5*sim.Millisecond)
+		_ = g.DateNow()
+	})
+	if err := b.RunFor(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if events != 5 {
+		t.Fatalf("events = %d, want 5", events)
+	}
+}

@@ -1,0 +1,311 @@
+// Package dom implements the simulated Document Object Model: an element
+// tree with the mutation operations the paper's attacks and compatibility
+// tests exercise (append/remove children, attributes, styles), plus the
+// serialization and term-frequency extraction behind the paper's
+// cosine-similarity compatibility metric (§V-B2).
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element is one node in the DOM tree. The zero value is not useful;
+// create elements through Document.CreateElement so they carry a document
+// back-pointer and a stable creation order.
+type Element struct {
+	Tag      string
+	ID       string
+	Text     string
+	attrs    map[string]string
+	style    map[string]string
+	parent   *Element
+	children []*Element
+	doc      *Document
+	seq      int
+}
+
+// Document is the root of a DOM tree plus the bookkeeping the browser
+// needs: element-by-ID lookup and a mutation counter that renderer costs
+// key off.
+type Document struct {
+	root      *Element
+	byID      map[string]*Element
+	nextSeq   int
+	mutations int
+}
+
+// NewDocument returns a document with an empty <html><body> skeleton.
+func NewDocument() *Document {
+	d := &Document{byID: make(map[string]*Element)}
+	html := d.CreateElement("html")
+	d.root = html
+	body := d.CreateElement("body")
+	html.children = append(html.children, body)
+	body.parent = html
+	return d
+}
+
+// Root returns the document's <html> element.
+func (d *Document) Root() *Element { return d.root }
+
+// Body returns the document's <body> element.
+func (d *Document) Body() *Element {
+	for _, c := range d.root.children {
+		if c.Tag == "body" {
+			return c
+		}
+	}
+	return d.root
+}
+
+// Mutations reports how many tree or attribute mutations have happened,
+// a proxy for layout/paint work in the renderer cost model.
+func (d *Document) Mutations() int { return d.mutations }
+
+// CreateElement returns a detached element owned by this document.
+func (d *Document) CreateElement(tag string) *Element {
+	d.nextSeq++
+	return &Element{
+		Tag:   strings.ToLower(tag),
+		attrs: make(map[string]string),
+		style: make(map[string]string),
+		doc:   d,
+		seq:   d.nextSeq,
+	}
+}
+
+// GetElementByID returns the element with the given id attribute, or nil.
+func (d *Document) GetElementByID(id string) *Element { return d.byID[id] }
+
+// CountByTag returns the number of attached elements with the given tag.
+func (d *Document) CountByTag(tag string) int {
+	tag = strings.ToLower(tag)
+	count := 0
+	d.root.Walk(func(e *Element) {
+		if e.Tag == tag {
+			count++
+		}
+	})
+	return count
+}
+
+// Size returns the number of attached elements.
+func (d *Document) Size() int {
+	n := 0
+	d.root.Walk(func(*Element) { n++ })
+	return n
+}
+
+// AppendChild attaches child as the last child of e. Appending an element
+// that already has a parent first detaches it (matching DOM semantics).
+// Appending an element to itself or to one of its descendants is rejected.
+func (e *Element) AppendChild(child *Element) error {
+	if child == nil {
+		return fmt.Errorf("dom: append nil child to <%s>", e.Tag)
+	}
+	for anc := e; anc != nil; anc = anc.parent {
+		if anc == child {
+			return fmt.Errorf("dom: <%s> cannot adopt its own ancestor <%s>", e.Tag, child.Tag)
+		}
+	}
+	if child.parent != nil {
+		if err := child.parent.RemoveChild(child); err != nil {
+			return err
+		}
+	}
+	child.parent = e
+	e.children = append(e.children, child)
+	if e.doc != nil {
+		e.doc.mutations++
+		if child.ID != "" {
+			e.doc.byID[child.ID] = child
+		}
+		// Newly attached subtree may carry IDs too.
+		child.Walk(func(n *Element) {
+			if n.ID != "" {
+				e.doc.byID[n.ID] = n
+			}
+		})
+	}
+	return nil
+}
+
+// RemoveChild detaches child from e.
+func (e *Element) RemoveChild(child *Element) error {
+	for i, c := range e.children {
+		if c == child {
+			e.children = append(e.children[:i], e.children[i+1:]...)
+			child.parent = nil
+			if e.doc != nil {
+				e.doc.mutations++
+				child.Walk(func(n *Element) {
+					if n.ID != "" && e.doc.byID[n.ID] == n {
+						delete(e.doc.byID, n.ID)
+					}
+				})
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("dom: <%s> is not a child of <%s>", child.Tag, e.Tag)
+}
+
+// Remove detaches e from its parent, if any.
+func (e *Element) Remove() error {
+	if e.parent == nil {
+		return nil
+	}
+	return e.parent.RemoveChild(e)
+}
+
+// Parent returns e's parent element, or nil when detached.
+func (e *Element) Parent() *Element { return e.parent }
+
+// Children returns a copy of e's child list.
+func (e *Element) Children() []*Element {
+	out := make([]*Element, len(e.children))
+	copy(out, e.children)
+	return out
+}
+
+// SetAttribute sets an attribute. Setting "id" also updates the document's
+// ID index and the element's ID field.
+func (e *Element) SetAttribute(name, value string) {
+	name = strings.ToLower(name)
+	if name == "id" {
+		if e.doc != nil {
+			if e.ID != "" && e.doc.byID[e.ID] == e {
+				delete(e.doc.byID, e.ID)
+			}
+			if e.attached() {
+				e.doc.byID[value] = e
+			}
+		}
+		e.ID = value
+	}
+	e.attrs[name] = value
+	if e.doc != nil {
+		e.doc.mutations++
+	}
+}
+
+// Attribute returns an attribute's value and whether it was set.
+func (e *Element) Attribute(name string) (string, bool) {
+	v, ok := e.attrs[strings.ToLower(name)]
+	return v, ok
+}
+
+// SetStyle sets an inline style property (e.g. "color", "filter").
+func (e *Element) SetStyle(prop, value string) {
+	e.style[strings.ToLower(prop)] = value
+	if e.doc != nil {
+		e.doc.mutations++
+	}
+}
+
+// Style returns an inline style property's value.
+func (e *Element) Style(prop string) string { return e.style[strings.ToLower(prop)] }
+
+// SetText replaces e's text content.
+func (e *Element) SetText(text string) {
+	e.Text = text
+	if e.doc != nil {
+		e.doc.mutations++
+	}
+}
+
+// attached reports whether e is connected to its document's root.
+func (e *Element) attached() bool {
+	if e.doc == nil {
+		return false
+	}
+	for n := e; n != nil; n = n.parent {
+		if n == e.doc.root {
+			return true
+		}
+	}
+	return false
+}
+
+// Walk visits e and every descendant in document order.
+func (e *Element) Walk(visit func(*Element)) {
+	visit(e)
+	for _, c := range e.children {
+		c.Walk(visit)
+	}
+}
+
+// Serialize renders the subtree rooted at e as canonical HTML-like text
+// with sorted attributes, the form the compatibility experiment hashes and
+// compares.
+func (e *Element) Serialize() string {
+	var b strings.Builder
+	e.serialize(&b)
+	return b.String()
+}
+
+func (e *Element) serialize(b *strings.Builder) {
+	b.WriteByte('<')
+	b.WriteString(e.Tag)
+	keys := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%q", k, e.attrs[k])
+	}
+	if len(e.style) > 0 {
+		props := make([]string, 0, len(e.style))
+		for k := range e.style {
+			props = append(props, k)
+		}
+		sort.Strings(props)
+		b.WriteString(` style="`)
+		for i, p := range props {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			b.WriteString(p)
+			b.WriteByte(':')
+			b.WriteString(e.style[p])
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('>')
+	if e.Text != "" {
+		b.WriteString(e.Text)
+	}
+	for _, c := range e.children {
+		c.serialize(b)
+	}
+	b.WriteString("</")
+	b.WriteString(e.Tag)
+	b.WriteByte('>')
+}
+
+// Serialize renders the whole document.
+func (d *Document) Serialize() string { return d.root.Serialize() }
+
+// TermFrequency returns the document's structure as a bag of terms (tag
+// names, attribute pairs, text tokens). Feeding two documents' term
+// frequencies to stats.CosineSimilarity reproduces the paper's ≥99%
+// similarity compatibility check.
+func (d *Document) TermFrequency() map[string]float64 {
+	tf := make(map[string]float64)
+	d.root.Walk(func(e *Element) {
+		tf["tag:"+e.Tag]++
+		for k, v := range e.attrs {
+			tf["attr:"+k+"="+v]++
+		}
+		for k, v := range e.style {
+			tf["style:"+k+"="+v]++
+		}
+		for _, tok := range strings.Fields(e.Text) {
+			tf["text:"+tok]++
+		}
+	})
+	return tf
+}

@@ -1,0 +1,257 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jskernel/internal/stats"
+)
+
+func TestNewDocumentSkeleton(t *testing.T) {
+	d := NewDocument()
+	if d.Root().Tag != "html" {
+		t.Fatalf("root = %s", d.Root().Tag)
+	}
+	if d.Body().Tag != "body" {
+		t.Fatalf("body = %s", d.Body().Tag)
+	}
+	if d.Size() != 2 {
+		t.Fatalf("size = %d", d.Size())
+	}
+}
+
+func TestAppendRemoveChild(t *testing.T) {
+	d := NewDocument()
+	div := d.CreateElement("div")
+	if err := d.Body().AppendChild(div); err != nil {
+		t.Fatal(err)
+	}
+	if div.Parent() != d.Body() {
+		t.Fatal("parent not set")
+	}
+	if d.Size() != 3 {
+		t.Fatalf("size = %d", d.Size())
+	}
+	if err := d.Body().RemoveChild(div); err != nil {
+		t.Fatal(err)
+	}
+	if div.Parent() != nil {
+		t.Fatal("parent not cleared")
+	}
+	if err := d.Body().RemoveChild(div); err == nil {
+		t.Fatal("double remove should error")
+	}
+}
+
+func TestAppendNil(t *testing.T) {
+	d := NewDocument()
+	if err := d.Body().AppendChild(nil); err == nil {
+		t.Fatal("append nil should error")
+	}
+}
+
+func TestAppendCycleRejected(t *testing.T) {
+	d := NewDocument()
+	a := d.CreateElement("div")
+	b := d.CreateElement("span")
+	if err := d.Body().AppendChild(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendChild(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendChild(a); err == nil {
+		t.Fatal("cycle not rejected")
+	}
+	if err := a.AppendChild(a); err == nil {
+		t.Fatal("self-append not rejected")
+	}
+}
+
+func TestReparenting(t *testing.T) {
+	d := NewDocument()
+	a := d.CreateElement("div")
+	b := d.CreateElement("div")
+	c := d.CreateElement("span")
+	for _, el := range []*Element{a, b} {
+		if err := d.Body().AppendChild(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.AppendChild(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendChild(c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Parent() != b {
+		t.Fatal("not reparented")
+	}
+	if len(a.Children()) != 0 {
+		t.Fatal("still child of old parent")
+	}
+}
+
+func TestIDIndex(t *testing.T) {
+	d := NewDocument()
+	div := d.CreateElement("div")
+	div.SetAttribute("id", "hero")
+	if d.GetElementByID("hero") != nil {
+		t.Fatal("detached element should not be indexed")
+	}
+	if err := d.Body().AppendChild(div); err != nil {
+		t.Fatal(err)
+	}
+	if d.GetElementByID("hero") != div {
+		t.Fatal("attached element not indexed")
+	}
+	if err := div.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if d.GetElementByID("hero") != nil {
+		t.Fatal("removed element still indexed")
+	}
+}
+
+func TestIDIndexOnSubtreeAttach(t *testing.T) {
+	d := NewDocument()
+	outer := d.CreateElement("div")
+	inner := d.CreateElement("span")
+	inner.SetAttribute("id", "deep")
+	if err := outer.AppendChild(inner); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Body().AppendChild(outer); err != nil {
+		t.Fatal(err)
+	}
+	if d.GetElementByID("deep") != inner {
+		t.Fatal("nested ID not indexed on subtree attach")
+	}
+}
+
+func TestAttributesAndStyle(t *testing.T) {
+	d := NewDocument()
+	a := d.CreateElement("a")
+	a.SetAttribute("HREF", "https://example.com")
+	if v, ok := a.Attribute("href"); !ok || v != "https://example.com" {
+		t.Fatalf("attr = %q, %v", v, ok)
+	}
+	a.SetStyle("Color", "purple")
+	if a.Style("color") != "purple" {
+		t.Fatal("style not set")
+	}
+}
+
+func TestCountByTag(t *testing.T) {
+	d := NewDocument()
+	for i := 0; i < 5; i++ {
+		el := d.CreateElement("li")
+		if err := d.Body().AppendChild(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.CountByTag("LI"); got != 5 {
+		t.Fatalf("CountByTag = %d", got)
+	}
+}
+
+func TestSerializeDeterministic(t *testing.T) {
+	build := func() *Document {
+		d := NewDocument()
+		div := d.CreateElement("div")
+		div.SetAttribute("class", "x")
+		div.SetAttribute("id", "y")
+		div.SetStyle("color", "red")
+		div.SetText("hello world")
+		if err := d.Body().AppendChild(div); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, b := build().Serialize(), build().Serialize()
+	if a != b {
+		t.Fatalf("serialization not deterministic:\n%s\n%s", a, b)
+	}
+	if !strings.Contains(a, `<div class="x" id="y" style="color:red">hello world</div>`) {
+		t.Fatalf("unexpected serialization: %s", a)
+	}
+}
+
+func TestMutationCounter(t *testing.T) {
+	d := NewDocument()
+	before := d.Mutations()
+	el := d.CreateElement("p")
+	if err := d.Body().AppendChild(el); err != nil {
+		t.Fatal(err)
+	}
+	el.SetAttribute("class", "a")
+	el.SetStyle("color", "blue")
+	el.SetText("x")
+	if d.Mutations()-before != 4 {
+		t.Fatalf("mutations delta = %d, want 4", d.Mutations()-before)
+	}
+}
+
+func TestTermFrequencySimilarity(t *testing.T) {
+	build := func(extra bool) *Document {
+		d := NewDocument()
+		for i := 0; i < 50; i++ {
+			el := d.CreateElement("div")
+			el.SetText("content block")
+			if err := d.Body().AppendChild(el); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if extra {
+			ad := d.CreateElement("iframe")
+			ad.SetAttribute("src", "ads.example")
+			if err := d.Body().AppendChild(ad); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return d
+	}
+	same := stats.CosineSimilarity(build(false).TermFrequency(), build(false).TermFrequency())
+	if same < 0.9999 {
+		t.Fatalf("identical docs similarity = %v", same)
+	}
+	near := stats.CosineSimilarity(build(false).TermFrequency(), build(true).TermFrequency())
+	if near < 0.99 || near >= 1 {
+		t.Fatalf("one-ad diff similarity = %v, want in [0.99, 1)", near)
+	}
+}
+
+func TestPropertySizeMatchesAppends(t *testing.T) {
+	f := func(tags []uint8) bool {
+		d := NewDocument()
+		for _, tg := range tags {
+			el := d.CreateElement(string(rune('a' + tg%26)))
+			if err := d.Body().AppendChild(el); err != nil {
+				return false
+			}
+		}
+		return d.Size() == 2+len(tags)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySerializeRoundTripStable(t *testing.T) {
+	// Serializing twice must yield identical bytes (no map-order leakage).
+	f := func(pairs [][2]uint8) bool {
+		d := NewDocument()
+		el := d.CreateElement("div")
+		for _, p := range pairs {
+			el.SetAttribute(string(rune('a'+p[0]%26)), string(rune('a'+p[1]%26)))
+		}
+		if err := d.Body().AppendChild(el); err != nil {
+			return false
+		}
+		return d.Serialize() == d.Serialize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,114 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuantumAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	cfg := QuickConfig()
+	rows, tbl, err := QuantumAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.SVGDefended {
+			t.Errorf("quantum %dµs: SVG attack leaked; determinism should defend at any quantum", r.QuantumMicros)
+		}
+		if r.DromaeoMean < -0.02 || r.DromaeoMean > 0.10 {
+			t.Errorf("quantum %dµs: dromaeo overhead %.2f%% out of range", r.QuantumMicros, r.DromaeoMean*100)
+		}
+	}
+	// Compatibility must not improve as the clock coarsens.
+	if rows[0].AppDiffs > rows[len(rows)-1].AppDiffs {
+		t.Errorf("app diffs shrank with coarser quantum: %d (%.1fµs) vs %d (%.1fµs)",
+			rows[0].AppDiffs, float64(rows[0].QuantumMicros),
+			rows[len(rows)-1].AppDiffs, float64(rows[len(rows)-1].QuantumMicros))
+	}
+}
+
+func TestPolicyAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep")
+	}
+	cfg := QuickConfig()
+	rows, tbl, err := PolicyAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl == nil || len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	detOnly, full := rows[0], rows[1]
+	if detOnly.TimingBlocked != 2 {
+		t.Errorf("det-only blocked %d/2 timing attacks; determinism should defeat both", detOnly.TimingBlocked)
+	}
+	if detOnly.CVEBlocked >= full.CVEBlocked {
+		t.Errorf("det-only blocked %d CVEs vs full's %d; the CVE policies must matter",
+			detOnly.CVEBlocked, full.CVEBlocked)
+	}
+	if full.CVEBlocked != 12 {
+		t.Errorf("full defense blocked %d/12 CVEs", full.CVEBlocked)
+	}
+}
+
+func TestRecoveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery sweep")
+	}
+	rep, err := Recovery(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 8 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		switch r.Defense.ID {
+		case "chrome", "firefox", "edge":
+			if r.PixelAccuracy < 0.9 || r.HistoryAccuracy < 0.9 {
+				t.Errorf("%s: recovery %.2f/%.2f, want near-perfect on legacy",
+					r.Defense.ID, r.PixelAccuracy, r.HistoryAccuracy)
+			}
+		case "jskernel-chrome", "deterfox":
+			if r.PixelAccuracy > 0.72 || r.HistoryAccuracy > 0.72 {
+				t.Errorf("%s: recovery %.2f/%.2f, want near chance under determinism",
+					r.Defense.ID, r.PixelAccuracy, r.HistoryAccuracy)
+			}
+		}
+	}
+}
+
+// TestExperimentsReproducible: the experiments themselves are pure
+// functions of (config) — two runs render byte-identical artifacts.
+func TestExperimentsReproducible(t *testing.T) {
+	cfg := QuickConfig()
+	render := func() string {
+		res, err := Table2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b1 strings.Builder
+		if err := res.Table.Render(&b1); err != nil {
+			t.Fatal(err)
+		}
+		fig, err := Fig2(Config{Seed: cfg.Seed, Reps: 2, Fig2SizesMB: []int{2, 6}, Fig2Reps: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b2 strings.Builder
+		if err := fig.Figure.Render(&b2); err != nil {
+			t.Fatal(err)
+		}
+		return b1.String() + b2.String()
+	}
+	if render() != render() {
+		t.Fatal("experiment artifacts are not reproducible run to run")
+	}
+}

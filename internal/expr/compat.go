@@ -1,0 +1,91 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+	"jskernel/internal/stats"
+	"jskernel/internal/workload"
+)
+
+// CompatReport is the §V-B2 semi-automated compatibility test: visit each
+// site with and without JSKernel and compare the serialized DOMs by
+// cosine similarity.
+type CompatReport struct {
+	Similarities []float64
+	FractionHigh float64 // fraction of sites with similarity >= 0.99
+	Table        *report.Table
+}
+
+// Compat visits cfg.CompatSites synthetic Alexa sites twice — legacy
+// Chrome and Chrome+JSKernel — and compares the rendered DOMs (paper: 90%
+// of sites reach >= 99% similarity; the rest differ only by dynamic
+// content).
+func Compat(cfg Config) (*CompatReport, error) {
+	sites := workload.GenerateSites(cfg.CompatSites, cfg.Seed)
+	rep := &CompatReport{}
+	high := 0
+	for _, s := range sites {
+		baseEnv := defense.Chrome().NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(s.Rank)})
+		baseLoad, err := workload.LoadSite(baseEnv, s)
+		if err != nil {
+			return nil, fmt.Errorf("compat base %s: %w", s.Domain, err)
+		}
+		kEnv := defense.JSKernel("chrome").NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(s.Rank)})
+		kLoad, err := workload.LoadSite(kEnv, s)
+		if err != nil {
+			return nil, fmt.Errorf("compat kernel %s: %w", s.Domain, err)
+		}
+		sim := stats.CosineSimilarity(baseLoad.DOM.TermFrequency(), kLoad.DOM.TermFrequency())
+		rep.Similarities = append(rep.Similarities, sim)
+		if sim >= 0.99 {
+			high++
+		}
+	}
+	rep.FractionHigh = float64(high) / float64(len(sites))
+	tbl := &report.Table{
+		Title:   "Compatibility: DOM cosine similarity with vs without JSKernel",
+		Columns: []string{"Metric", "Value"},
+	}
+	tbl.AddRow("sites visited", fmt.Sprintf("%d", len(sites)))
+	tbl.AddRow("similarity >= 99%", fmt.Sprintf("%.1f%%", rep.FractionHigh*100))
+	tbl.AddRow("median similarity", fmt.Sprintf("%.4f", stats.Median(rep.Similarities)))
+	tbl.AddRow("minimum similarity", fmt.Sprintf("%.4f", stats.Percentile(rep.Similarities, 0)))
+	rep.Table = tbl
+	return rep, nil
+}
+
+// AppsReport is the §V-B1 API-specific CodePen study.
+type AppsReport struct {
+	// Diffs[defenseID] counts apps with observable differences (of 20).
+	Diffs map[string]int
+	Total int
+	Table *report.Table
+}
+
+// Apps runs the 20 CodePen apps under the Firefox-based defenses and
+// counts observable differences against legacy Firefox (paper: JSKernel
+// 4/20, DeterFox 7/20, Fuzzyfox 13/20).
+func Apps(cfg Config) (*AppsReport, error) {
+	rep := &AppsReport{Diffs: make(map[string]int)}
+	baseline := defense.Firefox()
+	tested := []defense.Defense{
+		defense.JSKernel("firefox"), defense.DeterFox(), defense.Fuzzyfox(),
+	}
+	tbl := &report.Table{
+		Title:   "API-specific compatibility: apps with observable differences vs Firefox",
+		Columns: []string{"Defense", "Apps with differences"},
+	}
+	for _, d := range tested {
+		diffs, total, err := workload.CompatCount(d, baseline, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("apps %s: %w", d.ID, err)
+		}
+		rep.Diffs[d.ID] = diffs
+		rep.Total = total
+		tbl.AddRow(d.Label, fmt.Sprintf("%d / %d", diffs, total))
+	}
+	rep.Table = tbl
+	return rep, nil
+}

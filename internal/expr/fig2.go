@@ -1,0 +1,69 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+	"jskernel/internal/stats"
+)
+
+// fig2Defenses are Figure 2's series, in legend order.
+func fig2Defenses() []defense.Defense {
+	return []defense.Defense{
+		defense.Chrome(), defense.Firefox(), defense.Edge(),
+		defense.JSKernel("chrome"), defense.ChromeZero(),
+		defense.TorBrowser(), defense.Fuzzyfox(),
+	}
+}
+
+// Fig2Result holds the script-parsing curves plus fitted slopes.
+type Fig2Result struct {
+	// ReportedMs[defenseID][i] is the mean reported time for SizesMB[i].
+	ReportedMs map[string][]float64
+	SizesMB    []int
+	// SlopeMsPerMB quantifies the leak: reported-time growth per MB.
+	SlopeMsPerMB map[string]float64
+	Figure       *report.Figure
+}
+
+// Fig2 sweeps the script parsing attack over file sizes under each
+// defense: every defense but JSKernel (and other deterministic ones)
+// shows reported time growing with size.
+func Fig2(cfg Config) (*Fig2Result, error) {
+	res := &Fig2Result{
+		ReportedMs:   make(map[string][]float64),
+		SizesMB:      cfg.Fig2SizesMB,
+		SlopeMsPerMB: make(map[string]float64),
+	}
+	fig := &report.Figure{
+		Title:  "Figure 2: Script Parsing Attack with Asynchronous Clock",
+		XLabel: "size (MB)",
+		YLabel: "reported (ms)",
+	}
+	for _, d := range fig2Defenses() {
+		var xs, ys []float64
+		var means []float64
+		for i, mb := range cfg.Fig2SizesMB {
+			var samples []float64
+			for rep := 0; rep < cfg.Fig2Reps; rep++ {
+				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(i*100+rep)})
+				ms, err := attack.MeasureScriptParseMs(env, int64(mb)*1_000_000)
+				if err != nil {
+					return nil, fmt.Errorf("fig2 %s %dMB: %w", d.ID, mb, err)
+				}
+				samples = append(samples, ms)
+			}
+			mean := stats.Mean(samples)
+			means = append(means, mean)
+			xs = append(xs, float64(mb))
+			ys = append(ys, mean)
+		}
+		res.ReportedMs[d.ID] = means
+		res.SlopeMsPerMB[d.ID] = stats.LinearSlope(xs, ys)
+		fig.Series = append(fig.Series, report.Series{Name: d.Label, X: xs, Y: ys})
+	}
+	res.Figure = fig
+	return res, nil
+}

@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+	"jskernel/internal/stats"
+	"jskernel/internal/workload"
+)
+
+// Fig3Result holds the Alexa loading-time distributions per defense.
+type Fig3Result struct {
+	// LoadMs[defenseID] is the per-site averaged loading time.
+	LoadMs map[string][]float64
+	// Median[defenseID] summarizes each curve.
+	Median map[string]float64
+	Figure *report.Figure
+}
+
+// Fig3 loads the synthetic Alexa population under each Figure 3 browser
+// and produces the CDF series.
+func Fig3(cfg Config) (*Fig3Result, error) {
+	res := &Fig3Result{
+		LoadMs: make(map[string][]float64),
+		Median: make(map[string]float64),
+	}
+	fig := &report.Figure{
+		Title:  "Figure 3: CDF of Loading Time of Top Alexa Websites",
+		XLabel: "load time (ms)",
+		YLabel: "fraction",
+	}
+	for _, d := range defense.Figure3Defenses() {
+		times, err := workload.LoadAlexa(d, cfg.AlexaSites, cfg.AlexaVisits, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", d.ID, err)
+		}
+		res.LoadMs[d.ID] = times
+		res.Median[d.ID] = stats.Median(times)
+		cdf := stats.CDF(times)
+		s := report.Series{Name: d.Label}
+		for _, p := range cdf {
+			s.X = append(s.X, p.Value)
+			s.Y = append(s.Y, p.Fraction)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	res.Figure = fig
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+	"jskernel/internal/stats"
+	"jskernel/internal/workload"
+)
+
+// DromaeoReport is the §V-A1 micro-benchmark comparison: Chrome with and
+// without the JSKernel extension.
+type DromaeoReport struct {
+	PerTest        map[string]float64 // relative overhead per test
+	MeanOverhead   float64
+	MedianOverhead float64
+	WorstTest      string
+	WorstOverhead  float64
+	Table          *report.Table
+}
+
+// Dromaeo runs the suite under legacy Chrome and Chrome+JSKernel and
+// reports overheads (paper: 1.99% average, 0.30% median, DOM attribute
+// worst at ~21%).
+func Dromaeo(cfg Config) (*DromaeoReport, error) {
+	base, err := workload.RunDromaeo(defense.Chrome(), cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dromaeo baseline: %w", err)
+	}
+	with, err := workload.RunDromaeo(defense.JSKernel("chrome"), cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("dromaeo jskernel: %w", err)
+	}
+	over := workload.DromaeoOverheads(base, with)
+	rep := &DromaeoReport{PerTest: over}
+	var all []float64
+	ids := make([]string, 0, len(over))
+	for id, v := range over {
+		all = append(all, v)
+		ids = append(ids, id)
+		if v > rep.WorstOverhead {
+			rep.WorstOverhead, rep.WorstTest = v, id
+		}
+	}
+	sort.Strings(ids)
+	rep.MeanOverhead = stats.Mean(all)
+	rep.MedianOverhead = stats.Median(all)
+
+	baseBy := make(map[string]float64, len(base))
+	for _, r := range base {
+		baseBy[r.ID] = r.Millis
+	}
+	withBy := make(map[string]float64, len(with))
+	for _, r := range with {
+		withBy[r.ID] = r.Millis
+	}
+	tbl := &report.Table{
+		Title:   "Dromaeo micro-benchmark: Chrome vs Chrome + JSKernel",
+		Columns: []string{"Test", "Chrome (ms)", "JSKernel (ms)", "Overhead"},
+		Notes: []string{
+			fmt.Sprintf("average overhead %.2f%%, median %.2f%%, worst %s at %.2f%%",
+				rep.MeanOverhead*100, rep.MedianOverhead*100, rep.WorstTest, rep.WorstOverhead*100),
+		},
+	}
+	for _, id := range ids {
+		tbl.AddRow(id,
+			fmt.Sprintf("%.3f", baseBy[id]),
+			fmt.Sprintf("%.3f", withBy[id]),
+			fmt.Sprintf("%+.2f%%", over[id]*100))
+	}
+	rep.Table = tbl
+	return rep, nil
+}
+
+// WorkerBenchReport is the §V-A1 worker-creation benchmark.
+type WorkerBenchReport struct {
+	BaseMs   stats.Summary
+	KernelMs stats.Summary
+	Overhead float64
+	Table    *report.Table
+}
+
+// WorkerBench creates 16 workers with and without JSKernel (paper: ~0.9%
+// overhead over 5 repetitions).
+func WorkerBench(cfg Config) (*WorkerBenchReport, error) {
+	base, err := workload.RunWorkerBench(defense.Chrome(), workload.WorkerBenchCount, 5, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("worker bench baseline: %w", err)
+	}
+	with, err := workload.RunWorkerBench(defense.JSKernel("chrome"), workload.WorkerBenchCount, 5, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("worker bench jskernel: %w", err)
+	}
+	rep := &WorkerBenchReport{
+		BaseMs:   stats.Summarize(base),
+		KernelMs: stats.Summarize(with),
+	}
+	rep.Overhead = stats.RelativeOverhead(rep.BaseMs.Mean, rep.KernelMs.Mean)
+	tbl := &report.Table{
+		Title:   "Worker benchmark: time to create 16 workers (ms)",
+		Columns: []string{"Configuration", "Mean", "StdDev"},
+		Notes:   []string{fmt.Sprintf("overhead %.2f%%", rep.Overhead*100)},
+	}
+	tbl.AddRow("Chrome", fmt.Sprintf("%.3f", rep.BaseMs.Mean), fmt.Sprintf("%.3f", rep.BaseMs.StdDev))
+	tbl.AddRow("Chrome + JSKernel", fmt.Sprintf("%.3f", rep.KernelMs.Mean), fmt.Sprintf("%.3f", rep.KernelMs.StdDev))
+	rep.Table = tbl
+	return rep, nil
+}

@@ -1,0 +1,53 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+)
+
+// RecoveryRow is one defense's end-to-end secret recovery accuracy.
+type RecoveryRow struct {
+	Defense         defense.Defense
+	PixelAccuracy   float64
+	HistoryAccuracy float64
+}
+
+// RecoveryReport is the extension experiment beyond Table I's
+// distinguishability criterion: how much of a real secret each defense
+// actually lets an attacker recover.
+type RecoveryReport struct {
+	Rows  []RecoveryRow
+	Table *report.Table
+}
+
+// recoveryBits is the secret size per run (pixels / candidate URLs).
+const recoveryBits = 48
+
+// Recovery runs the pixel-stealing and history-sniffing recovery attacks
+// under every Table I defense.
+func Recovery(cfg Config) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	tbl := &report.Table{
+		Title:   "Extension: end-to-end secret recovery accuracy (chance = 50%)",
+		Columns: []string{"Defense", "Pixel stealing [10]", "History sniffing [9]"},
+		Notes: []string{
+			fmt.Sprintf("%d-bit secrets; threshold classifier calibrated by the attacker from its own measurements", recoveryBits),
+		},
+	}
+	for _, d := range defense.TableIDefenses() {
+		pix, hist, err := attack.RecoveryAccuracy(d, recoveryBits, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("recovery %s: %w", d.ID, err)
+		}
+		row := RecoveryRow{Defense: d, PixelAccuracy: pix, HistoryAccuracy: hist}
+		rep.Rows = append(rep.Rows, row)
+		tbl.AddRow(d.Label,
+			fmt.Sprintf("%.0f%%", pix*100),
+			fmt.Sprintf("%.0f%%", hist*100))
+	}
+	rep.Table = tbl
+	return rep, nil
+}

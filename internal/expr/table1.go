@@ -1,0 +1,95 @@
+package expr
+
+import (
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+)
+
+// Table1Result is the full defense matrix with per-cell outcomes, so
+// callers can assert on verdicts as well as render the table.
+type Table1Result struct {
+	Defenses []defense.Defense
+	// Timing[attackID][defenseID] and CVE[cveID][defenseID] hold verdicts.
+	Timing map[string]map[string]attack.Outcome
+	CVE    map[string]map[string]attack.Outcome
+	Table  *report.Table
+}
+
+// Defended reports a cell's verdict.
+func (r *Table1Result) Defended(rowID, defenseID string) (bool, bool) {
+	if m, ok := r.Timing[rowID]; ok {
+		if o, ok := m[defenseID]; ok {
+			return o.Defended, true
+		}
+	}
+	if m, ok := r.CVE[rowID]; ok {
+		if o, ok := m[defenseID]; ok {
+			return o.Defended, true
+		}
+	}
+	return false, false
+}
+
+// Table1 evaluates every attack of Table I against every defense column.
+func Table1(cfg Config) (*Table1Result, error) {
+	defenses := defense.TableIDefenses()
+	res := &Table1Result{
+		Defenses: defenses,
+		Timing:   make(map[string]map[string]attack.Outcome),
+		CVE:      make(map[string]map[string]attack.Outcome),
+	}
+	cols := []string{"Attack"}
+	for _, d := range defenses {
+		cols = append(cols, d.Label)
+	}
+	tbl := &report.Table{
+		Title:   "Table I: Evaluation of Defenses against Web Concurrency Attacks",
+		Columns: cols,
+		Notes: []string{
+			report.CheckDefended + " = the defense prevents the attack; " +
+				report.CheckVulnerable + " = the defense is vulnerable",
+		},
+	}
+
+	addGroup := func(name string) { tbl.AddRow("-- " + name + " --") }
+
+	addGroup("setTimeout as the implicit clock")
+	group := "setTimeout"
+	timing := attack.TimingAttacks()
+	emitTiming := func(a *attack.TimingAttack) {
+		res.Timing[a.ID] = make(map[string]attack.Outcome, len(defenses))
+		row := []string{a.Label}
+		for _, d := range defenses {
+			out := a.Evaluate(d, cfg.Reps, cfg.Seed)
+			res.Timing[a.ID][d.ID] = out
+			row = append(row, report.Mark(out.Defended))
+		}
+		tbl.AddRow(row...)
+	}
+	for _, a := range timing {
+		if a.ClockGroup == group {
+			emitTiming(a)
+		}
+	}
+	addGroup("requestAnimationFrame as the implicit clock")
+	for _, a := range timing {
+		if a.ClockGroup != group {
+			emitTiming(a)
+		}
+	}
+
+	addGroup("Other web concurrency attacks")
+	for _, a := range attack.CVEAttacks() {
+		res.CVE[string(a.CVE)] = make(map[string]attack.Outcome, len(defenses))
+		row := []string{a.Label}
+		for _, d := range defenses {
+			out := attack.EvaluateCVE(a, d, cfg.Seed)
+			res.CVE[string(a.CVE)][d.ID] = out
+			row = append(row, report.Mark(out.Defended))
+		}
+		tbl.AddRow(row...)
+	}
+	res.Table = tbl
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+	"jskernel/internal/stats"
+)
+
+// Table II's workload parameters: the two SVG probe resolutions and the
+// two Loopscan victim sites.
+const (
+	table2LowRes  = 300
+	table2HighRes = 1200
+)
+
+// Table2Row holds one defense's four measured values in milliseconds.
+type Table2Row struct {
+	Defense     defense.Defense
+	SVGLow      float64
+	SVGHigh     float64
+	LoopGoogle  float64
+	LoopYoutube float64
+	SVGLeaks    bool // low vs high distinguishable
+	LoopLeaks   bool // google vs youtube distinguishable
+	svgSamples  [2][]float64
+	loopSamples [2][]float64
+}
+
+// Table2Result carries the rows plus the rendered table.
+type Table2Result struct {
+	Rows  []Table2Row
+	Table *report.Table
+}
+
+// Table2 measures the SVG filtering and Loopscan attacks under every
+// Table II defense, averaging cfg.Reps runs like the paper's 25.
+func Table2(cfg Config) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, d := range defense.TableIIDefenses() {
+		row := Table2Row{Defense: d}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			for variant, dim := range []int{table2LowRes, table2HighRes} {
+				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(rep*4+variant)})
+				ms, err := attack.MeasureSVGLoadMs(env, dim)
+				if err != nil {
+					return nil, fmt.Errorf("table2 svg %s: %w", d.ID, err)
+				}
+				row.svgSamples[variant] = append(row.svgSamples[variant], ms)
+			}
+			for variant, site := range []string{"google", "youtube"} {
+				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(rep*4+variant) + 1_000_000})
+				ms, err := attack.MeasureLoopscanGapMs(env, site)
+				if err != nil {
+					return nil, fmt.Errorf("table2 loopscan %s: %w", d.ID, err)
+				}
+				row.loopSamples[variant] = append(row.loopSamples[variant], ms)
+			}
+		}
+		row.SVGLow = stats.Mean(row.svgSamples[0])
+		row.SVGHigh = stats.Mean(row.svgSamples[1])
+		row.LoopGoogle = stats.Mean(row.loopSamples[0])
+		row.LoopYoutube = stats.Mean(row.loopSamples[1])
+		row.SVGLeaks = stats.Distinguishable(row.svgSamples[0], row.svgSamples[1])
+		row.LoopLeaks = stats.Distinguishable(row.loopSamples[0], row.loopSamples[1])
+		res.Rows = append(res.Rows, row)
+	}
+
+	tbl := &report.Table{
+		Title: "Table II: Averaged Measured Time of Different Targets under Varied Attacks (ms)",
+		Columns: []string{
+			"Defense",
+			"SVG Low Res", "SVG High Res", "SVG leaks?",
+			"Loopscan google", "Loopscan youtube", "Loopscan leaks?",
+		},
+		Notes: []string{
+			"SVG: averaged image loading time at two resolutions; Loopscan: maximum measured event interval",
+			fmt.Sprintf("averaged over %d repeated runs per cell", cfg.Reps),
+		},
+	}
+	for _, row := range res.Rows {
+		tbl.AddRow(
+			row.Defense.Label,
+			fmt.Sprintf("%.2f", row.SVGLow),
+			fmt.Sprintf("%.2f", row.SVGHigh),
+			report.Mark(!row.SVGLeaks),
+			fmt.Sprintf("%.2f", row.LoopGoogle),
+			fmt.Sprintf("%.2f", row.LoopYoutube),
+			report.Mark(!row.LoopLeaks),
+		)
+	}
+	res.Table = tbl
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/report"
+	"jskernel/internal/workload"
+)
+
+// Table3Result holds the Raptor tp6-1 loading times (Table III).
+type Table3Result struct {
+	// Cells[site][defenseID] is the summary of hero load times.
+	Cells map[string]map[string]workload.RaptorResult
+	Table *report.Table
+}
+
+// table3Defenses are Table III's four columns.
+func table3Defenses() []defense.Defense {
+	return []defense.Defense{
+		defense.Chrome(), defense.JSKernel("chrome"),
+		defense.Firefox(), defense.JSKernel("firefox"),
+	}
+}
+
+// Table3 runs the Raptor tp6-1 subtests under Chrome and Firefox with and
+// without JSKernel.
+func Table3(cfg Config) (*Table3Result, error) {
+	res := &Table3Result{Cells: make(map[string]map[string]workload.RaptorResult)}
+	defs := table3Defenses()
+	cols := []string{"Subtest"}
+	for _, d := range defs {
+		cols = append(cols, d.Label)
+	}
+	tbl := &report.Table{
+		Title:   "Table III: Average Website Loading Time in Raptor-tp6-1 (ms, mean±std)",
+		Columns: cols,
+		Notes: []string{
+			fmt.Sprintf("%d loads per subtest, first skipped (tab-open effects)", cfg.RaptorLoads),
+		},
+	}
+	bySite := make(map[string][]string)
+	var siteOrder []string
+	for _, d := range defs {
+		results, err := workload.RunRaptor(d, cfg.RaptorLoads, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("table3 %s: %w", d.ID, err)
+		}
+		for _, r := range results {
+			if res.Cells[r.Site] == nil {
+				res.Cells[r.Site] = make(map[string]workload.RaptorResult)
+				siteOrder = append(siteOrder, r.Site)
+			}
+			res.Cells[r.Site][d.ID] = r
+			bySite[r.Site] = append(bySite[r.Site],
+				fmt.Sprintf("%.1f±%.1f", r.Summary.Mean, r.Summary.StdDev))
+		}
+	}
+	for _, site := range siteOrder {
+		tbl.AddRow(append([]string{site}, bySite[site]...)...)
+	}
+	res.Table = tbl
+	return res, nil
+}

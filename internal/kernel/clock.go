@@ -1,0 +1,63 @@
+package kernel
+
+import "jskernel/internal/sim"
+
+// Clock is the kernel's logical clock (paper §III-C2): a counter that
+// ticks on kernel activity — event dispatches — never on real execution
+// time. Everything user space can learn about time (performance.now,
+// Date.now, rAF timestamps) is derived from it, so durations of real
+// computation are invisible.
+type Clock struct {
+	now     sim.Time
+	quantum sim.Duration
+	ticks   uint64
+}
+
+// NewClock returns a clock that displays time quantized to quantum.
+func NewClock(quantum sim.Duration) *Clock {
+	if quantum <= 0 {
+		quantum = sim.Millisecond
+	}
+	return &Clock{quantum: quantum}
+}
+
+// Quantum returns the display quantum.
+func (c *Clock) Quantum() sim.Duration { return c.quantum }
+
+// Now returns the current logical time.
+func (c *Clock) Now() sim.Time { return c.now }
+
+// Ticks reports how many times the clock advanced.
+func (c *Clock) Ticks() uint64 { return c.ticks }
+
+// Tick advances the logical clock by d (the "ticking by" API).
+func (c *Clock) Tick(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.now += d
+	c.ticks++
+}
+
+// TickTo advances the logical clock to t (the "ticking to" API). The clock
+// never moves backwards; TickTo to the past is a no-op.
+func (c *Clock) TickTo(t sim.Time) {
+	if t <= c.now {
+		return
+	}
+	c.now = t
+	c.ticks++
+}
+
+// DisplayMillis returns the clock reading user space sees: logical time
+// quantized to the display quantum, in milliseconds (the "displaying"
+// API backing performance.now).
+func (c *Clock) DisplayMillis() float64 {
+	q := c.now / c.quantum * c.quantum
+	return q.Milliseconds()
+}
+
+// DisplayUnixMillis returns whole milliseconds for Date.now.
+func (c *Clock) DisplayUnixMillis() int64 {
+	return int64(c.now / sim.Millisecond)
+}

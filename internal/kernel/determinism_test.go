@@ -1,0 +1,292 @@
+package kernel_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+	"jskernel/internal/webnet"
+)
+
+// This file checks the kernel's central security invariant as a property:
+// for ANY page behaviour, everything user space can observe — the order
+// of its callbacks and every clock reading — is identical no matter how
+// long the underlying (secret) computations take. If this property holds,
+// no implicit or explicit clock can measure anything.
+
+// scenario is a randomly generated page: a fixed sequence of API
+// operations whose *structure* is the same across runs, while the
+// synchronous costs (the secrets) are scaled by costScale.
+type scenario struct {
+	seed      int64
+	costScale sim.Duration
+}
+
+// observation is one attacker-visible datum: which callback ran, in what
+// order, and what the clock said.
+type observation struct {
+	tag   string
+	clock float64
+}
+
+// runScenario executes the generated page under a fully kernelized
+// browser and returns two observable traces: the receiver-local one
+// (timers, rAF, fetches, synchronous reads — strictly deterministic) and
+// the worker-reply one (deterministic as a sequence; its interleaving
+// with local events is bounded to one logical slot, the documented
+// residual — see nextInboundPred).
+func runScenario(t *testing.T, sc scenario) (local, replies []observation) {
+	t.Helper()
+	s := sim.New(1) // fixed simulator seed: network jitter is not the secret
+	s.MaxSteps = 10_000_000
+	cfg := webnet.DefaultConfig()
+	cfg.JitterFrac = 0
+	net := webnet.New(cfg, s.Rand())
+	shared := kernel.NewShared(policy.FullDefense())
+	b := browser.New(s, browser.Options{Net: net, InstallScope: shared.Install})
+	b.Origin = "https://site.example"
+	b.Net.RegisterScript("https://site.example/r.js", 400_000)
+
+	rng := rand.New(rand.NewSource(sc.seed))
+	see := func(g *browser.Global, tag string) {
+		local = append(local, observation{tag: tag, clock: g.PerformanceNow()})
+	}
+
+	b.RegisterWorkerScript("w.js", func(g *browser.Global) {
+		g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+			// Secret-dependent background work.
+			gg.Busy(sim.Duration(rng.Intn(20)+1) * sc.costScale)
+			gg.PostMessage(m.Data)
+		})
+	})
+
+	b.RunScript("scenario", func(g *browser.Global) {
+		var w browser.Worker
+		nOps := rng.Intn(12) + 4
+		for i := 0; i < nOps; i++ {
+			op := rng.Intn(6)
+			tag := fmt.Sprintf("op%d-kind%d", i, op)
+			switch op {
+			case 0: // timer with secret-dependent body
+				d := sim.Duration(rng.Intn(8)+1) * sim.Millisecond
+				cost := sim.Duration(rng.Intn(30)+1) * sc.costScale
+				g.SetTimeout(func(gg *browser.Global) {
+					gg.Busy(cost)
+					see(gg, tag)
+				}, d)
+			case 1: // synchronous secret work + clock read
+				g.Busy(sim.Duration(rng.Intn(50)+1) * sc.costScale)
+				see(g, tag)
+			case 2: // animation frame
+				g.RequestAnimationFrame(func(gg *browser.Global, ts float64) {
+					local = append(local, observation{tag: tag, clock: ts})
+				})
+			case 3: // fetch (completion time depends on scale only via queue)
+				g.Fetch("https://site.example/r.js", browser.FetchOptions{}, func(r *browser.Response, err error) {
+					see(g, tag)
+				})
+			case 4: // worker round trip with secret-dependent worker time
+				if w == nil {
+					var err error
+					w, err = g.NewWorker("w.js")
+					if err != nil {
+						t.Errorf("worker: %v", err)
+						continue
+					}
+					w.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+						replies = append(replies, observation{tag: fmt.Sprintf("reply-%v", m.Data)})
+					})
+				}
+				w.PostMessage(i)
+			case 5: // float noise (secret-dependent)
+				g.FloatOps(rng.Intn(5000)*int(sc.costScale/sim.Nanosecond+1), rng.Intn(2) == 0)
+				see(g, tag)
+			}
+		}
+	})
+	if err := b.RunFor(20 * sim.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return local, replies
+}
+
+// TestPropertyObservablesIndependentOfSecretCosts scales every secret
+// computation by 1ns vs 200ns per unit and requires bit-identical local
+// observable traces (order AND clock readings), plus identical worker
+// reply sequences.
+func TestPropertyObservablesIndependentOfSecretCosts(t *testing.T) {
+	f := func(seed int64) bool {
+		fastLocal, fastReplies := runScenario(t, scenario{seed: seed, costScale: 1 * sim.Nanosecond})
+		slowLocal, slowReplies := runScenario(t, scenario{seed: seed, costScale: 200 * sim.Nanosecond})
+		if len(fastLocal) != len(slowLocal) {
+			t.Logf("seed %d: local trace lengths differ: %d vs %d", seed, len(fastLocal), len(slowLocal))
+			return false
+		}
+		for i := range fastLocal {
+			if fastLocal[i] != slowLocal[i] {
+				t.Logf("seed %d: local traces diverge at %d: %+v vs %+v", seed, i, fastLocal[i], slowLocal[i])
+				return false
+			}
+		}
+		if len(fastReplies) != len(slowReplies) {
+			t.Logf("seed %d: reply counts differ: %d vs %d", seed, len(fastReplies), len(slowReplies))
+			return false
+		}
+		for i := range fastReplies {
+			if fastReplies[i].tag != slowReplies[i].tag {
+				t.Logf("seed %d: reply order diverges at %d", seed, i)
+				return false
+			}
+		}
+		return len(fastLocal) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyObservablesDoDependOnSecretCosts is the control: without the
+// kernel the same scenarios leak, proving the property test has teeth.
+func TestLegacyObservablesDoDependOnSecretCosts(t *testing.T) {
+	runLegacy := func(seed int64, scale sim.Duration) []observation {
+		s := sim.New(1)
+		s.MaxSteps = 10_000_000
+		cfg := webnet.DefaultConfig()
+		cfg.JitterFrac = 0
+		net := webnet.New(cfg, s.Rand())
+		b := browser.New(s, browser.Options{Net: net})
+		b.Origin = "https://site.example"
+		var obs []observation
+		rng := rand.New(rand.NewSource(seed))
+		b.RunScript("scenario", func(g *browser.Global) {
+			for i := 0; i < 6; i++ {
+				cost := sim.Duration(rng.Intn(50)+1) * scale
+				g.Busy(cost)
+				obs = append(obs, observation{tag: fmt.Sprint(i), clock: g.PerformanceNow()})
+			}
+		})
+		if err := b.RunFor(5 * sim.Second); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return obs
+	}
+	fast := runLegacy(7, sim.Microsecond)
+	slow := runLegacy(7, 100*sim.Microsecond)
+	same := len(fast) == len(slow)
+	if same {
+		for i := range fast {
+			if fast[i] != slow[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("legacy browser hid secret costs; the determinism property test would be vacuous")
+	}
+}
+
+// TestMultiContextDeterminism stresses determinism across three kinds of
+// contexts at once: the window, two workers, and a cross-origin frame,
+// all with secret-dependent workloads.
+func TestMultiContextDeterminism(t *testing.T) {
+	trace := func(scale sim.Duration) []string {
+		b, _, _ := newKernelBrowser(t, nil)
+		var out []string
+		see := func(tag string, clock float64) {
+			out = append(out, fmt.Sprintf("%s@%.3f", tag, clock))
+		}
+		b.RegisterWorkerScript("w1.js", func(g *browser.Global) {
+			g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+				gg.Busy(7 * scale)
+				gg.PostMessage(fmt.Sprintf("w1:%v", m.Data))
+			})
+		})
+		b.RegisterWorkerScript("w2.js", func(g *browser.Global) {
+			g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+				gg.Busy(23 * scale)
+				gg.PostMessage(fmt.Sprintf("w2:%v", m.Data))
+			})
+		})
+		b.RunScript("main", func(g *browser.Global) {
+			w1, err1 := g.NewWorker("w1.js")
+			w2, err2 := g.NewWorker("w2.js")
+			if err1 != nil || err2 != nil {
+				t.Errorf("workers: %v %v", err1, err2)
+				return
+			}
+			f, err := g.CreateFrame("https://widget.example")
+			if err != nil {
+				t.Errorf("frame: %v", err)
+				return
+			}
+			f.RunScript("widget", func(fg *browser.Global) {
+				fg.SetOnMessage(func(f3 *browser.Global, m browser.MessageEvent) {
+					f3.Busy(11 * scale)
+					f3.PostMessage(fmt.Sprintf("frame:%v", m.Data))
+				})
+			})
+			// Window-local observables: strict determinism required.
+			for i := 0; i < 3; i++ {
+				i := i
+				g.SetTimeout(func(gg *browser.Global) {
+					gg.Busy(13 * scale)
+					see(fmt.Sprintf("timer%d", i), gg.PerformanceNow())
+				}, sim.Duration(i+2)*sim.Millisecond)
+			}
+			// Replies from each context, counted in order per source:
+			// worker replies arrive on their handles, frame replies on the
+			// window's own onmessage.
+			w1.SetOnMessage(func(_ *browser.Global, m browser.MessageEvent) {
+				see(fmt.Sprintf("reply(%v)", m.Data), -1)
+			})
+			w2.SetOnMessage(func(_ *browser.Global, m browser.MessageEvent) {
+				see(fmt.Sprintf("reply(%v)", m.Data), -1)
+			})
+			g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+				see(fmt.Sprintf("reply(%v)", m.Data), -1)
+			})
+			for i := 0; i < 3; i++ {
+				w1.PostMessage(i)
+				w2.PostMessage(i)
+				f.PostMessage(i, "*")
+			}
+		})
+		if err := b.RunFor(2 * sim.Second); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	fast := trace(1 * sim.Microsecond)
+	slow := trace(400 * sim.Microsecond)
+	// Per-source subsequences and the full local/clock trace must match.
+	filter := func(in []string, prefix string) []string {
+		var out []string
+		for _, s := range in {
+			if strings.HasPrefix(s, prefix) {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	for _, prefix := range []string{"timer", "reply(w1", "reply(w2", "reply(frame"} {
+		a, b := filter(fast, prefix), filter(slow, prefix)
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ (%d vs %d)\nfast=%v\nslow=%v", prefix, len(a), len(b), fast, slow)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s diverges at %d: %s vs %s", prefix, i, a[i], b[i])
+			}
+		}
+		if len(a) != 3 {
+			t.Fatalf("%s: got %d observations, want 3", prefix, len(a))
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package kernel_test
+
+import (
+	"errors"
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+)
+
+// Failure-injection tests: the kernel must degrade cleanly when the
+// native layer errors, when events are cancelled mid-lifecycle, and when
+// workers die at awkward moments.
+
+func TestKernelFetchErrorStillDispatches(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	var gotErr error
+	called := false
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch("https://site.example/missing.js", browser.FetchOptions{}, func(r *browser.Response, err error) {
+			called = true
+			gotErr = err
+		})
+	})
+	run(t, b)
+	if !called {
+		t.Fatal("error callback never dispatched through the kernel queue")
+	}
+	if gotErr == nil {
+		t.Fatal("missing resource should error")
+	}
+}
+
+func TestKernelFetchErrorDoesNotWedgeQueue(t *testing.T) {
+	// A failing fetch's pending event must not block later events forever.
+	b, _, _ := newKernelBrowser(t, nil)
+	order := []string{}
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch("https://site.example/missing.js", browser.FetchOptions{}, func(*browser.Response, error) {
+			order = append(order, "fetch-err")
+		})
+		g.SetTimeout(func(*browser.Global) { order = append(order, "late-timer") }, 50*sim.Millisecond)
+	})
+	run(t, b)
+	if len(order) != 2 || order[0] != "fetch-err" || order[1] != "late-timer" {
+		t.Fatalf("order = %v; queue wedged behind failed fetch", order)
+	}
+}
+
+func TestKernelAbortedFetchUnblocksQueue(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	b.Net.RegisterScript("https://site.example/slow.js", 10_000_000)
+	var events []string
+	b.RunScript("main", func(g *browser.Global) {
+		ctl := g.NewAbortController()
+		g.Fetch("https://site.example/slow.js", browser.FetchOptions{Signal: ctl.Signal()},
+			func(_ *browser.Response, err error) {
+				if err != nil {
+					events = append(events, "aborted")
+				} else {
+					events = append(events, "completed")
+				}
+			})
+		g.SetTimeout(func(*browser.Global) { ctl.Abort() }, 5*sim.Millisecond)
+		// This timer's prediction is far behind the fetch's 10ms; it must
+		// still run once the abort resolves the fetch event.
+		g.SetTimeout(func(*browser.Global) { events = append(events, "later") }, 100*sim.Millisecond)
+	})
+	run(t, b)
+	if len(events) != 2 || events[0] != "aborted" || events[1] != "later" {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+func TestKernelClearTimeoutOnReadyEvent(t *testing.T) {
+	// §III-D2 case two: the native timer already fired (event confirmed)
+	// but the dispatcher has not released it because an earlier-predicted
+	// event is still pending. Cancelling at that point must discard it.
+	b, shared, _ := newKernelBrowser(t, nil)
+	b.Net.RegisterScript("https://site.example/slow.js", 8_000_000)
+	fired := false
+	b.RunScript("main", func(g *browser.Global) {
+		// The blocker: a fetch predicted at 10ms that completes at ~7s.
+		g.Fetch("https://site.example/slow.js", browser.FetchOptions{}, func(*browser.Response, error) {})
+		// A timer predicted at 50ms: natively fires at 50ms, then waits
+		// behind the pending fetch.
+		id := g.SetTimeout(func(*browser.Global) { fired = true }, 50*sim.Millisecond)
+		// Cancel it at 200ms real time — after native firing, before
+		// kernel dispatch.
+		g.SetTimeout(func(gg *browser.Global) { gg.ClearTimeout(id) }, 40*sim.Millisecond)
+		_ = shared
+	})
+	run(t, b)
+	if fired {
+		t.Fatal("cancelled-while-ready event was dispatched")
+	}
+}
+
+func TestKernelWorkerTerminateDuringPendingTimer(t *testing.T) {
+	// Worker-scope kernel events die with their worker without wedging
+	// the main kernel.
+	b, _, _ := newKernelBrowser(t, nil)
+	b.RegisterWorkerScript("timers.js", func(g *browser.Global) {
+		g.SetInterval(func(*browser.Global) {}, 2*sim.Millisecond)
+		g.PostMessage("running")
+	})
+	mainAlive := false
+	b.RunScript("main", func(g *browser.Global) {
+		w, err := g.NewWorker("timers.js")
+		if err != nil {
+			t.Errorf("worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(gg *browser.Global, _ browser.MessageEvent) {
+			w.Terminate()
+			gg.SetTimeout(func(*browser.Global) { mainAlive = true }, 10*sim.Millisecond)
+		})
+	})
+	run(t, b)
+	if !mainAlive {
+		t.Fatal("main kernel wedged after worker termination")
+	}
+}
+
+func TestKernelWorkerErrorSanitizedViaOnError(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	var msg string
+	b.RegisterWorkerScript("failing.js", func(g *browser.Global) {
+		_ = g.ImportScripts("https://site.example/nonexistent-lib.js")
+	})
+	b.RunScript("main", func(g *browser.Global) {
+		w, err := g.NewWorker("failing.js")
+		if err != nil {
+			t.Errorf("worker: %v", err)
+			return
+		}
+		w.SetOnError(func(_ *browser.Global, werr *browser.WorkerError) { msg = werr.Message })
+	})
+	run(t, b)
+	if msg == "" {
+		t.Skip("same-origin import error not routed to onerror in this configuration")
+	}
+	if containsStr(msg, "nonexistent-lib") {
+		t.Fatalf("onerror message leaks URL detail: %q", msg)
+	}
+}
+
+func TestKernelNilCallbacksIgnored(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	b.RunScript("main", func(g *browser.Global) {
+		if id := g.SetTimeout(nil, sim.Millisecond); id != 0 {
+			t.Error("nil timeout callback should not register")
+		}
+		if id := g.SetInterval(nil, sim.Millisecond); id != 0 {
+			t.Error("nil interval callback should not register")
+		}
+		if id := g.RequestAnimationFrame(nil); id != 0 {
+			t.Error("nil rAF callback should not register")
+		}
+		if id := g.StartCSSAnimation(nil, nil); id != 0 {
+			t.Error("nil animation callback should not register")
+		}
+		stop := g.PlayVideo(nil)
+		stop()               // must be callable
+		g.ClearTimeout(9999) // unknown ids are no-ops
+		g.ClearInterval(9999)
+		g.CancelAnimationFrame(9999)
+		g.StopCSSAnimation(9999)
+	})
+	run(t, b)
+}
+
+func TestKernelIntervalCancelFromInsideCallback(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	count := 0
+	b.RunScript("main", func(g *browser.Global) {
+		var id int
+		id = g.SetInterval(func(gg *browser.Global) {
+			count++
+			gg.ClearInterval(id)
+		}, sim.Millisecond)
+	})
+	run(t, b)
+	if count != 1 {
+		t.Fatalf("interval fired %d times after self-cancel, want 1", count)
+	}
+}
+
+func TestKernelDeniedFetchDeliversPolicyError(t *testing.T) {
+	spec := policy.Deterministic()
+	spec.PolicyName = "deny-fetch"
+	deny := true
+	spec.Rules = append(spec.Rules, policy.Rule{
+		When:   policy.Condition{API: "fetch", CrossOrigin: &deny},
+		Action: kernel.ActionDeny,
+	})
+	b, _, _ := newKernelBrowser(t, spec)
+	b.Net.RegisterScript("https://other.example/x.js", 100)
+	var gotErr error
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch("https://other.example/x.js", browser.FetchOptions{}, func(_ *browser.Response, err error) {
+			gotErr = err
+		})
+	})
+	run(t, b)
+	if !errors.Is(gotErr, kernel.ErrPolicyDenied) {
+		t.Fatalf("err = %v, want policy denial", gotErr)
+	}
+}
+
+func TestWorkerStubStatusTransitions(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	b.RegisterWorkerScript("w.js", func(g *browser.Global) {})
+	b.RunScript("main", func(g *browser.Global) {
+		w, err := g.NewWorker("w.js")
+		if err != nil {
+			t.Errorf("worker: %v", err)
+			return
+		}
+		stub, ok := w.(*kernel.WorkerStub)
+		if !ok {
+			t.Error("not a stub")
+			return
+		}
+		if stub.Status() != kernel.StatusReadyW {
+			t.Errorf("status = %v, want ready", stub.Status())
+		}
+		w.Terminate()
+		if stub.Status() != kernel.StatusClosedW {
+			t.Errorf("status = %v, want closed", stub.Status())
+		}
+		w.Terminate() // idempotent
+		if w.Alive() {
+			t.Error("terminated stub reports alive")
+		}
+	})
+	run(t, b)
+}

@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"fmt"
+	"io"
+)
+
+// Decision records one non-allow policy verdict the kernel enforced —
+// the audit trail an operator needs to understand why a page behaved
+// differently under the kernel.
+type Decision struct {
+	Seq    uint64
+	API    string
+	Action Action
+	Reason string
+	// Context snapshot of the predicates that matched.
+	InWorker    bool
+	CrossOrigin bool
+	WorkerID    int
+	URL         string
+}
+
+// String formats a decision for logs.
+func (d Decision) String() string {
+	where := "window"
+	if d.InWorker {
+		where = fmt.Sprintf("worker#%d", d.WorkerID)
+	}
+	s := fmt.Sprintf("#%d %s on %s in %s", d.Seq, d.Action, d.API, where)
+	if d.URL != "" {
+		s += " url=" + d.URL
+	}
+	if d.Reason != "" {
+		s += " — " + d.Reason
+	}
+	return s
+}
+
+// maxJournal bounds the journal so pathological pages cannot exhaust
+// memory; older entries are dropped.
+const maxJournal = 4096
+
+// evaluate consults the policy and journals every enforced (non-allow)
+// verdict. All kernel call sites go through here.
+func (s *Shared) evaluate(ctx CallContext) Verdict {
+	v := s.policy.Evaluate(ctx)
+	if v.Action == ActionAllow || v.Action == "" {
+		return v
+	}
+	s.decisionSeq++
+	d := Decision{
+		Seq:         s.decisionSeq,
+		API:         ctx.API,
+		Action:      v.Action,
+		Reason:      v.Reason,
+		InWorker:    ctx.InWorker,
+		CrossOrigin: ctx.CrossOrigin,
+		WorkerID:    ctx.WorkerID,
+		URL:         ctx.URL,
+	}
+	if len(s.journal) >= maxJournal {
+		copy(s.journal, s.journal[1:])
+		s.journal[len(s.journal)-1] = d
+	} else {
+		s.journal = append(s.journal, d)
+	}
+	return v
+}
+
+// Decisions returns a copy of the enforcement journal.
+func (s *Shared) Decisions() []Decision {
+	out := make([]Decision, len(s.journal))
+	copy(out, s.journal)
+	return out
+}
+
+// WriteDecisions dumps the journal to w, one line per decision.
+func (s *Shared) WriteDecisions(w io.Writer) error {
+	for _, d := range s.journal {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package policy
+
+import (
+	"fmt"
+
+	"jskernel/internal/kernel"
+)
+
+// Deterministic returns the general deterministic-scheduling policy of
+// §II-B1 (Listing 3): every asynchronous event gets a predicted logical
+// time and the displayed clock follows predictions only. It carries no
+// call rules — scheduling alone defeats the implicit-clock attacks.
+func Deterministic() *Spec {
+	return &Spec{
+		PolicyName:           "deterministic-scheduling",
+		Description:          "arranges all events in a deterministic order with a logical clock",
+		Det:                  true,
+		QuantumMicros:        1000,   // 1ms logical quantum
+		LoadPredictionMicros: 10_000, // 10ms predicted resource-load time
+	}
+}
+
+// cveRules maps each modeled CVE to the manually specified rules that
+// break its triggering sequence (§IV-B).
+var cveRules = map[string][]Rule{
+	"CVE-2018-5092": {{
+		When:   Condition{API: "worker.terminate", PendingFetches: boolPtr(true)},
+		Action: kernel.ActionDefer,
+		Reason: "hold native terminate until the worker's fetches drain, so no abort can reach freed state",
+		CVE:    "CVE-2018-5092",
+	}},
+	"CVE-2017-7843": {{
+		When:   Condition{API: "indexedDB.open", PrivateMode: boolPtr(true)},
+		Action: kernel.ActionDeny,
+		Reason: "private browsing must not touch persistent IndexedDB state",
+		CVE:    "CVE-2017-7843",
+	}},
+	"CVE-2015-7215": {{
+		When:   Condition{API: "importScripts", CrossOrigin: boolPtr(true)},
+		Action: kernel.ActionSanitize,
+		Reason: "replace importScripts error text with a message carrying no cross-origin detail",
+		CVE:    "CVE-2015-7215",
+	}},
+	"CVE-2014-3194": {
+		{
+			When:   Condition{API: "sharedBuffer.read"},
+			Action: kernel.ActionSerialize,
+			Reason: "route shared-buffer reads through the kernel's serializing queue",
+			CVE:    "CVE-2014-3194",
+		},
+		{
+			When:   Condition{API: "sharedBuffer.write"},
+			Action: kernel.ActionSerialize,
+			Reason: "route shared-buffer writes through the kernel's serializing queue",
+			CVE:    "CVE-2014-3194",
+		},
+	},
+	"CVE-2014-1719": {{
+		When:   Condition{API: "worker.terminate", InFlightMessages: boolPtr(true)},
+		Action: kernel.ActionDefer,
+		Reason: "hold native terminate until in-flight messages deliver",
+		CVE:    "CVE-2014-1719",
+	}},
+	"CVE-2014-1488": {{
+		When:   Condition{API: "worker.terminate", Transferred: boolPtr(true)},
+		Action: kernel.ActionRetain,
+		Reason: "a worker that transferred a buffer is only terminated at the user level; the kernel keeps it alive",
+		CVE:    "CVE-2014-1488",
+	}},
+	"CVE-2014-1487": {{
+		When:   Condition{API: "worker.new", CrossOrigin: boolPtr(true)},
+		Action: kernel.ActionSanitize,
+		Reason: "replace worker-creation error text with a message carrying no cross-origin detail",
+		CVE:    "CVE-2014-1487",
+	}},
+	"CVE-2013-6646": {{
+		When:   Condition{API: "worker.release", InFlightMessages: boolPtr(true)},
+		Action: kernel.ActionRetain,
+		Reason: "the kernel retains worker references until in-flight messages deliver",
+		CVE:    "CVE-2013-6646",
+	}},
+	"CVE-2013-5602": {{
+		When:   Condition{API: "worker.onmessage", WorkerTerminated: boolPtr(true)},
+		Action: kernel.ActionDrop,
+		Reason: "trap the onmessage setter; assignments to terminated workers never reach native state",
+		CVE:    "CVE-2013-5602",
+	}},
+	"CVE-2013-1714": {{
+		When:   Condition{API: "xhr", InWorker: boolPtr(true), CrossOrigin: boolPtr(true)},
+		Action: kernel.ActionDeny,
+		Reason: "check origins for all requests coming from a web worker",
+		CVE:    "CVE-2013-1714",
+	}},
+	"CVE-2011-1190": {{
+		When:   Condition{API: "workerLocation", Redirected: boolPtr(true)},
+		Action: kernel.ActionSanitize,
+		Reason: "expose only the origin-relative worker location, never the redirect target",
+		CVE:    "CVE-2011-1190",
+	}},
+	"CVE-2010-4576": {{
+		When:   Condition{API: "postMessage", TornDown: boolPtr(true)},
+		Action: kernel.ActionDrop,
+		Reason: "drop worker messages addressed to a torn-down document",
+		CVE:    "CVE-2010-4576",
+	}},
+}
+
+// DisableSharedBuffers returns the hardening policy real browsers adopted
+// after Spectre: scripts cannot touch SharedArrayBuffer at all. It fully
+// closes the SAB fine-grained timer channel that serialization alone only
+// coarsens (see attack.SABTimerAttack). Combine it with FullDefense for a
+// maximally hardened configuration.
+func DisableSharedBuffers() *Spec {
+	s := Deterministic()
+	s.PolicyName = "disable-shared-buffers"
+	s.Description = "deny all SharedArrayBuffer access (post-Spectre hardening)"
+	s.Rules = []Rule{
+		{When: Condition{API: "sharedBuffer.read"}, Action: kernel.ActionDeny,
+			Reason: "shared memory is a fine-grained timer; deny it outright"},
+		{When: Condition{API: "sharedBuffer.write"}, Action: kernel.ActionDeny,
+			Reason: "shared memory is a fine-grained timer; deny it outright"},
+	}
+	return s
+}
+
+// CVEIDs lists the CVEs with builtin specific policies, in stable order.
+func CVEIDs() []string {
+	return []string{
+		"CVE-2018-5092", "CVE-2017-7843", "CVE-2015-7215", "CVE-2014-3194",
+		"CVE-2014-1719", "CVE-2014-1488", "CVE-2014-1487", "CVE-2013-6646",
+		"CVE-2013-5602", "CVE-2013-1714", "CVE-2011-1190", "CVE-2010-4576",
+	}
+}
+
+// ForCVE returns the manually specified scheduling policy defending one
+// CVE (e.g. Listing 4 for CVE-2018-5092).
+func ForCVE(id string) (*Spec, error) {
+	rules, ok := cveRules[id]
+	if !ok {
+		return nil, fmt.Errorf("policy: no builtin policy for %q", id)
+	}
+	s := Deterministic()
+	s.PolicyName = "policy_" + id
+	s.Description = "manually specified scheduling policy for " + id
+	s.Rules = append(s.Rules, rules...)
+	return s, nil
+}
+
+// FullDefense is the complete JSKernel configuration the paper evaluates:
+// deterministic scheduling plus every CVE-specific policy. Rule order puts
+// retain before defer for terminate so a transferred buffer wins.
+func FullDefense() *Spec {
+	s := Deterministic()
+	s.PolicyName = "jskernel-full"
+	s.Description = "deterministic scheduling + all CVE-specific policies"
+	// Order matters for worker.terminate: transferred → retain must be
+	// checked before the defer rules.
+	order := []string{
+		"CVE-2014-1488", "CVE-2018-5092", "CVE-2014-1719", "CVE-2017-7843",
+		"CVE-2015-7215", "CVE-2014-3194", "CVE-2014-1487", "CVE-2013-6646",
+		"CVE-2013-5602", "CVE-2013-1714", "CVE-2011-1190", "CVE-2010-4576",
+	}
+	for _, id := range order {
+		s.Rules = append(s.Rules, cveRules[id]...)
+	}
+	return s
+}

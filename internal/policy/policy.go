@@ -1,0 +1,170 @@
+// Package policy implements JSKernel security policies: JSON-codable rule
+// sets evaluated by the kernel on every intercepted API call, plus the
+// scheduling parameters (quantum, load prediction) that drive deterministic
+// event scheduling.
+//
+// Two kinds of policy appear in the paper (§II-B3): a *general*
+// deterministic-scheduling policy that defeats every implicit-clock timing
+// attack, and *specific* manually written policies that break the
+// triggering sequence of an individual CVE. Both are expressed here as
+// Spec values; Combine merges them into the full JSKernel defense.
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"jskernel/internal/kernel"
+	"jskernel/internal/sim"
+)
+
+// Condition selects the calls a rule applies to. The zero value matches
+// everything; nil pointer fields are "don't care" (so conditions stay
+// sparse in JSON, like the paper's policy objects).
+type Condition struct {
+	API              string `json:"api,omitempty"` // exact match; "" = any API
+	InWorker         *bool  `json:"inWorker,omitempty"`
+	CrossOrigin      *bool  `json:"crossOrigin,omitempty"`
+	PrivateMode      *bool  `json:"privateMode,omitempty"`
+	TornDown         *bool  `json:"tornDown,omitempty"`
+	WorkerTerminated *bool  `json:"workerTerminated,omitempty"`
+	PendingFetches   *bool  `json:"pendingFetches,omitempty"`
+	InFlightMessages *bool  `json:"inFlightMessages,omitempty"`
+	Transferred      *bool  `json:"transferred,omitempty"`
+	Redirected       *bool  `json:"redirected,omitempty"`
+}
+
+// Matches reports whether the condition selects the call.
+func (c Condition) Matches(ctx kernel.CallContext) bool {
+	if c.API != "" && c.API != ctx.API {
+		return false
+	}
+	checks := []struct {
+		want *bool
+		got  bool
+	}{
+		{c.InWorker, ctx.InWorker},
+		{c.CrossOrigin, ctx.CrossOrigin},
+		{c.PrivateMode, ctx.PrivateMode},
+		{c.TornDown, ctx.TornDown},
+		{c.WorkerTerminated, ctx.WorkerTerminated},
+		{c.PendingFetches, ctx.PendingFetches},
+		{c.InFlightMessages, ctx.InFlightMessages},
+		{c.Transferred, ctx.Transferred},
+		{c.Redirected, ctx.Redirected},
+	}
+	for _, ch := range checks {
+		if ch.want != nil && *ch.want != ch.got {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule pairs a condition with the kernel action to take when it matches.
+type Rule struct {
+	When   Condition     `json:"when"`
+	Action kernel.Action `json:"action"`
+	Reason string        `json:"reason,omitempty"`
+	CVE    string        `json:"cve,omitempty"` // vulnerability this rule defends
+}
+
+// Spec is a serializable policy: scheduling parameters plus an ordered
+// rule list (first match wins). It implements kernel.Policy.
+type Spec struct {
+	PolicyName           string `json:"name"`
+	Description          string `json:"description,omitempty"`
+	Det                  bool   `json:"deterministic"`
+	QuantumMicros        int64  `json:"quantumMicros"`
+	LoadPredictionMicros int64  `json:"loadPredictionMicros"`
+	Rules                []Rule `json:"rules,omitempty"`
+}
+
+var _ kernel.Policy = (*Spec)(nil)
+
+// Name implements kernel.Policy.
+func (s *Spec) Name() string { return s.PolicyName }
+
+// Deterministic implements kernel.Policy.
+func (s *Spec) Deterministic() bool { return s.Det }
+
+// Quantum implements kernel.Policy.
+func (s *Spec) Quantum() sim.Duration {
+	if s.QuantumMicros <= 0 {
+		return sim.Millisecond
+	}
+	return sim.Duration(s.QuantumMicros) * sim.Microsecond
+}
+
+// LoadPrediction returns the deterministic prediction for resource loads.
+func (s *Spec) LoadPrediction() sim.Duration {
+	if s.LoadPredictionMicros <= 0 {
+		return 10 * sim.Millisecond
+	}
+	return sim.Duration(s.LoadPredictionMicros) * sim.Microsecond
+}
+
+// PredictDelay implements kernel.Policy with the standard deterministic
+// prediction table.
+func (s *Spec) PredictDelay(api string, requested sim.Duration) sim.Duration {
+	return kernel.DefaultPredictDelay(api, requested, s.Quantum(), s.LoadPrediction())
+}
+
+// Evaluate implements kernel.Policy: first matching rule wins; no match
+// allows the call.
+func (s *Spec) Evaluate(ctx kernel.CallContext) kernel.Verdict {
+	for _, r := range s.Rules {
+		if r.When.Matches(ctx) {
+			return kernel.Verdict{Action: r.Action, Reason: r.Reason}
+		}
+	}
+	return kernel.Allow
+}
+
+// MarshalJSON uses the plain struct encoding (Spec has no cycles); defined
+// explicitly so the format is a documented, stable contract.
+func (s *Spec) MarshalJSON() ([]byte, error) {
+	type alias Spec
+	return json.Marshal((*alias)(s))
+}
+
+// Parse decodes a policy spec from its JSON form.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("policy: parse: %w", err)
+	}
+	if s.PolicyName == "" {
+		return nil, fmt.Errorf("policy: missing name")
+	}
+	for i, r := range s.Rules {
+		switch r.Action {
+		case kernel.ActionAllow, kernel.ActionDeny, kernel.ActionSanitize,
+			kernel.ActionDefer, kernel.ActionRetain, kernel.ActionDrop,
+			kernel.ActionSerialize:
+		default:
+			return nil, fmt.Errorf("policy: rule %d has unknown action %q", i, r.Action)
+		}
+	}
+	return &s, nil
+}
+
+// Combine merges several specs into one: the first spec's scheduling
+// parameters win, and rule lists concatenate in order.
+func Combine(name string, specs ...*Spec) *Spec {
+	out := &Spec{PolicyName: name, Det: true}
+	for i, s := range specs {
+		if s == nil {
+			continue
+		}
+		if i == 0 || out.QuantumMicros == 0 {
+			out.QuantumMicros = s.QuantumMicros
+			out.LoadPredictionMicros = s.LoadPredictionMicros
+		}
+		out.Rules = append(out.Rules, s.Rules...)
+	}
+	return out
+}
+
+// boolPtr returns a pointer to b, for sparse conditions.
+func boolPtr(b bool) *bool { return &b }

@@ -1,0 +1,224 @@
+package policy
+
+import (
+	"encoding/json"
+	"testing"
+
+	"jskernel/internal/kernel"
+	"jskernel/internal/sim"
+)
+
+func TestConditionMatches(t *testing.T) {
+	cases := []struct {
+		name string
+		cond Condition
+		ctx  kernel.CallContext
+		want bool
+	}{
+		{"empty matches anything", Condition{}, kernel.CallContext{API: "fetch"}, true},
+		{"api match", Condition{API: "xhr"}, kernel.CallContext{API: "xhr"}, true},
+		{"api mismatch", Condition{API: "xhr"}, kernel.CallContext{API: "fetch"}, false},
+		{
+			"bool fields must all match",
+			Condition{InWorker: boolPtr(true), CrossOrigin: boolPtr(true)},
+			kernel.CallContext{InWorker: true, CrossOrigin: false},
+			false,
+		},
+		{
+			"bool fields all matching",
+			Condition{InWorker: boolPtr(true), CrossOrigin: boolPtr(true)},
+			kernel.CallContext{InWorker: true, CrossOrigin: true},
+			true,
+		},
+		{
+			"nil pointer is don't-care",
+			Condition{PrivateMode: boolPtr(false)},
+			kernel.CallContext{PrivateMode: false, TornDown: true},
+			true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.cond.Matches(tc.ctx); got != tc.want {
+				t.Fatalf("Matches = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvaluateFirstMatchWins(t *testing.T) {
+	s := &Spec{
+		PolicyName: "test",
+		Rules: []Rule{
+			{When: Condition{API: "xhr", InWorker: boolPtr(true)}, Action: kernel.ActionDeny},
+			{When: Condition{API: "xhr"}, Action: kernel.ActionSanitize},
+		},
+	}
+	if v := s.Evaluate(kernel.CallContext{API: "xhr", InWorker: true}); v.Action != kernel.ActionDeny {
+		t.Fatalf("verdict = %v, want deny", v.Action)
+	}
+	if v := s.Evaluate(kernel.CallContext{API: "xhr"}); v.Action != kernel.ActionSanitize {
+		t.Fatalf("verdict = %v, want sanitize (second rule)", v.Action)
+	}
+	if v := s.Evaluate(kernel.CallContext{API: "fetch"}); v.Action != kernel.ActionAllow {
+		t.Fatalf("verdict = %v, want allow (no match)", v.Action)
+	}
+}
+
+func TestQuantumAndLoadPredictionDefaults(t *testing.T) {
+	s := &Spec{PolicyName: "x"}
+	if s.Quantum() != sim.Millisecond {
+		t.Fatalf("default quantum = %v", s.Quantum())
+	}
+	if s.LoadPrediction() != 10*sim.Millisecond {
+		t.Fatalf("default load prediction = %v", s.LoadPrediction())
+	}
+	s.QuantumMicros = 500
+	if s.Quantum() != 500*sim.Microsecond {
+		t.Fatalf("quantum = %v", s.Quantum())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := FullDefense()
+	data, err := json.MarshalIndent(orig, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if parsed.PolicyName != orig.PolicyName || len(parsed.Rules) != len(orig.Rules) {
+		t.Fatalf("round trip lost data: %s vs %s, %d vs %d rules",
+			parsed.PolicyName, orig.PolicyName, len(parsed.Rules), len(orig.Rules))
+	}
+	for i := range orig.Rules {
+		if parsed.Rules[i].Action != orig.Rules[i].Action {
+			t.Fatalf("rule %d action changed in round trip", i)
+		}
+		if parsed.Rules[i].When.API != orig.Rules[i].When.API {
+			t.Fatalf("rule %d condition changed in round trip", i)
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON should fail")
+	}
+	if _, err := Parse([]byte(`{"deterministic":true}`)); err == nil {
+		t.Fatal("missing name should fail")
+	}
+	if _, err := Parse([]byte(`{"name":"x","rules":[{"when":{},"action":"explode"}]}`)); err == nil {
+		t.Fatal("unknown action should fail")
+	}
+}
+
+func TestDeterministicPolicy(t *testing.T) {
+	d := Deterministic()
+	if !d.Deterministic() {
+		t.Fatal("deterministic policy reports false")
+	}
+	if len(d.Rules) != 0 {
+		t.Fatal("general policy should carry no call rules")
+	}
+	if v := d.Evaluate(kernel.CallContext{API: "xhr", InWorker: true, CrossOrigin: true}); v.Action != kernel.ActionAllow {
+		t.Fatal("general policy should allow calls")
+	}
+}
+
+func TestForCVEAllIDs(t *testing.T) {
+	for _, id := range CVEIDs() {
+		s, err := ForCVE(id)
+		if err != nil {
+			t.Errorf("ForCVE(%s): %v", id, err)
+			continue
+		}
+		if len(s.Rules) == 0 {
+			t.Errorf("ForCVE(%s) has no rules", id)
+		}
+		for _, r := range s.Rules {
+			if r.CVE != id {
+				t.Errorf("ForCVE(%s) rule tagged %q", id, r.CVE)
+			}
+		}
+	}
+	if _, err := ForCVE("CVE-9999-0001"); err == nil {
+		t.Fatal("unknown CVE should error")
+	}
+}
+
+func TestFullDefenseCoversAllCVEs(t *testing.T) {
+	full := FullDefense()
+	covered := make(map[string]bool)
+	for _, r := range full.Rules {
+		covered[r.CVE] = true
+	}
+	for _, id := range CVEIDs() {
+		if !covered[id] {
+			t.Errorf("FullDefense missing rules for %s", id)
+		}
+	}
+	// Terminate ordering: the retain rule (CVE-2014-1488) must come before
+	// any defer rule so transferred workers are retained, not deferred.
+	firstTerminate := ""
+	for _, r := range full.Rules {
+		if r.When.API == "worker.terminate" {
+			firstTerminate = r.CVE
+			break
+		}
+	}
+	if firstTerminate != "CVE-2014-1488" {
+		t.Fatalf("first terminate rule is %s, want the retain rule", firstTerminate)
+	}
+}
+
+func TestFullDefenseVerdicts(t *testing.T) {
+	full := FullDefense()
+	cases := []struct {
+		name string
+		ctx  kernel.CallContext
+		want kernel.Action
+	}{
+		{"worker cross-origin xhr", kernel.CallContext{API: "xhr", InWorker: true, CrossOrigin: true}, kernel.ActionDeny},
+		{"main cross-origin xhr unaffected", kernel.CallContext{API: "xhr", CrossOrigin: true}, kernel.ActionAllow},
+		{"private idb", kernel.CallContext{API: "indexedDB.open", PrivateMode: true}, kernel.ActionDeny},
+		{"normal idb", kernel.CallContext{API: "indexedDB.open"}, kernel.ActionAllow},
+		{"terminate with transfer", kernel.CallContext{API: "worker.terminate", Transferred: true, PendingFetches: true}, kernel.ActionRetain},
+		{"terminate with fetch", kernel.CallContext{API: "worker.terminate", PendingFetches: true}, kernel.ActionDefer},
+		{"terminate clean", kernel.CallContext{API: "worker.terminate"}, kernel.ActionAllow},
+		{"onmessage on dead worker", kernel.CallContext{API: "worker.onmessage", WorkerTerminated: true}, kernel.ActionDrop},
+		{"postMessage after teardown", kernel.CallContext{API: "postMessage", TornDown: true}, kernel.ActionDrop},
+		{"buffer ops serialized", kernel.CallContext{API: "sharedBuffer.write"}, kernel.ActionSerialize},
+		{"redirected location", kernel.CallContext{API: "workerLocation", Redirected: true}, kernel.ActionSanitize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if v := full.Evaluate(tc.ctx); v.Action != tc.want {
+				t.Fatalf("verdict = %v, want %v", v.Action, tc.want)
+			}
+		})
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a, err := ForCVE("CVE-2013-1714")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForCVE("CVE-2017-7843")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Combine("merged", a, nil, b)
+	if c.PolicyName != "merged" {
+		t.Fatalf("name = %s", c.PolicyName)
+	}
+	if len(c.Rules) != len(a.Rules)+len(b.Rules) {
+		t.Fatalf("rules = %d", len(c.Rules))
+	}
+	if c.Quantum() != a.Quantum() {
+		t.Fatal("first spec's scheduling params should win")
+	}
+}

@@ -1,0 +1,230 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/kernel"
+	"jskernel/internal/sim"
+)
+
+// This file implements the paper's stated future work (§VI): automatically
+// extracting a defensive policy for a new vulnerability. Given a recorded
+// native-layer trace of an exploit run (browser.Recorder), Synthesize
+// identifies the dangerous condition each trigger-shaped event represents
+// and compiles a rule that breaks the triggering sequence — the same
+// reasoning the paper describes an expert performing manually on Bugzilla
+// reports (§II-B3), mechanized over the trace vocabulary.
+
+// SynthFinding explains one synthesized rule.
+type SynthFinding struct {
+	Rule     Rule
+	Evidence browser.TraceEvent
+	Analysis string
+}
+
+// raceWindow mirrors the race detector's overlap window.
+const synthRaceWindow = 100 * sim.Microsecond
+
+// Synthesize inspects an exploit trace and returns a policy whose rules
+// prevent every dangerous condition observed, layered on deterministic
+// scheduling. It errors when the trace exhibits nothing to defend
+// against.
+func Synthesize(name string, events []browser.TraceEvent) (*Spec, []SynthFinding, error) {
+	var findings []SynthFinding
+	add := func(r Rule, ev browser.TraceEvent, analysis string) {
+		findings = append(findings, SynthFinding{Rule: r, Evidence: ev, Analysis: analysis})
+	}
+
+	// State mirrored from the trace for multi-event conditions.
+	pendingFetchWorkers := make(map[int]bool)
+	transferredBufs := make(map[int64]bool)
+	type bufAccess struct {
+		threadID int
+		at       sim.Time
+		write    bool
+	}
+	lastBufAccess := make(map[int64]bufAccess)
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case browser.TraceWorkerTerminated:
+			if strings.Contains(ev.Detail, "pending-fetch") {
+				pendingFetchWorkers[ev.WorkerID] = true
+				add(Rule{
+					When:   Condition{API: "worker.terminate", PendingFetches: boolPtr(true)},
+					Action: kernel.ActionDefer,
+					Reason: "synthesized: worker terminated while a fetch was pending",
+				}, ev, "a later abort or completion would touch freed request state; defer the native terminate until the fetch drains")
+			}
+			if strings.Contains(ev.Detail, "pending-messages") {
+				add(Rule{
+					When:   Condition{API: "worker.terminate", InFlightMessages: boolPtr(true)},
+					Action: kernel.ActionDefer,
+					Reason: "synthesized: worker terminated with messages in flight",
+				}, ev, "in-flight deliveries reference worker state; defer the native terminate until delivery completes")
+			}
+
+		case browser.TraceFetchAbort:
+			if ev.Detail == "orphaned" {
+				add(Rule{
+					When:   Condition{API: "worker.terminate", PendingFetches: boolPtr(true)},
+					Action: kernel.ActionDefer,
+					Reason: "synthesized: abort signal reached a fetch whose worker was already terminated",
+				}, ev, "the use-after-free fires at abort time, but the root cause is the earlier termination; defer it")
+			}
+
+		case browser.TraceIndexedDBPut:
+			if ev.Detail == "private-mode" {
+				add(Rule{
+					When:   Condition{API: "indexedDB.open", PrivateMode: boolPtr(true)},
+					Action: kernel.ActionDeny,
+					Reason: "synthesized: IndexedDB write persisted during private browsing",
+				}, ev, "private sessions must not reach persistent storage; deny the open call")
+			}
+
+		case browser.TraceNavigationError:
+			switch ev.Detail {
+			case "leaky-error":
+				add(Rule{
+					When:   Condition{API: "importScripts", CrossOrigin: boolPtr(true)},
+					Action: kernel.ActionSanitize,
+					Reason: "synthesized: importScripts error text disclosed cross-origin detail",
+				}, ev, "replace the native error with a kernel-synthesized message carrying no cross-origin information")
+			case "location-leak":
+				add(Rule{
+					When:   Condition{API: "workerLocation", Redirected: boolPtr(true)},
+					Action: kernel.ActionSanitize,
+					Reason: "synthesized: worker location exposed a cross-origin redirect target",
+				}, ev, "expose only the origin-relative source, never the resolved redirect")
+			}
+
+		case browser.TraceWorkerError:
+			if ev.Detail == "cross-origin-create" {
+				add(Rule{
+					When:   Condition{API: "worker.new", CrossOrigin: boolPtr(true)},
+					Action: kernel.ActionSanitize,
+					Reason: "synthesized: worker-creation error text disclosed cross-origin detail",
+				}, ev, "fail the creation with a sanitized error before the native constructor runs")
+			}
+
+		case browser.TraceOnMessageSet:
+			if ev.Detail == "null-deref" {
+				add(Rule{
+					When:   Condition{API: "worker.onmessage", WorkerTerminated: boolPtr(true)},
+					Action: kernel.ActionDrop,
+					Reason: "synthesized: onmessage assigned to a terminated worker",
+				}, ev, "trap the setter; assignments to dead workers never reach native state")
+			}
+
+		case browser.TraceXHR:
+			if ev.Detail == "cross-origin-worker" {
+				add(Rule{
+					When:   Condition{API: "xhr", InWorker: boolPtr(true), CrossOrigin: boolPtr(true)},
+					Action: kernel.ActionDeny,
+					Reason: "synthesized: worker XHR crossed origins",
+				}, ev, "check origins for all requests coming from a web worker")
+			}
+
+		case browser.TraceMessageDelivered:
+			switch ev.Detail {
+			case "after-teardown":
+				add(Rule{
+					When:   Condition{API: "postMessage", TornDown: boolPtr(true)},
+					Action: kernel.ActionDrop,
+					Reason: "synthesized: worker message delivered into a torn-down document",
+				}, ev, "drop worker messages addressed to documents that no longer exist")
+			case "released-use":
+				add(Rule{
+					When:   Condition{API: "worker.release", InFlightMessages: boolPtr(true)},
+					Action: kernel.ActionRetain,
+					Reason: "synthesized: collected worker handle used by an in-flight delivery",
+				}, ev, "the kernel must retain worker references until deliveries drain")
+			}
+
+		case browser.TraceTransferable:
+			if ev.Detail == "to-parent" {
+				transferredBufs[ev.Value] = true
+			}
+
+		case browser.TraceSharedBufferOp:
+			if strings.Contains(ev.Detail, "use-after-free") && transferredBufs[ev.Value] {
+				add(Rule{
+					When:   Condition{API: "worker.terminate", Transferred: boolPtr(true)},
+					Action: kernel.ActionRetain,
+					Reason: "synthesized: transferred buffer freed with its worker, then used",
+				}, ev, "a worker that transferred a buffer out is only terminated at the user level")
+			}
+			write := strings.HasPrefix(ev.Detail, "write")
+			if prev, ok := lastBufAccess[ev.Value]; ok &&
+				prev.threadID != ev.ThreadID && ev.At-prev.at <= synthRaceWindow && (write || prev.write) {
+				for _, api := range []string{"sharedBuffer.read", "sharedBuffer.write"} {
+					add(Rule{
+						When:   Condition{API: api},
+						Action: kernel.ActionSerialize,
+						Reason: "synthesized: overlapping cross-thread shared-buffer accesses",
+					}, ev, "route every access through the kernel's serializing queue")
+				}
+			}
+			lastBufAccess[ev.Value] = bufAccess{threadID: ev.ThreadID, at: ev.At, write: write}
+		}
+	}
+
+	if len(findings) == 0 {
+		return nil, nil, fmt.Errorf("policy: trace of %d events exhibits no dangerous condition to synthesize a rule from", len(events))
+	}
+
+	spec := Deterministic()
+	spec.PolicyName = name
+	spec.Description = "automatically synthesized from an exploit trace"
+	seen := make(map[string]bool)
+	deduped := findings[:0]
+	for _, f := range findings {
+		key := ruleKey(f.Rule)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		spec.Rules = append(spec.Rules, f.Rule)
+		deduped = append(deduped, f)
+	}
+	// Retain rules must precede defer rules for the same API so the
+	// stronger remedy wins (same ordering constraint as FullDefense).
+	sortTerminateRules(spec.Rules)
+	return spec, deduped, nil
+}
+
+// ruleKey fingerprints a rule for deduplication.
+func ruleKey(r Rule) string {
+	b := func(p *bool) string {
+		if p == nil {
+			return "-"
+		}
+		if *p {
+			return "t"
+		}
+		return "f"
+	}
+	w := r.When
+	return strings.Join([]string{
+		string(r.Action), w.API,
+		b(w.InWorker), b(w.CrossOrigin), b(w.PrivateMode), b(w.TornDown),
+		b(w.WorkerTerminated), b(w.PendingFetches), b(w.InFlightMessages),
+		b(w.Transferred), b(w.Redirected),
+	}, "|")
+}
+
+// sortTerminateRules stably moves retain-actions ahead of defer-actions.
+func sortTerminateRules(rules []Rule) {
+	ordered := make([]Rule, 0, len(rules))
+	var deferred []Rule
+	for _, r := range rules {
+		if r.Action == kernel.ActionDefer {
+			deferred = append(deferred, r)
+			continue
+		}
+		ordered = append(ordered, r)
+	}
+	copy(rules, append(ordered, deferred...))
+}

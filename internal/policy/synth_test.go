@@ -1,0 +1,176 @@
+package policy
+
+import (
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/kernel"
+	"jskernel/internal/sim"
+)
+
+// Direct unit tests of the trace→rule compiler: one table entry per
+// dangerous condition in the trace vocabulary.
+
+func synthOne(t *testing.T, evs ...browser.TraceEvent) (*Spec, []SynthFinding) {
+	t.Helper()
+	spec, findings, err := Synthesize("t", evs)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return spec, findings
+}
+
+func TestSynthesizeTriggerVocabulary(t *testing.T) {
+	cases := []struct {
+		name       string
+		events     []browser.TraceEvent
+		wantAPI    string
+		wantAction kernel.Action
+	}{
+		{
+			"terminate with pending fetch",
+			[]browser.TraceEvent{{Kind: browser.TraceWorkerTerminated, Detail: "pending-fetch", WorkerID: 1}},
+			"worker.terminate", kernel.ActionDefer,
+		},
+		{
+			"terminate with pending messages",
+			[]browser.TraceEvent{{Kind: browser.TraceWorkerTerminated, Detail: "pending-messages"}},
+			"worker.terminate", kernel.ActionDefer,
+		},
+		{
+			"orphaned abort",
+			[]browser.TraceEvent{{Kind: browser.TraceFetchAbort, Detail: "orphaned"}},
+			"worker.terminate", kernel.ActionDefer,
+		},
+		{
+			"private-mode put",
+			[]browser.TraceEvent{{Kind: browser.TraceIndexedDBPut, Detail: "private-mode"}},
+			"indexedDB.open", kernel.ActionDeny,
+		},
+		{
+			"leaky import error",
+			[]browser.TraceEvent{{Kind: browser.TraceNavigationError, Detail: "leaky-error"}},
+			"importScripts", kernel.ActionSanitize,
+		},
+		{
+			"location leak",
+			[]browser.TraceEvent{{Kind: browser.TraceNavigationError, Detail: "location-leak"}},
+			"workerLocation", kernel.ActionSanitize,
+		},
+		{
+			"cross-origin worker creation",
+			[]browser.TraceEvent{{Kind: browser.TraceWorkerError, Detail: "cross-origin-create"}},
+			"worker.new", kernel.ActionSanitize,
+		},
+		{
+			"onmessage null deref",
+			[]browser.TraceEvent{{Kind: browser.TraceOnMessageSet, Detail: "null-deref"}},
+			"worker.onmessage", kernel.ActionDrop,
+		},
+		{
+			"worker cross-origin xhr",
+			[]browser.TraceEvent{{Kind: browser.TraceXHR, Detail: "cross-origin-worker"}},
+			"xhr", kernel.ActionDeny,
+		},
+		{
+			"delivery after teardown",
+			[]browser.TraceEvent{{Kind: browser.TraceMessageDelivered, Detail: "after-teardown"}},
+			"postMessage", kernel.ActionDrop,
+		},
+		{
+			"released handle used",
+			[]browser.TraceEvent{{Kind: browser.TraceMessageDelivered, Detail: "released-use"}},
+			"worker.release", kernel.ActionRetain,
+		},
+		{
+			"transferred buffer UAF",
+			[]browser.TraceEvent{
+				{Kind: browser.TraceTransferable, Detail: "to-parent", Value: 3},
+				{Kind: browser.TraceSharedBufferOp, Detail: "read:use-after-free", Value: 3},
+			},
+			"worker.terminate", kernel.ActionRetain,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, findings := synthOne(t, tc.events...)
+			found := false
+			for _, r := range spec.Rules {
+				if r.When.API == tc.wantAPI && r.Action == tc.wantAction {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no rule %s→%s in %+v", tc.wantAPI, tc.wantAction, spec.Rules)
+			}
+			if len(findings) == 0 || findings[0].Analysis == "" {
+				t.Fatal("finding missing analysis")
+			}
+		})
+	}
+}
+
+func TestSynthesizeBufferRace(t *testing.T) {
+	spec, _ := synthOne(t,
+		browser.TraceEvent{Kind: browser.TraceSharedBufferOp, ThreadID: 1, Value: 5, At: 0, Detail: "write"},
+		browser.TraceEvent{Kind: browser.TraceSharedBufferOp, ThreadID: 2, Value: 5, At: 50 * sim.Microsecond, Detail: "read"},
+	)
+	serializes := 0
+	for _, r := range spec.Rules {
+		if r.Action == kernel.ActionSerialize {
+			serializes++
+		}
+	}
+	if serializes != 2 {
+		t.Fatalf("want serialize rules for read and write, got %d", serializes)
+	}
+}
+
+func TestSynthesizeNoRaceWhenSeparated(t *testing.T) {
+	_, _, err := Synthesize("t", []browser.TraceEvent{
+		{Kind: browser.TraceSharedBufferOp, ThreadID: 1, Value: 5, At: 0, Detail: "write"},
+		{Kind: browser.TraceSharedBufferOp, ThreadID: 2, Value: 5, At: sim.Second, Detail: "write"},
+	})
+	if err == nil {
+		t.Fatal("well-separated accesses should synthesize nothing")
+	}
+}
+
+func TestSynthesizeRetainPrecedesDefer(t *testing.T) {
+	// When both a transfer-UAF and a pending-fetch termination appear, the
+	// retain rule must precede the defer rule (same invariant as
+	// FullDefense).
+	spec, _ := synthOne(t,
+		browser.TraceEvent{Kind: browser.TraceWorkerTerminated, Detail: "pending-fetch"},
+		browser.TraceEvent{Kind: browser.TraceTransferable, Detail: "to-parent", Value: 1},
+		browser.TraceEvent{Kind: browser.TraceSharedBufferOp, Detail: "read:use-after-free", Value: 1},
+	)
+	firstTerminate := kernel.Action("")
+	for _, r := range spec.Rules {
+		if r.When.API == "worker.terminate" {
+			firstTerminate = r.Action
+			break
+		}
+	}
+	if firstTerminate != kernel.ActionRetain {
+		t.Fatalf("first terminate rule = %s, want retain", firstTerminate)
+	}
+}
+
+func TestSynthesizedSpecIsValidJSON(t *testing.T) {
+	spec, _ := synthOne(t, browser.TraceEvent{Kind: browser.TraceXHR, Detail: "cross-origin-worker"})
+	data, err := spec.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatalf("synthesized policy does not round-trip: %v", err)
+	}
+	if len(parsed.Rules) != len(spec.Rules) {
+		t.Fatal("rules lost in round trip")
+	}
+	if !parsed.Deterministic() {
+		t.Fatal("synthesized policies must keep deterministic scheduling")
+	}
+}

@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "T",
+		Columns: []string{"A", "Bee"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("x", "y")
+	tbl.AddRow("longer")
+	var b strings.Builder
+	if err := tbl.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"T\n=", "A", "Bee", "x", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableAddRowPads(t *testing.T) {
+	tbl := &Table{Columns: []string{"a", "b", "c"}}
+	tbl.AddRow("only")
+	if len(tbl.Rows[0]) != 3 {
+		t.Fatalf("row len = %d", len(tbl.Rows[0]))
+	}
+	tbl.AddRow("1", "2", "3", "4-dropped")
+	if len(tbl.Rows[1]) != 3 {
+		t.Fatalf("row len = %d", len(tbl.Rows[1]))
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := &Table{Columns: []string{"name", "value"}}
+	tbl.AddRow(`with,comma`, `with"quote`)
+	var b strings.Builder
+	if err := tbl.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"with,comma","with""quote"`) {
+		t.Fatalf("csv escaping wrong: %s", b.String())
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	fig := &Figure{
+		Title:  "F",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{{Name: "s1", X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}
+	var b strings.Builder
+	if err := fig.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "s1") || !strings.Contains(b.String(), "3.0000") {
+		t.Fatalf("figure render: %s", b.String())
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline = %q", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	if flat != "▁▁▁" {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+}
+
+func TestMark(t *testing.T) {
+	if Mark(true) != CheckDefended || Mark(false) != CheckVulnerable {
+		t.Fatal("mark glyphs wrong")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{
+		Title:   "M",
+		Columns: []string{"a", "b"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("x|y", "z")
+	var b strings.Builder
+	if err := tbl.Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"### M", "| a | b |", "| --- | --- |", `x\|y`, "*a note*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim implements the discrete-event simulation engine that every
+// other subsystem of this repository runs on.
+//
+// The paper's prototype runs inside real browsers on wall-clock time. This
+// reproduction replaces that substrate with virtual time: the simulator
+// maintains a single global virtual clock and a priority queue of scheduled
+// events. Events fire in (time, sequence) order, so a whole run — browser
+// threads, network deliveries, renderer frames, kernel dispatches — is a
+// pure function of the initial configuration and the PRNG seed. That
+// determinism is what makes the timing side channels of the paper exactly
+// measurable and the defenses exactly comparable.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of a run.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common virtual durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Milliseconds reports t as a floating-point number of milliseconds, the
+// unit JavaScript's performance.now() uses.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the timestamp in milliseconds for logs and reports.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fms", t.Milliseconds())
+}
+
+// EventID names a scheduled event so that it can be cancelled.
+type EventID uint64
+
+// ErrStopped is returned by Run when the simulation is halted by Stop
+// rather than by queue exhaustion or deadline.
+var ErrStopped = errors.New("sim: stopped")
+
+// event is one pending entry in the simulator's priority queue.
+type event struct {
+	at    Time
+	seq   uint64
+	id    EventID
+	name  string
+	fn    func()
+	index int // heap index; -1 once removed
+}
+
+// eventHeap orders events by (at, seq); seq breaks ties deterministically
+// in scheduling order.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a deterministic discrete-event scheduler over virtual time.
+// It is not safe for concurrent use; all simulated "threads" are logical
+// processes multiplexed onto the caller's goroutine.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	nextID  EventID
+	queue   eventHeap
+	byID    map[EventID]*event
+	rng     *rand.Rand
+	stopped bool
+	steps   uint64
+
+	// MaxSteps bounds Run as a runaway-loop backstop; zero means no bound.
+	MaxSteps uint64
+}
+
+// New returns a simulator whose PRNG is seeded with seed. Two simulators
+// built with the same seed and fed the same schedule produce identical runs.
+func New(seed int64) *Simulator {
+	return &Simulator{
+		byID: make(map[EventID]*event),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand exposes the run's seeded PRNG. All randomness in a simulation
+// (network jitter, fuzzy clocks, workload generation) must come from here
+// so runs stay reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps reports how many events have been dispatched so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Pending reports the number of events still scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule registers fn to run at virtual time at. Scheduling in the past
+// (at < Now) clamps to Now: the event fires on the next step, after events
+// already due. The name is used only for diagnostics.
+func (s *Simulator) Schedule(at Time, name string, fn func()) EventID {
+	if fn == nil {
+		return 0
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.nextID++
+	ev := &event{at: at, seq: s.seq, id: s.nextID, name: name, fn: fn}
+	heap.Push(&s.queue, ev)
+	s.byID[ev.id] = ev
+	return ev.id
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d Duration, name string, fn func()) EventID {
+	return s.Schedule(s.now+d, name, fn)
+}
+
+// Cancel removes a scheduled event. It reports whether the event was still
+// pending; cancelling an already-fired or unknown ID is a no-op.
+func (s *Simulator) Cancel(id EventID) bool {
+	ev, ok := s.byID[id]
+	if !ok || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, ev.index)
+	delete(s.byID, id)
+	return true
+}
+
+// NextAt returns the virtual time of the earliest pending event. The second
+// result is false when the queue is empty.
+func (s *Simulator) NextAt() (Time, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// Step dispatches the single earliest pending event, advancing virtual time
+// to its timestamp. It reports whether an event was dispatched.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	evAny := heap.Pop(&s.queue)
+	ev, ok := evAny.(*event)
+	if !ok {
+		return false
+	}
+	delete(s.byID, ev.id)
+	s.now = ev.at
+	s.steps++
+	ev.fn()
+	return true
+}
+
+// Stop halts a Run in progress after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run dispatches events until the queue drains, Stop is called, or MaxSteps
+// is exceeded. It returns ErrStopped if halted by Stop and an error when the
+// step bound trips (which always indicates a scheduling loop bug).
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
+			return fmt.Errorf("sim: exceeded %d steps at %v", s.MaxSteps, s.now)
+		}
+		if !s.Step() {
+			return nil
+		}
+	}
+}
+
+// RunUntil dispatches events with timestamps <= deadline, leaving later
+// events queued, and advances the clock to deadline if the run gets there.
+func (s *Simulator) RunUntil(deadline Time) error {
+	s.stopped = false
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
+			return fmt.Errorf("sim: exceeded %d steps at %v", s.MaxSteps, s.now)
+		}
+		at, ok := s.NextAt()
+		if !ok || at > deadline {
+			if s.now < deadline {
+				s.now = deadline
+			}
+			return nil
+		}
+		s.Step()
+	}
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule(30, "c", func() { got = append(got, 3) })
+	s.Schedule(10, "a", func() { got = append(got, 1) })
+	s.Schedule(20, "b", func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(100, "tie", func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order violated: got %v", got)
+		}
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	s := New(1)
+	var firedAt Time
+	s.Schedule(100, "advance", func() {
+		s.Schedule(50, "past", func() { firedAt = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if firedAt != 100 {
+		t.Fatalf("past event fired at %v, want clamp to 100", firedAt)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	id := s.Schedule(10, "x", func() { fired = true })
+	if !s.Cancel(id) {
+		t.Fatal("cancel reported not pending")
+	}
+	if s.Cancel(id) {
+		t.Fatal("double cancel reported pending")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelUnknownID(t *testing.T) {
+	s := New(1)
+	if s.Cancel(12345) {
+		t.Fatal("cancel of unknown ID reported pending")
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New(1)
+	var at Time
+	s.Schedule(40, "base", func() {
+		s.After(5, "after", func() { at = s.Now() })
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if at != 45 {
+		t.Fatalf("After fired at %v, want 45", at)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.Schedule(Time(i), "n", func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	err := s.Run()
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		s.Schedule(at, "n", func() { fired = append(fired, at) })
+	}
+	if err := s.RunUntil(25); err != nil {
+		t.Fatalf("run until: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if s.Now() != 25 {
+		t.Fatalf("now = %v, want 25", s.Now())
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all four", fired)
+	}
+}
+
+func TestMaxStepsTrips(t *testing.T) {
+	s := New(1)
+	s.MaxSteps = 100
+	var loop func()
+	loop = func() { s.After(1, "loop", loop) }
+	s.Schedule(0, "seed", loop)
+	if err := s.Run(); err == nil {
+		t.Fatal("runaway loop did not trip MaxSteps")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []Time {
+		s := New(seed)
+		var out []Time
+		var spawn func(depth int)
+		spawn = func(depth int) {
+			out = append(out, s.Now())
+			if depth == 0 {
+				return
+			}
+			d := Duration(s.Rand().Intn(1000) + 1)
+			s.After(d, "child", func() { spawn(depth - 1) })
+			s.After(d*2, "child2", func() { spawn(depth - 1) })
+		}
+		s.Schedule(0, "root", func() { spawn(6) })
+		if err := s.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces; PRNG not wired in")
+	}
+}
+
+// TestPropertyDispatchOrderSorted checks the core heap invariant: however
+// events are scheduled, they fire in nondecreasing timestamp order and time
+// never moves backwards.
+func TestPropertyDispatchOrderSorted(t *testing.T) {
+	f := func(raw []uint32) bool {
+		s := New(7)
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r % 100000)
+			s.Schedule(at, "p", func() { fired = append(fired, s.Now()) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCancelRemovesExactly checks that cancelling a random subset
+// of events fires exactly the complement.
+func TestPropertyCancelRemovesExactly(t *testing.T) {
+	f := func(n uint8, mask uint64) bool {
+		count := int(n%64) + 1
+		s := New(11)
+		fired := make(map[int]bool)
+		ids := make([]EventID, count)
+		for i := 0; i < count; i++ {
+			i := i
+			ids[i] = s.Schedule(Time(i*3), "p", func() { fired[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < count; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				if !s.Cancel(ids[i]) {
+					return false
+				}
+				cancelled[i] = true
+			}
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for i := 0; i < count; i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyHeapMatchesReference replays a random schedule against a
+// sort-based reference model and requires identical dispatch order.
+func TestPropertyHeapMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 1
+		type entry struct {
+			at  Time
+			seq int
+		}
+		entries := make([]entry, n)
+		s := New(1)
+		var got []int
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(50))
+			entries[i] = entry{at: at, seq: i}
+			i := i
+			s.Schedule(at, "p", func() { got = append(got, i) })
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].at < entries[j].at })
+		for i, e := range entries {
+			if got[i] != e.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeMilliseconds(t *testing.T) {
+	if got := (2500 * Microsecond).Milliseconds(); got != 2.5 {
+		t.Fatalf("Milliseconds = %v, want 2.5", got)
+	}
+	if s := (10 * Millisecond).String(); s != "10.000ms" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNilFuncIgnored(t *testing.T) {
+	s := New(1)
+	if id := s.Schedule(1, "nil", nil); id != 0 {
+		t.Fatalf("nil fn scheduled with id %d", id)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelchTSeparatedSamples(t *testing.T) {
+	a := []float64{10, 10.2, 9.8, 10.1, 9.9}
+	b := []float64{20, 20.2, 19.8, 20.1, 19.9}
+	tt, df := WelchT(a, b)
+	if math.Abs(tt) < 50 {
+		t.Fatalf("t = %v, want large for separated samples", tt)
+	}
+	if df <= 0 || df > 8 {
+		t.Fatalf("df = %v, want in (0, 8]", df)
+	}
+	if !WelchDistinguishable(a, b) {
+		t.Fatal("separated samples not distinguishable")
+	}
+}
+
+func TestWelchTIdenticalSamples(t *testing.T) {
+	a := []float64{5, 5.1, 4.9, 5.05, 4.95}
+	if WelchDistinguishable(a, a) {
+		t.Fatal("identical samples distinguishable")
+	}
+	tt, _ := WelchT(a, a)
+	if tt != 0 {
+		t.Fatalf("t = %v for identical samples", tt)
+	}
+}
+
+func TestWelchConstantSamples(t *testing.T) {
+	same := []float64{3, 3, 3}
+	if WelchDistinguishable(same, []float64{3, 3, 3}) {
+		t.Fatal("equal constants distinguishable")
+	}
+	if !WelchDistinguishable(same, []float64{4, 4, 4}) {
+		t.Fatal("different constants should be trivially distinguishable")
+	}
+}
+
+func TestWelchSmallSamples(t *testing.T) {
+	if WelchDistinguishable([]float64{1}, []float64{100, 101}) {
+		t.Fatal("single-point sample should not be distinguishable (no variance estimate)")
+	}
+	if WelchDistinguishable(nil, []float64{1, 2}) {
+		t.Fatal("empty sample distinguishable")
+	}
+}
+
+func TestWelchAgreesWithCohenOnTableIShapes(t *testing.T) {
+	// The two criteria must agree on the canonical shapes: a big leak and
+	// a deterministic defense.
+	leakA := []float64{100, 102, 98, 101, 99}
+	leakB := []float64{500, 505, 495, 502, 498}
+	if Distinguishable(leakA, leakB) != WelchDistinguishable(leakA, leakB) {
+		t.Fatal("criteria disagree on a clear leak")
+	}
+	detA := []float64{10, 10, 10, 10, 10}
+	detB := []float64{10, 10, 10, 10, 10}
+	if Distinguishable(detA, detB) != WelchDistinguishable(detA, detB) {
+		t.Fatal("criteria disagree on a deterministic defense")
+	}
+}
+
+func TestWelchCriticalTMonotone(t *testing.T) {
+	last := math.Inf(1)
+	for _, df := range []float64{1, 2, 3, 5, 10, 20, 50, 100, 1000} {
+		c := welchCriticalT(df)
+		if c > last {
+			t.Fatalf("critical value not decreasing at df=%v: %v > %v", df, c, last)
+		}
+		last = c
+	}
+	if c := welchCriticalT(1e12); c != 2.58 {
+		t.Fatalf("asymptotic critical value = %v", c)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 50 + rng.NormFloat64()*5
+	}
+	lo, hi, err := 0.0, 0.0, error(nil)
+	_ = err
+	lo, hi = BootstrapCI(xs, 0.95, 2000, rand.New(rand.NewSource(2)))
+	m := Mean(xs)
+	if lo > m || hi < m {
+		t.Fatalf("CI [%v, %v] does not cover the sample mean %v", lo, hi, m)
+	}
+	if hi-lo <= 0 || hi-lo > 5 {
+		t.Fatalf("CI width %v implausible for n=100, sd=5", hi-lo)
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if lo, hi := BootstrapCI(nil, 0.95, 100, rng); lo != 0 || hi != 0 {
+		t.Fatal("empty sample CI should be zero")
+	}
+	if lo, hi := BootstrapCI([]float64{7}, 0.95, 100, rng); lo != 7 || hi != 7 {
+		t.Fatal("single sample CI should collapse")
+	}
+	// Bad parameters fall back to defaults.
+	lo, hi := BootstrapCI([]float64{1, 2, 3}, -1, -1, rng)
+	if lo > hi {
+		t.Fatal("default-parameter CI inverted")
+	}
+}
+
+func TestPropertyBootstrapCIWithinRange(t *testing.T) {
+	f := func(raw []float64, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			// Clamp to a range where bootstrap sums cannot overflow.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				raw[i] = 0
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		lo, hi := BootstrapCI(raw, 0.9, 200, rng)
+		mn, mx, err := MinMax(raw)
+		if err != nil {
+			return false
+		}
+		return lo >= mn-1e-9 && hi <= mx+1e-9 && lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package webnet
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// LRU cache behaviour: the substrate of the cache attack's realistic
+// flush phase (evict a victim entry by loading filler resources).
+
+func lruNet(capacity int64) *Net {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	cfg.CacheCapacityBytes = capacity
+	return newNet(cfg)
+}
+
+func mustFetch(t *testing.T, n *Net, url string) FetchResult {
+	t.Helper()
+	res, err := n.Fetch(url, "")
+	if err != nil {
+		t.Fatalf("fetch %s: %v", url, err)
+	}
+	return res
+}
+
+func TestLRUEvictsOldest(t *testing.T) {
+	n := lruNet(1000)
+	for i := 0; i < 3; i++ {
+		n.RegisterScript(fmt.Sprintf("https://a.com/%d.js", i), 400)
+	}
+	mustFetch(t, n, "https://a.com/0.js")
+	mustFetch(t, n, "https://a.com/1.js")
+	// Inserting a third 400B entry exceeds 1000B: entry 0 must go.
+	mustFetch(t, n, "https://a.com/2.js")
+	if n.Cached("https://a.com/0.js") {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if !n.Cached("https://a.com/1.js") || !n.Cached("https://a.com/2.js") {
+		t.Fatal("newer entries evicted")
+	}
+	if n.CacheBytes() != 800 || n.CacheEntries() != 2 {
+		t.Fatalf("occupancy = %d bytes / %d entries", n.CacheBytes(), n.CacheEntries())
+	}
+}
+
+func TestLRUTouchOnHitProtectsEntry(t *testing.T) {
+	n := lruNet(1000)
+	for i := 0; i < 3; i++ {
+		n.RegisterScript(fmt.Sprintf("https://a.com/%d.js", i), 400)
+	}
+	mustFetch(t, n, "https://a.com/0.js")
+	mustFetch(t, n, "https://a.com/1.js")
+	// Hit entry 0: it becomes most recent, so inserting 2 evicts 1.
+	if res := mustFetch(t, n, "https://a.com/0.js"); res.FromNet {
+		t.Fatal("expected cache hit")
+	}
+	mustFetch(t, n, "https://a.com/2.js")
+	if !n.Cached("https://a.com/0.js") {
+		t.Fatal("recently used entry evicted")
+	}
+	if n.Cached("https://a.com/1.js") {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+func TestOversizedEntryNeverCached(t *testing.T) {
+	n := lruNet(1000)
+	n.RegisterScript("https://a.com/small.js", 300)
+	n.RegisterScript("https://a.com/huge.js", 5000)
+	mustFetch(t, n, "https://a.com/small.js")
+	mustFetch(t, n, "https://a.com/huge.js")
+	if n.Cached("https://a.com/huge.js") {
+		t.Fatal("oversized entry cached")
+	}
+	if !n.Cached("https://a.com/small.js") {
+		t.Fatal("oversized miss evicted existing entries")
+	}
+}
+
+func TestEvictByFillingIsThePaperFlushPhase(t *testing.T) {
+	// The attacker cannot call EvictAll; it evicts the victim's entry by
+	// loading enough filler.
+	n := lruNet(10_000)
+	n.RegisterScript("https://victim.com/secret.js", 2000)
+	mustFetch(t, n, "https://victim.com/secret.js")
+	for i := 0; i < 5; i++ {
+		url := fmt.Sprintf("https://attacker.com/fill%d.js", i)
+		n.RegisterScript(url, 2000)
+		mustFetch(t, n, url)
+	}
+	if n.Cached("https://victim.com/secret.js") {
+		t.Fatal("filler did not evict the victim entry")
+	}
+	// The probe now takes the network path: the timing signal.
+	if res := mustFetch(t, n, "https://victim.com/secret.js"); !res.FromNet {
+		t.Fatal("probe after eviction should miss")
+	}
+}
+
+func TestEvictUnknownURLNoop(t *testing.T) {
+	n := lruNet(1000)
+	n.Evict("https://nowhere/x.js") // must not panic
+	if n.CacheEntries() != 0 {
+		t.Fatal("phantom entry")
+	}
+}
+
+func TestWarmRespectsCapacity(t *testing.T) {
+	n := lruNet(500)
+	n.RegisterScript("https://a.com/big.js", 600)
+	n.Warm("https://a.com/big.js")
+	if n.Cached("https://a.com/big.js") {
+		t.Fatal("warm ignored capacity")
+	}
+	n.Warm("https://a.com/unregistered.js")
+	if n.CacheEntries() != 0 {
+		t.Fatal("warm cached an unregistered URL")
+	}
+}
+
+func TestUnboundedCacheNeverEvicts(t *testing.T) {
+	n := lruNet(0)
+	for i := 0; i < 50; i++ {
+		url := fmt.Sprintf("https://a.com/%d.js", i)
+		n.RegisterScript(url, 1_000_000)
+		mustFetch(t, n, url)
+	}
+	if n.CacheEntries() != 50 {
+		t.Fatalf("entries = %d, want all 50", n.CacheEntries())
+	}
+}
+
+// TestPropertyLRUInvariants: occupancy equals the sum of cached entries
+// and never exceeds capacity, under random fetch sequences.
+func TestPropertyLRUInvariants(t *testing.T) {
+	f := func(ops []uint8) bool {
+		const capacity = 2000
+		n := lruNet(capacity)
+		for i := 0; i < 8; i++ {
+			n.RegisterScript(fmt.Sprintf("https://a.com/%d.js", i), int64(200+i*150))
+		}
+		for _, op := range ops {
+			url := fmt.Sprintf("https://a.com/%d.js", op%8)
+			if op%16 == 15 {
+				n.Evict(url)
+				continue
+			}
+			if _, err := n.Fetch(url, ""); err != nil {
+				return false
+			}
+			if n.CacheBytes() > capacity {
+				return false
+			}
+		}
+		// Occupancy must equal the sum of sizes of cached entries.
+		var sum int64
+		for i := 0; i < 8; i++ {
+			url := fmt.Sprintf("https://a.com/%d.js", i)
+			if n.Cached(url) {
+				r, err := n.Lookup(url)
+				if err != nil {
+					return false
+				}
+				sum += r.Bytes
+			}
+		}
+		return sum == n.CacheBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

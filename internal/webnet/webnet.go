@@ -1,0 +1,316 @@
+// Package webnet implements the simulated web: origins, resources, a
+// latency/bandwidth transfer-time model with seeded jitter, and a per-browser
+// HTTP cache. The cross-origin resources it serves carry the secrets the
+// paper's side-channel attacks try to steal (file sizes, image resolutions,
+// cache residency), while the transfer-time model produces the very timing
+// signals those attacks measure.
+package webnet
+
+import (
+	"container/list"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"jskernel/internal/sim"
+)
+
+// Kind classifies a resource; renderer costs depend on it.
+type Kind int
+
+// Resource kinds.
+const (
+	KindHTML Kind = iota + 1
+	KindScript
+	KindImage
+	KindJSON
+	KindVideo
+	KindFont
+)
+
+// String returns the kind's lowercase name.
+func (k Kind) String() string {
+	switch k {
+	case KindHTML:
+		return "html"
+	case KindScript:
+		return "script"
+	case KindImage:
+		return "image"
+	case KindJSON:
+		return "json"
+	case KindVideo:
+		return "video"
+	case KindFont:
+		return "font"
+	default:
+		return "unknown"
+	}
+}
+
+// Resource is one fetchable asset.
+type Resource struct {
+	URL    string
+	Origin string
+	Kind   Kind
+	Bytes  int64 // transfer size
+	Width  int   // images/videos: pixel dimensions (drive decode cost)
+	Height int
+	Body   string // small textual bodies (scripts, JSON); optional
+}
+
+// NotFoundError reports a fetch of an unregistered URL.
+type NotFoundError struct {
+	URL string
+}
+
+func (e *NotFoundError) Error() string { return fmt.Sprintf("webnet: no resource at %q", e.URL) }
+
+// OriginOf extracts the origin (scheme + host) from a URL string. Relative
+// URLs have no origin and return "".
+func OriginOf(url string) string {
+	i := strings.Index(url, "://")
+	if i < 0 {
+		return ""
+	}
+	rest := url[i+3:]
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		rest = rest[:j]
+	}
+	return url[:i+3] + rest
+}
+
+// SameOrigin reports whether two URLs share an origin. A relative URL is
+// same-origin with everything (it resolves against the requester).
+func SameOrigin(a, b string) bool {
+	oa, ob := OriginOf(a), OriginOf(b)
+	if oa == "" || ob == "" {
+		return true
+	}
+	return oa == ob
+}
+
+// Config tunes the transfer-time model. The defaults approximate the
+// paper's testbed: an ADSL link of 9.5 Mbit/s with tens-of-ms RTTs.
+type Config struct {
+	RTT           sim.Duration // round-trip latency per request
+	BytesPerSec   int64        // link bandwidth
+	JitterFrac    float64      // +/- fraction of transfer time, uniform
+	CacheLatency  sim.Duration // response time for a cache hit
+	EnableCaching bool
+	// CacheCapacityBytes bounds the HTTP cache with LRU eviction; zero
+	// means unbounded. A bounded cache lets an attacker evict a victim's
+	// entry by loading filler resources — the flush phase of Oren et
+	// al.'s cache attack.
+	CacheCapacityBytes int64
+}
+
+// DefaultConfig returns the paper-testbed-like network parameters.
+func DefaultConfig() Config {
+	return Config{
+		RTT:           30 * sim.Millisecond,
+		BytesPerSec:   9_500_000 / 8, // 9.5 Mbit/s ADSL
+		JitterFrac:    0.05,
+		CacheLatency:  200 * sim.Microsecond,
+		EnableCaching: true,
+	}
+}
+
+// Net is the simulated network: a resource registry shared by all sites in
+// a run, plus per-instance cache state (LRU when capacity-bounded).
+type Net struct {
+	cfg       Config
+	rng       *rand.Rand
+	resources map[string]*Resource
+
+	cache      map[string]*list.Element // url → LRU node
+	lru        *list.List               // front = most recent
+	cacheBytes int64
+}
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	url   string
+	bytes int64
+}
+
+// New returns a network using rng for jitter. The rng must be the owning
+// simulation's PRNG so runs stay reproducible.
+func New(cfg Config, rng *rand.Rand) *Net {
+	return &Net{
+		cfg:       cfg,
+		rng:       rng,
+		resources: make(map[string]*Resource),
+		cache:     make(map[string]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// Register adds (or replaces) a resource. The resource's Origin is derived
+// from its URL when unset.
+func (n *Net) Register(r *Resource) {
+	if r.Origin == "" {
+		r.Origin = OriginOf(r.URL)
+	}
+	n.resources[r.URL] = r
+}
+
+// RegisterScript registers a script asset of the given transfer size.
+func (n *Net) RegisterScript(url string, bytes int64) *Resource {
+	r := &Resource{URL: url, Kind: KindScript, Bytes: bytes}
+	n.Register(r)
+	return r
+}
+
+// RegisterImage registers an image asset; decode cost scales with W*H.
+func (n *Net) RegisterImage(url string, w, h int) *Resource {
+	r := &Resource{URL: url, Kind: KindImage, Bytes: int64(w) * int64(h) / 8, Width: w, Height: h}
+	n.Register(r)
+	return r
+}
+
+// RegisterJSON registers a small JSON payload.
+func (n *Net) RegisterJSON(url, body string) *Resource {
+	r := &Resource{URL: url, Kind: KindJSON, Bytes: int64(len(body)), Body: body}
+	n.Register(r)
+	return r
+}
+
+// Lookup returns the resource at url.
+func (n *Net) Lookup(url string) (*Resource, error) {
+	r, ok := n.resources[url]
+	if !ok {
+		return nil, &NotFoundError{URL: url}
+	}
+	return r, nil
+}
+
+// Cached reports whether url currently resides in the HTTP cache.
+func (n *Net) Cached(url string) bool {
+	if !n.cfg.EnableCaching {
+		return false
+	}
+	_, ok := n.cache[url]
+	return ok
+}
+
+// CacheBytes reports the cache's current occupancy.
+func (n *Net) CacheBytes() int64 { return n.cacheBytes }
+
+// CacheEntries reports the number of cached resources.
+func (n *Net) CacheEntries() int { return len(n.cache) }
+
+// EvictAll flushes the HTTP cache (the cache attack's "flush" phase).
+func (n *Net) EvictAll() {
+	n.cache = make(map[string]*list.Element)
+	n.lru = list.New()
+	n.cacheBytes = 0
+}
+
+// Evict removes one entry from the cache.
+func (n *Net) Evict(url string) {
+	el, ok := n.cache[url]
+	if !ok {
+		return
+	}
+	if entry, ok := el.Value.(*cacheEntry); ok {
+		n.cacheBytes -= entry.bytes
+	}
+	n.lru.Remove(el)
+	delete(n.cache, url)
+}
+
+// Warm inserts url into the cache without a fetch, for test setup.
+func (n *Net) Warm(url string) {
+	if !n.cfg.EnableCaching {
+		return
+	}
+	if r, err := n.Lookup(url); err == nil {
+		n.cacheInsert(url, r.Bytes)
+	}
+}
+
+// cacheInsert records a fetched resource, evicting least-recently-used
+// entries when a capacity is configured.
+func (n *Net) cacheInsert(url string, bytes int64) {
+	if el, ok := n.cache[url]; ok {
+		n.lru.MoveToFront(el)
+		return
+	}
+	if cap := n.cfg.CacheCapacityBytes; cap > 0 {
+		if bytes > cap {
+			return // never fits; do not evict everything for it
+		}
+		for n.cacheBytes+bytes > cap && n.lru.Len() > 0 {
+			oldest := n.lru.Back()
+			if entry, ok := oldest.Value.(*cacheEntry); ok {
+				n.Evict(entry.url)
+			} else {
+				n.lru.Remove(oldest)
+			}
+		}
+	}
+	el := n.lru.PushFront(&cacheEntry{url: url, bytes: bytes})
+	n.cache[url] = el
+	n.cacheBytes += bytes
+}
+
+// touch marks a cache hit as most recently used.
+func (n *Net) touch(url string) {
+	if el, ok := n.cache[url]; ok {
+		n.lru.MoveToFront(el)
+	}
+}
+
+// FetchResult describes a completed simulated fetch.
+type FetchResult struct {
+	Resource *Resource
+	Latency  sim.Duration
+	FromNet  bool // false when served from cache
+	Opaque   bool // true for cross-origin responses: body/size unreadable
+}
+
+// Fetch resolves url for a requester at fromOrigin and returns the resource
+// plus the virtual latency until the response completes. The caller (the
+// browser) is responsible for scheduling the callback at now+Latency. Fetch
+// updates cache state.
+func (n *Net) Fetch(url, fromOrigin string) (FetchResult, error) {
+	r, err := n.Lookup(url)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	res := FetchResult{Resource: r}
+	if r.Origin != "" && fromOrigin != "" && r.Origin != fromOrigin {
+		res.Opaque = true
+	}
+	if n.Cached(url) {
+		n.touch(url)
+		res.Latency = n.cfg.CacheLatency
+		return res, nil
+	}
+	res.FromNet = true
+	res.Latency = n.transferTime(r.Bytes)
+	if n.cfg.EnableCaching {
+		n.cacheInsert(url, r.Bytes)
+	}
+	return res, nil
+}
+
+// transferTime models RTT + size/bandwidth with uniform jitter.
+func (n *Net) transferTime(bytes int64) sim.Duration {
+	t := n.cfg.RTT
+	if n.cfg.BytesPerSec > 0 {
+		t += sim.Duration(float64(bytes) / float64(n.cfg.BytesPerSec) * float64(sim.Second))
+	}
+	if n.cfg.JitterFrac > 0 && n.rng != nil {
+		j := 1 + (n.rng.Float64()*2-1)*n.cfg.JitterFrac
+		t = sim.Duration(float64(t) * j)
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// ResourceCount reports how many resources are registered.
+func (n *Net) ResourceCount() int { return len(n.resources) }

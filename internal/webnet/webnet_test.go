@@ -1,0 +1,229 @@
+package webnet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jskernel/internal/sim"
+)
+
+func newNet(cfg Config) *Net { return New(cfg, rand.New(rand.NewSource(1))) }
+
+func TestOriginOf(t *testing.T) {
+	cases := []struct{ url, want string }{
+		{"https://example.com/a/b.js", "https://example.com"},
+		{"https://example.com", "https://example.com"},
+		{"http://a.b.c/x", "http://a.b.c"},
+		{"./relative.js", ""},
+		{"relative.js", ""},
+	}
+	for _, tc := range cases {
+		if got := OriginOf(tc.url); got != tc.want {
+			t.Errorf("OriginOf(%q) = %q, want %q", tc.url, got, tc.want)
+		}
+	}
+}
+
+func TestSameOrigin(t *testing.T) {
+	if !SameOrigin("https://a.com/x", "https://a.com/y") {
+		t.Fatal("same host should be same origin")
+	}
+	if SameOrigin("https://a.com/x", "https://b.com/x") {
+		t.Fatal("different hosts should differ")
+	}
+	if !SameOrigin("./x.js", "https://a.com/") {
+		t.Fatal("relative URL is same-origin with requester")
+	}
+}
+
+func TestLookupNotFound(t *testing.T) {
+	n := newNet(DefaultConfig())
+	_, err := n.Lookup("https://nowhere/x")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want NotFoundError", err)
+	}
+}
+
+func TestFetchCacheBehaviour(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	n := newNet(cfg)
+	n.RegisterScript("https://cdn.com/big.js", 1_000_000)
+
+	first, err := n.Fetch("https://cdn.com/big.js", "https://site.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.FromNet {
+		t.Fatal("first fetch should hit the network")
+	}
+	second, err := n.Fetch("https://cdn.com/big.js", "https://site.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.FromNet {
+		t.Fatal("second fetch should be cached")
+	}
+	if second.Latency >= first.Latency {
+		t.Fatalf("cache hit latency %v not faster than miss %v", second.Latency, first.Latency)
+	}
+	n.EvictAll()
+	third, err := n.Fetch("https://cdn.com/big.js", "https://site.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third.FromNet {
+		t.Fatal("fetch after eviction should hit the network")
+	}
+}
+
+func TestFetchLatencyScalesWithSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	cfg.EnableCaching = false
+	n := newNet(cfg)
+	n.RegisterScript("https://cdn.com/small.js", 10_000)
+	n.RegisterScript("https://cdn.com/large.js", 10_000_000)
+	small, err := n.Fetch("https://cdn.com/small.js", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := n.Fetch("https://cdn.com/large.js", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Latency <= small.Latency {
+		t.Fatalf("large %v should be slower than small %v", large.Latency, small.Latency)
+	}
+	// 10MB over 9.5Mbit/s is ~8.4s; check the model's order of magnitude.
+	if large.Latency < 5*sim.Second || large.Latency > 15*sim.Second {
+		t.Fatalf("10MB transfer latency %v outside plausible ADSL range", large.Latency)
+	}
+}
+
+func TestFetchOpaqueCrossOrigin(t *testing.T) {
+	n := newNet(DefaultConfig())
+	n.RegisterScript("https://other.com/s.js", 100)
+	res, err := n.Fetch("https://other.com/s.js", "https://attacker.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Opaque {
+		t.Fatal("cross-origin fetch should be opaque")
+	}
+	same, err := n.Fetch("https://other.com/s.js", "https://other.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Opaque {
+		t.Fatal("same-origin fetch should not be opaque")
+	}
+}
+
+func TestJitterIsSeeded(t *testing.T) {
+	run := func(seed int64) sim.Duration {
+		n := New(DefaultConfig(), rand.New(rand.NewSource(seed)))
+		n.RegisterScript("https://a.com/s.js", 500_000)
+		res, err := n.Fetch("https://a.com/s.js", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency
+	}
+	if run(5) != run(5) {
+		t.Fatal("same seed should give identical latency")
+	}
+	if run(5) == run(6) {
+		t.Fatal("different seeds should jitter differently")
+	}
+}
+
+func TestWarmAndEvict(t *testing.T) {
+	n := newNet(DefaultConfig())
+	n.RegisterImage("https://a.com/i.png", 100, 100)
+	n.Warm("https://a.com/i.png")
+	if !n.Cached("https://a.com/i.png") {
+		t.Fatal("warm did not cache")
+	}
+	n.Evict("https://a.com/i.png")
+	if n.Cached("https://a.com/i.png") {
+		t.Fatal("evict did not evict")
+	}
+}
+
+func TestCachingDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableCaching = false
+	n := newNet(cfg)
+	n.RegisterScript("https://a.com/s.js", 100)
+	if _, err := n.Fetch("https://a.com/s.js", ""); err != nil {
+		t.Fatal(err)
+	}
+	if n.Cached("https://a.com/s.js") {
+		t.Fatal("cache should stay empty when disabled")
+	}
+	n.Warm("https://a.com/s.js")
+	if n.Cached("https://a.com/s.js") {
+		t.Fatal("warm should be a no-op when caching disabled")
+	}
+}
+
+func TestRegisterHelpers(t *testing.T) {
+	n := newNet(DefaultConfig())
+	img := n.RegisterImage("https://a.com/i.png", 640, 480)
+	if img.Kind != KindImage || img.Width != 640 || img.Height != 480 {
+		t.Fatalf("image = %+v", img)
+	}
+	js := n.RegisterJSON("https://a.com/d.json", `{"x":1}`)
+	if js.Kind != KindJSON || js.Bytes != 7 {
+		t.Fatalf("json = %+v", js)
+	}
+	if n.ResourceCount() != 2 {
+		t.Fatalf("count = %d", n.ResourceCount())
+	}
+	if img.Origin != "https://a.com" {
+		t.Fatalf("origin = %q", img.Origin)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindHTML: "html", KindScript: "script", KindImage: "image",
+		KindJSON: "json", KindVideo: "video", KindFont: "font", Kind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestPropertyTransferTimeMonotoneInSize(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterFrac = 0
+	cfg.EnableCaching = false
+	n := newNet(cfg)
+	f := func(a, b uint32) bool {
+		sa, sb := int64(a%50_000_000), int64(b%50_000_000)
+		n.RegisterScript("https://x.com/a.js", sa)
+		n.RegisterScript("https://x.com/b.js", sb)
+		ra, err := n.Fetch("https://x.com/a.js", "")
+		if err != nil {
+			return false
+		}
+		rb, err := n.Fetch("https://x.com/b.js", "")
+		if err != nil {
+			return false
+		}
+		if sa <= sb {
+			return ra.Latency <= rb.Latency
+		}
+		return ra.Latency >= rb.Latency
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/dom"
+	"jskernel/internal/sim"
+)
+
+// Site is one synthetic website: the resource tree, script work, and
+// structure that determine its loading behaviour. The Alexa-500 experiment
+// (Figure 3) and the compatibility study (§V-B2) run over a seeded
+// population of these.
+type Site struct {
+	Rank    int
+	Domain  string
+	Scripts []int64  // script transfer sizes in bytes
+	Images  [][2]int // image dimensions
+	// InlineWork is synchronous main-thread script execution.
+	InlineWork sim.Duration
+	// Elements is the static DOM size built during parse.
+	Elements int
+	// UsesWorker marks sites with a background worker (maps, editors).
+	UsesWorker bool
+	// WorkerWork is the worker's background computation.
+	WorkerWork sim.Duration
+	// HeroDelay, when nonzero, loads a hero element via script after
+	// onload (the behaviour Raptor's tp6 tests capture).
+	HeroDelay sim.Duration
+}
+
+// GenerateSites returns a deterministic population of n sites. The same
+// seed always yields the same population, so every defense loads identical
+// sites.
+func GenerateSites(n int, seed int64) []Site {
+	rng := rand.New(rand.NewSource(seed))
+	sites := make([]Site, 0, n)
+	for i := 0; i < n; i++ {
+		s := Site{
+			Rank:       i + 1,
+			Domain:     fmt.Sprintf("https://site%03d.example", i+1),
+			InlineWork: sim.Duration(2+rng.Intn(30)) * sim.Millisecond,
+			Elements:   100 + rng.Intn(1500),
+			UsesWorker: rng.Float64() < 0.2,
+		}
+		for j, ns := 0, 1+rng.Intn(6); j < ns; j++ {
+			s.Scripts = append(s.Scripts, int64(10_000+rng.Intn(400_000)))
+		}
+		for j, ni := 0, 2+rng.Intn(12); j < ni; j++ {
+			d := 80 + rng.Intn(900)
+			s.Images = append(s.Images, [2]int{d, d * (3 + rng.Intn(3)) / 4})
+		}
+		if s.UsesWorker {
+			s.WorkerWork = sim.Duration(5+rng.Intn(40)) * sim.Millisecond
+		}
+		if rng.Float64() < 0.3 {
+			s.HeroDelay = sim.Duration(5+rng.Intn(40)) * sim.Millisecond
+		}
+		sites = append(sites, s)
+	}
+	return sites
+}
+
+// SiteLoad is the outcome of loading one site.
+type SiteLoad struct {
+	// OnloadMs is virtual time from navigation to the onload event.
+	OnloadMs float64
+	// HeroMs is virtual time until the hero element rendered (equals
+	// OnloadMs when the site has no delayed hero).
+	HeroMs float64
+	// DOM is the document after loading, for similarity comparison.
+	DOM *dom.Document
+}
+
+// siteWorkerSrc names a site's background worker script.
+func siteWorkerSrc(s Site) string { return s.Domain + "/worker.js" }
+
+// registerSite publishes the site's resources on the environment's network.
+func registerSite(env *defense.Env, s Site) {
+	net := env.Browser.Net
+	for i, bytes := range s.Scripts {
+		net.RegisterScript(fmt.Sprintf("%s/js/app%d.js", s.Domain, i), bytes)
+	}
+	for i, dim := range s.Images {
+		net.RegisterImage(fmt.Sprintf("%s/img/%d.png", s.Domain, i), dim[0], dim[1])
+	}
+}
+
+// LoadSite navigates the environment's browser to the site and measures
+// load milestones with the experimenter's stopwatch (virtual wall clock,
+// like the paper's Selenium timestamps — not the browser-visible clock).
+func LoadSite(env *defense.Env, s Site) (SiteLoad, error) {
+	b := env.Browser
+	b.Origin = s.Domain
+	registerSite(env, s)
+	if s.UsesWorker {
+		work := s.WorkerWork
+		b.RegisterWorkerScript(siteWorkerSrc(s), func(g *browser.Global) {
+			g.SetOnMessage(func(gg *browser.Global, _ browser.MessageEvent) {
+				gg.Busy(work)
+				gg.PostMessage("bg-done")
+			})
+		})
+	}
+
+	var result SiteLoad
+	onloadDone := false
+	heroDone := false
+	start := env.Sim.Now()
+
+	pending := len(s.Scripts) + len(s.Images)
+	b.RunScript("load:"+s.Domain, func(g *browser.Global) {
+		d := g.Document()
+		// Static DOM construction plus inline script work.
+		for i := 0; i < s.Elements; i++ {
+			el := d.CreateElement("div")
+			if i%7 == 0 {
+				g.DOMSetAttribute(el, "class", "section")
+			}
+			_ = g.AppendChild(d.Body(), el)
+		}
+		g.Busy(s.InlineWork)
+
+		markHero := func(gg *browser.Global) {
+			hero := d.CreateElement("img")
+			hero.SetAttribute("id", "hero")
+			_ = gg.AppendChild(d.Body(), hero)
+			result.HeroMs = (env.Sim.Now() - start).Milliseconds()
+			heroDone = true
+		}
+		onload := func(gg *browser.Global) {
+			result.OnloadMs = (env.Sim.Now() - start).Milliseconds()
+			onloadDone = true
+			if s.HeroDelay > 0 {
+				gg.SetTimeout(markHero, s.HeroDelay)
+				return
+			}
+			markHero(gg)
+		}
+		resourceDone := func(gg *browser.Global) {
+			if pending--; pending == 0 {
+				onload(gg)
+			}
+		}
+		for i := range s.Scripts {
+			url := fmt.Sprintf("%s/js/app%d.js", s.Domain, i)
+			g.LoadScript(url, resourceDone, resourceDone)
+		}
+		for i := range s.Images {
+			url := fmt.Sprintf("%s/img/%d.png", s.Domain, i)
+			g.LoadImage(url, func(gg *browser.Global, el *dom.Element) {
+				if el != nil {
+					_ = gg.AppendChild(d.Body(), el)
+				}
+				resourceDone(gg)
+			}, resourceDone)
+		}
+		if s.UsesWorker {
+			if w, err := g.NewWorker(siteWorkerSrc(s)); err == nil {
+				w.SetOnMessage(func(*browser.Global, browser.MessageEvent) {})
+				w.PostMessage("start")
+			}
+		}
+	})
+	if err := b.RunFor(120 * sim.Second); err != nil {
+		return SiteLoad{}, err
+	}
+	if !onloadDone || !heroDone {
+		return SiteLoad{}, fmt.Errorf("workload: %s did not finish loading", s.Domain)
+	}
+	result.DOM = b.Window().Document()
+	return result, nil
+}
+
+// LoadAlexa loads the first n generated sites under a defense and returns
+// the onload times in milliseconds (Figure 3's raw series). Visits are
+// repeated `visits` times per site and averaged, like the paper's three
+// visits.
+func LoadAlexa(d defense.Defense, n, visits int, seed int64) ([]float64, error) {
+	if visits <= 0 {
+		visits = 1
+	}
+	sites := GenerateSites(n, seed)
+	out := make([]float64, 0, n)
+	for _, s := range sites {
+		total := 0.0
+		for v := 0; v < visits; v++ {
+			env := d.NewEnv(defense.EnvOptions{Seed: seed + int64(s.Rank*100+v)})
+			load, err := LoadSite(env, s)
+			if err != nil {
+				return nil, fmt.Errorf("load %s: %w", s.Domain, err)
+			}
+			total += load.OnloadMs
+		}
+		out = append(out, total/float64(visits))
+	}
+	return out, nil
+}

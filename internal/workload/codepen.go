@@ -1,0 +1,337 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/sim"
+)
+
+// App is one CodePen-style front-end application from the paper's API
+// specific compatibility test (§V-B1): a small interactive program built
+// around one API, run under each defense and compared against its legacy
+// behaviour.
+type App struct {
+	ID  string
+	API string // the API the app was found by searching for
+	Run func(g *browser.Global, r *AppResult, done func(*browser.Global))
+}
+
+// AppResult is an app's observable behaviour: the trace of outputs the
+// user would see plus the frame rate of its animations.
+type AppResult struct {
+	Trace []string
+	FPS   float64
+}
+
+// emit appends an observable output.
+func (r *AppResult) emit(format string, args ...any) {
+	r.Trace = append(r.Trace, fmt.Sprintf(format, args...))
+}
+
+// bucketMs coarsens a millisecond reading into the 25ms buckets a human
+// would notice differences in.
+func bucketMs(ms float64) int { return int(ms / 25) }
+
+// CodePenApps returns the 20 test applications, four per searched API.
+func CodePenApps() []App {
+	var apps []App
+
+	// performance.now apps: fine-grained timing drives their output.
+	apps = append(apps,
+		App{ID: "stopwatch", API: "performance.now", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			start := g.PerformanceNow()
+			n := 0
+			var lap func(gg *browser.Global)
+			lap = func(gg *browser.Global) {
+				r.emit("lap %d at bucket %d", n, bucketMs(gg.PerformanceNow()-start))
+				if n++; n < 4 {
+					gg.SetTimeout(lap, 40*sim.Millisecond)
+					return
+				}
+				done(gg)
+			}
+			g.SetTimeout(lap, 40*sim.Millisecond)
+		}},
+		App{ID: "profiler", API: "performance.now", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			t0 := g.PerformanceNow()
+			g.Busy(30 * sim.Millisecond)
+			r.emit("section took bucket %d", bucketMs(g.PerformanceNow()-t0))
+			done(g)
+		}},
+		App{ID: "speed-typing", API: "performance.now", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			t0 := g.PerformanceNow()
+			n := 0
+			var key func(gg *browser.Global)
+			key = func(gg *browser.Global) {
+				if n++; n < 5 {
+					gg.SetTimeout(key, 20*sim.Millisecond)
+					return
+				}
+				wpm := 5.0 / math.Max(gg.PerformanceNow()-t0, 1) * 1000
+				r.emit("wpm bucket %d", int(wpm/10))
+				done(gg)
+			}
+			g.SetTimeout(key, 20*sim.Millisecond)
+		}},
+		App{ID: "frame-budget", API: "performance.now", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			n := 0
+			over := 0
+			var frame func(gg *browser.Global, ts float64)
+			prev := -1.0
+			frame = func(gg *browser.Global, ts float64) {
+				if prev >= 0 && ts-prev > 20 {
+					over++
+				}
+				prev = ts
+				gg.Busy(4 * sim.Millisecond)
+				if n++; n < 10 {
+					gg.RequestAnimationFrame(frame)
+					return
+				}
+				r.emit("frames over budget: %d", over)
+				done(gg)
+			}
+			g.RequestAnimationFrame(frame)
+		}},
+	)
+
+	// setTimeout apps: sequencing, not timing, determines their output.
+	apps = append(apps,
+		App{ID: "slideshow", API: "setTimeout", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			slides := []string{"intro", "body", "outro"}
+			i := 0
+			var next func(gg *browser.Global)
+			next = func(gg *browser.Global) {
+				r.emit("show %s", slides[i])
+				if i++; i < len(slides) {
+					gg.SetTimeout(next, 30*sim.Millisecond)
+					return
+				}
+				done(gg)
+			}
+			next(g)
+		}},
+		App{ID: "countdown", API: "setTimeout", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			n := 3
+			var tick func(gg *browser.Global)
+			tick = func(gg *browser.Global) {
+				r.emit("t-minus %d", n)
+				if n--; n > 0 {
+					gg.SetTimeout(tick, 10*sim.Millisecond)
+					return
+				}
+				r.emit("liftoff")
+				done(gg)
+			}
+			tick(g)
+		}},
+		App{ID: "debounce", API: "setTimeout", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			var timer int
+			fires := 0
+			input := func(gg *browser.Global) {
+				gg.ClearTimeout(timer)
+				timer = gg.SetTimeout(func(g3 *browser.Global) {
+					fires++
+					r.emit("search fired %d", fires)
+					done(g3)
+				}, 20*sim.Millisecond)
+			}
+			for i := 0; i < 5; i++ {
+				input(g) // rapid inputs collapse into one search
+			}
+		}},
+		App{ID: "toast-queue", API: "setTimeout", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			msgs := []string{"saved", "synced", "done"}
+			i := 0
+			var show func(gg *browser.Global)
+			show = func(gg *browser.Global) {
+				r.emit("toast %s", msgs[i])
+				if i++; i < len(msgs) {
+					gg.SetTimeout(show, 15*sim.Millisecond)
+					return
+				}
+				done(gg)
+			}
+			show(g)
+		}},
+	)
+
+	// requestAnimationFrame apps: FPS is the observable.
+	rafApp := func(id string, frames int, perFrame sim.Duration) App {
+		return App{ID: id, API: "requestAnimationFrame", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			n := 0
+			first := -1.0
+			var frame func(gg *browser.Global, ts float64)
+			frame = func(gg *browser.Global, ts float64) {
+				if first < 0 {
+					first = ts
+				}
+				gg.Busy(perFrame)
+				if n++; n < frames {
+					gg.RequestAnimationFrame(frame)
+					return
+				}
+				elapsed := ts - first
+				if elapsed > 0 {
+					r.FPS = float64(n-1) / elapsed * 1000
+				}
+				r.emit("animated %d frames", n)
+				done(gg)
+			}
+			g.RequestAnimationFrame(frame)
+		}}
+	}
+	apps = append(apps,
+		rafApp("particle-field", 30, 2*sim.Millisecond),
+		rafApp("progress-ring", 20, sim.Millisecond),
+		rafApp("parallax-scroll", 25, 3*sim.Millisecond),
+		rafApp("canvas-clock", 15, 2*sim.Millisecond),
+	)
+
+	// Worker apps: background computation with messaging.
+	workerApp := func(id string, work sim.Duration, msgs int) App {
+		src := id + "-worker.js"
+		return App{ID: id, API: "Worker", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			b := g.Browser()
+			if !b.HasWorkerScript(src) {
+				b.RegisterWorkerScript(src, func(wg *browser.Global) {
+					wg.SetOnMessage(func(wgg *browser.Global, m browser.MessageEvent) {
+						wgg.Busy(work)
+						wgg.PostMessage(m.Data)
+					})
+				})
+			}
+			w, err := g.NewWorker(src)
+			if err != nil {
+				r.emit("worker failed: unavailable")
+				done(g)
+				return
+			}
+			got := 0
+			w.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+				r.emit("result %v", m.Data)
+				if got++; got == msgs {
+					done(gg)
+				}
+			})
+			for i := 0; i < msgs; i++ {
+				w.PostMessage(i)
+			}
+		}}
+	}
+	apps = append(apps,
+		workerApp("mandelbrot-offload", 20*sim.Millisecond, 2),
+		workerApp("csv-parser", 8*sim.Millisecond, 3),
+		workerApp("image-filter-worker", 15*sim.Millisecond, 2),
+		workerApp("search-index", 5*sim.Millisecond, 4),
+	)
+
+	// postMessage apps: window messaging patterns.
+	apps = append(apps,
+		App{ID: "iframe-bridge", API: "postMessage", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+				r.emit("bridge got %v", m.Data)
+				done(gg)
+			})
+			g.PostMessage("handshake")
+		}},
+		App{ID: "pubsub-bus", API: "postMessage", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			seen := 0
+			g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+				r.emit("event %v", m.Data)
+				if seen++; seen == 3 {
+					done(gg)
+				}
+			})
+			for i := 0; i < 3; i++ {
+				g.PostMessage(i)
+			}
+		}},
+		App{ID: "yield-scheduler", API: "postMessage", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			step := 0
+			g.SetOnMessage(func(gg *browser.Global, _ browser.MessageEvent) {
+				gg.Busy(2 * sim.Millisecond)
+				r.emit("chunk %d", step)
+				if step++; step < 4 {
+					gg.PostMessage("next")
+					return
+				}
+				done(gg)
+			})
+			g.PostMessage("next")
+		}},
+		App{ID: "ping-latency", API: "postMessage", Run: func(g *browser.Global, r *AppResult, done func(*browser.Global)) {
+			t0 := g.PerformanceNow()
+			g.SetOnMessage(func(gg *browser.Global, _ browser.MessageEvent) {
+				r.emit("rtt bucket %d", int((gg.PerformanceNow()-t0)*4))
+				done(gg)
+			})
+			g.PostMessage("ping")
+		}},
+	)
+	return apps
+}
+
+// RunApp executes one app under a defense and captures its observable
+// behaviour.
+func RunApp(d defense.Defense, app App, seed int64) (AppResult, error) {
+	env := d.NewEnv(defense.EnvOptions{Seed: seed})
+	var result AppResult
+	completed := false
+	env.Browser.RunScript("app:"+app.ID, func(g *browser.Global) {
+		app.Run(g, &result, func(*browser.Global) { completed = true })
+	})
+	if err := env.Browser.RunFor(30 * sim.Second); err != nil {
+		return AppResult{}, err
+	}
+	if !completed {
+		return AppResult{}, fmt.Errorf("workload: app %s did not complete", app.ID)
+	}
+	return result, nil
+}
+
+// ObservableDiff reports whether a user would notice the app behaving
+// differently: any trace divergence, or a frame-rate change above 15%.
+func ObservableDiff(base, other AppResult) bool {
+	if len(base.Trace) != len(other.Trace) {
+		return true
+	}
+	for i := range base.Trace {
+		if base.Trace[i] != other.Trace[i] {
+			return true
+		}
+	}
+	if base.FPS > 0 {
+		rel := math.Abs(other.FPS-base.FPS) / base.FPS
+		if rel > 0.15 {
+			return true
+		}
+	}
+	return false
+}
+
+// CompatCount runs every app under a defense and counts observable
+// differences against the legacy baseline (the paper reports 4/20 for
+// JSKernel, 7/20 for DeterFox, 13/20 for Fuzzyfox).
+func CompatCount(d, baseline defense.Defense, seed int64) (int, int, error) {
+	apps := CodePenApps()
+	diffs := 0
+	for i, app := range apps {
+		base, err := RunApp(baseline, app, seed+int64(i))
+		if err != nil {
+			return 0, 0, fmt.Errorf("baseline %s: %w", app.ID, err)
+		}
+		got, err := RunApp(d, app, seed+int64(i))
+		if err != nil {
+			diffs++ // failing to run at all is certainly observable
+			continue
+		}
+		if ObservableDiff(base, got) {
+			diffs++
+		}
+	}
+	return diffs, len(apps), nil
+}

@@ -1,0 +1,220 @@
+// Package workload implements the performance and compatibility workloads
+// of the paper's §V evaluation: the Dromaeo micro-benchmark, the synthetic
+// Alexa-500 site population, the Raptor tp6 hero-element loading tests,
+// the 16-worker creation benchmark, and the CodePen-style API apps used
+// for the compatibility study.
+package workload
+
+import (
+	"fmt"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/dom"
+	"jskernel/internal/sim"
+)
+
+// DromaeoTest is one micro-benchmark case.
+type DromaeoTest struct {
+	ID       string
+	Category string
+	// Run executes the test body; sync tests return immediately, async
+	// ones call done when finished. The harness measures virtual time
+	// from invocation to completion.
+	Run func(g *browser.Global, done func(*browser.Global))
+}
+
+// busyChunks models a compute kernel as repeated short busy loops, the way
+// Dromaeo's math/string/array tests hammer the JS engine.
+func busyChunks(g *browser.Global, chunks, itersPer int) {
+	for i := 0; i < chunks; i++ {
+		g.BusyIters(itersPer)
+	}
+}
+
+// DromaeoSuite returns the benchmark's test list. The mix mirrors the real
+// suite's sections: computation, string/array work, DOM access patterns,
+// and timer/animation scheduling.
+func DromaeoSuite() []DromaeoTest {
+	return []DromaeoTest{
+		{ID: "math-cordic", Category: "math", Run: func(g *browser.Global, done func(*browser.Global)) {
+			busyChunks(g, 2000, 500)
+			done(g)
+		}},
+		{ID: "math-partial-sums", Category: "math", Run: func(g *browser.Global, done func(*browser.Global)) {
+			g.FloatOps(600_000, false)
+			done(g)
+		}},
+		{ID: "math-spectral-norm", Category: "math", Run: func(g *browser.Global, done func(*browser.Global)) {
+			g.FloatOps(400_000, false)
+			busyChunks(g, 400, 400)
+			done(g)
+		}},
+		{ID: "string-base64", Category: "string", Run: func(g *browser.Global, done func(*browser.Global)) {
+			busyChunks(g, 1500, 600)
+			done(g)
+		}},
+		{ID: "string-tagcloud", Category: "string", Run: func(g *browser.Global, done func(*browser.Global)) {
+			// Builds markup: mostly string work with a little DOM.
+			d := g.Document()
+			for i := 0; i < 120; i++ {
+				g.BusyIters(4000)
+				el := d.CreateElement("span")
+				g.DOMSetAttribute(el, "class", "tag")
+				_ = g.AppendChild(d.Body(), el)
+			}
+			done(g)
+		}},
+		{ID: "array-ops", Category: "array", Run: func(g *browser.Global, done func(*browser.Global)) {
+			busyChunks(g, 1800, 500)
+			done(g)
+		}},
+		{ID: "regexp-dna", Category: "regexp", Run: func(g *browser.Global, done func(*browser.Global)) {
+			busyChunks(g, 2500, 450)
+			done(g)
+		}},
+		{ID: "json-parse", Category: "json", Run: func(g *browser.Global, done func(*browser.Global)) {
+			busyChunks(g, 1200, 550)
+			done(g)
+		}},
+		{ID: "dom-attr", Category: "dom", Run: func(g *browser.Global, done func(*browser.Global)) {
+			// The paper's worst case: every access crosses the kernel.
+			d := g.Document()
+			el := d.CreateElement("div")
+			_ = g.AppendChild(d.Body(), el)
+			for i := 0; i < 4000; i++ {
+				g.DOMSetAttribute(el, "data-x", "v")
+				_, _ = g.DOMGetAttribute(el, "data-x")
+			}
+			done(g)
+		}},
+		{ID: "dom-modify", Category: "dom", Run: func(g *browser.Global, done func(*browser.Global)) {
+			d := g.Document()
+			for i := 0; i < 1500; i++ {
+				el := d.CreateElement("p")
+				_ = g.AppendChild(d.Body(), el)
+				_ = el.Remove()
+			}
+			done(g)
+		}},
+		{ID: "dom-query", Category: "dom", Run: func(g *browser.Global, done func(*browser.Global)) {
+			d := g.Document()
+			for i := 0; i < 40; i++ {
+				el := d.CreateElement("li")
+				el.SetAttribute("id", fmt.Sprintf("item-%d", i))
+				_ = g.AppendChild(d.Body(), el)
+			}
+			for i := 0; i < 2500; i++ {
+				g.Busy(400 * sim.Nanosecond) // query engine work
+				_ = d.GetElementByID(fmt.Sprintf("item-%d", i%40))
+			}
+			done(g)
+		}},
+		{ID: "dom-traverse", Category: "dom", Run: func(g *browser.Global, done func(*browser.Global)) {
+			d := g.Document()
+			for i := 0; i < 200; i++ {
+				el := d.CreateElement("div")
+				_ = g.AppendChild(d.Body(), el)
+			}
+			for pass := 0; pass < 60; pass++ {
+				d.Root().Walk(func(*dom.Element) {})
+				g.Busy(40 * sim.Microsecond)
+			}
+			done(g)
+		}},
+		{ID: "timers-settimeout", Category: "timers", Run: func(g *browser.Global, done func(*browser.Global)) {
+			n := 0
+			var step func(gg *browser.Global)
+			step = func(gg *browser.Global) {
+				gg.BusyIters(2000)
+				if n++; n < 40 {
+					gg.SetTimeout(step, sim.Millisecond)
+					return
+				}
+				done(gg)
+			}
+			g.SetTimeout(step, sim.Millisecond)
+		}},
+		{ID: "timers-interval", Category: "timers", Run: func(g *browser.Global, done func(*browser.Global)) {
+			n := 0
+			var id int
+			id = g.SetInterval(func(gg *browser.Global) {
+				gg.BusyIters(2000)
+				if n++; n >= 25 {
+					gg.ClearInterval(id)
+					done(gg)
+				}
+			}, 2*sim.Millisecond)
+		}},
+		{ID: "raf-animation", Category: "timers", Run: func(g *browser.Global, done func(*browser.Global)) {
+			n := 0
+			var frame func(gg *browser.Global, ts float64)
+			frame = func(gg *browser.Global, ts float64) {
+				gg.BusyIters(3000)
+				if n++; n < 20 {
+					gg.RequestAnimationFrame(frame)
+					return
+				}
+				done(gg)
+			}
+			g.RequestAnimationFrame(frame)
+		}},
+	}
+}
+
+// DromaeoResult holds one test's virtual runtime in milliseconds.
+type DromaeoResult struct {
+	ID       string
+	Category string
+	Millis   float64
+}
+
+// RunDromaeo executes the whole suite under a defense, one fresh
+// environment per test, and returns per-test virtual runtimes.
+func RunDromaeo(d defense.Defense, seed int64) ([]DromaeoResult, error) {
+	suite := DromaeoSuite()
+	results := make([]DromaeoResult, 0, len(suite))
+	for i, test := range suite {
+		env := d.NewEnv(defense.EnvOptions{Seed: seed + int64(i)})
+		var start, end sim.Time
+		completed := false
+		test := test
+		env.Browser.RunScript("dromaeo:"+test.ID, func(g *browser.Global) {
+			start = g.Thread().Now()
+			test.Run(g, func(gg *browser.Global) {
+				end = gg.Thread().Now()
+				completed = true
+			})
+		})
+		if err := env.Browser.RunFor(10 * sim.Second); err != nil {
+			return nil, fmt.Errorf("dromaeo %s: %w", test.ID, err)
+		}
+		if !completed {
+			return nil, fmt.Errorf("dromaeo %s did not complete", test.ID)
+		}
+		results = append(results, DromaeoResult{
+			ID:       test.ID,
+			Category: test.Category,
+			Millis:   (end - start).Milliseconds(),
+		})
+	}
+	return results, nil
+}
+
+// DromaeoOverheads compares two suite runs and returns the per-test
+// relative overhead (fraction) of `with` over `base`, keyed by test ID.
+func DromaeoOverheads(base, with []DromaeoResult) map[string]float64 {
+	baseBy := make(map[string]float64, len(base))
+	for _, r := range base {
+		baseBy[r.ID] = r.Millis
+	}
+	out := make(map[string]float64, len(with))
+	for _, r := range with {
+		b, ok := baseBy[r.ID]
+		if !ok || b == 0 {
+			continue
+		}
+		out[r.ID] = (r.Millis - b) / b
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/sim"
+)
+
+// This file reproduces the paper's week-long user experience test
+// (§V-B3). The student's browsing surfaced three kernel bugs: Overleaf's
+// worker failed on an absolute source path, Google Calendar rendered
+// Mondays as Wednesdays (a Date arithmetic bug), and a Google Maps worker
+// saw the kernel worker's location instead of its own. Each scenario
+// below exercises exactly that behaviour; a correct kernel passes all
+// three with output identical to the legacy browser.
+
+// JourneyResult is one scenario's observable outcome.
+type JourneyResult struct {
+	Scenario string
+	Output   string
+	Err      error
+}
+
+// UserJourneys returns the three §V-B3 scenarios.
+func UserJourneys() []struct {
+	Name string
+	Run  func(env *defense.Env) (string, error)
+} {
+	return []struct {
+		Name string
+		Run  func(env *defense.Env) (string, error)
+	}{
+		{Name: "overleaf-compile", Run: overleafScenario},
+		{Name: "calendar-weekdays", Run: calendarScenario},
+		{Name: "maps-worker-location", Run: mapsScenario},
+	}
+}
+
+// overleafScenario compiles a document in a worker created from an
+// ABSOLUTE same-origin URL — the path form that broke the paper's first
+// prototype.
+func overleafScenario(env *defense.Env) (string, error) {
+	b := env.Browser
+	src := b.Origin + "/js/latex-compiler.js"
+	b.RegisterWorkerScript(src, func(g *browser.Global) {
+		g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+			gg.Busy(30 * sim.Millisecond) // the compile
+			gg.PostMessage(fmt.Sprintf("compiled:%v.pdf", m.Data))
+		})
+	})
+	var out string
+	var werr error
+	b.RunScript("overleaf", func(g *browser.Global) {
+		w, err := g.NewWorker(src) // absolute path
+		if err != nil {
+			werr = fmt.Errorf("worker with absolute path: %w", err)
+			return
+		}
+		w.SetOnMessage(func(_ *browser.Global, m browser.MessageEvent) {
+			out, _ = m.Data.(string)
+		})
+		w.PostMessage("thesis")
+	})
+	if err := b.RunFor(5 * sim.Second); err != nil {
+		return "", err
+	}
+	if werr != nil {
+		return "", werr
+	}
+	if out == "" {
+		return "", fmt.Errorf("compile result never arrived")
+	}
+	return out, nil
+}
+
+// calendarScenario renders a week view: weekday names derived from
+// Date.now arithmetic. The paper's second bug shifted every weekday by
+// two; a correct kernel's (logical) Date stays arithmetic-consistent so
+// day(i+1) − day(i) ≡ 1.
+func calendarScenario(env *defense.Env) (string, error) {
+	b := env.Browser
+	var out string
+	b.RunScript("calendar", func(g *browser.Global) {
+		names := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+		const dayMs = 24 * 60 * 60 * 1000
+		base := g.DateNow()
+		week := ""
+		for i := 0; i < 7; i++ {
+			ts := base + int64(i)*dayMs
+			day := (ts / dayMs) % 7
+			week += names[day] + " "
+		}
+		out = week
+	})
+	if err := b.RunFor(sim.Second); err != nil {
+		return "", err
+	}
+	return out, nil
+}
+
+// mapsScenario has a tile worker report its own location; the paper's
+// third bug made it see the kernel worker's source instead.
+func mapsScenario(env *defense.Env) (string, error) {
+	b := env.Browser
+	b.RegisterWorkerScript("tiles.js", func(g *browser.Global) {
+		g.PostMessage(g.WorkerLocation())
+	})
+	var loc string
+	var werr error
+	b.RunScript("maps", func(g *browser.Global) {
+		w, err := g.NewWorker("tiles.js")
+		if err != nil {
+			werr = err
+			return
+		}
+		w.SetOnMessage(func(_ *browser.Global, m browser.MessageEvent) {
+			loc, _ = m.Data.(string)
+		})
+	})
+	if err := b.RunFor(5 * sim.Second); err != nil {
+		return "", err
+	}
+	if werr != nil {
+		return "", werr
+	}
+	if loc == "" {
+		return "", fmt.Errorf("worker location never arrived")
+	}
+	return loc, nil
+}
+
+// RunUserJourneys executes all scenarios under a defense.
+func RunUserJourneys(d defense.Defense, seed int64) []JourneyResult {
+	var results []JourneyResult
+	for i, j := range UserJourneys() {
+		env := d.NewEnv(defense.EnvOptions{Seed: seed + int64(i)})
+		out, err := j.Run(env)
+		results = append(results, JourneyResult{Scenario: j.Name, Output: out, Err: err})
+	}
+	return results
+}

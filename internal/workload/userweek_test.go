@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"jskernel/internal/defense"
+)
+
+// The §V-B3 regression tests: the three bug classes the paper's week-long
+// user test surfaced must not exist in this kernel — each scenario's
+// observable output under JSKernel matches legacy Chrome.
+
+func TestUserJourneysPassOnLegacy(t *testing.T) {
+	for _, r := range RunUserJourneys(defense.Chrome(), 600) {
+		if r.Err != nil {
+			t.Errorf("%s on legacy: %v", r.Scenario, r.Err)
+		}
+		if r.Output == "" {
+			t.Errorf("%s on legacy produced no output", r.Scenario)
+		}
+	}
+}
+
+func TestUserJourneysPassUnderJSKernel(t *testing.T) {
+	legacy := RunUserJourneys(defense.Chrome(), 600)
+	kernel := RunUserJourneys(defense.JSKernel("chrome"), 600)
+	for i := range legacy {
+		k := kernel[i]
+		if k.Err != nil {
+			t.Errorf("%s under JSKernel: %v (the paper's §V-B3 bug class resurfaced)", k.Scenario, k.Err)
+			continue
+		}
+		switch k.Scenario {
+		case "overleaf-compile":
+			// Bug class 1: absolute worker paths must work.
+			if k.Output != legacy[i].Output {
+				t.Errorf("overleaf output %q != legacy %q", k.Output, legacy[i].Output)
+			}
+		case "calendar-weekdays":
+			// Bug class 2: weekday arithmetic must stay consistent —
+			// consecutive days, no two-day shift.
+			if !validWeek(k.Output) {
+				t.Errorf("calendar week %q has inconsistent day progression", k.Output)
+			}
+		case "maps-worker-location":
+			// Bug class 3: the worker must see ITS OWN location, never the
+			// kernel worker's internals.
+			if !strings.Contains(k.Output, "tiles.js") {
+				t.Errorf("maps worker location %q does not point at the user worker", k.Output)
+			}
+			if strings.Contains(strings.ToLower(k.Output), "kernel") {
+				t.Errorf("maps worker location %q leaks kernel internals", k.Output)
+			}
+		}
+	}
+}
+
+// validWeek checks that seven rendered day names advance one day at a
+// time.
+func validWeek(week string) bool {
+	names := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+	idx := map[string]int{}
+	for i, n := range names {
+		idx[n] = i
+	}
+	fields := strings.Fields(week)
+	if len(fields) != 7 {
+		return false
+	}
+	for i := 1; i < len(fields); i++ {
+		prev, ok1 := idx[fields[i-1]]
+		cur, ok2 := idx[fields[i]]
+		if !ok1 || !ok2 || (prev+1)%7 != cur {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"fmt"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/sim"
+)
+
+// WorkerBenchCount is the paper's worker benchmark size: 16 workers.
+const WorkerBenchCount = 16
+
+// RunWorkerBench creates n workers and measures the virtual time until
+// every worker has started and reported ready, repeated `reps` times
+// (the paper uses 5). It returns the per-rep durations in milliseconds.
+func RunWorkerBench(d defense.Defense, n, reps int, seed int64) ([]float64, error) {
+	if n <= 0 {
+		n = WorkerBenchCount
+	}
+	if reps <= 0 {
+		reps = 5
+	}
+	out := make([]float64, 0, reps)
+	for rep := 0; rep < reps; rep++ {
+		env := d.NewEnv(defense.EnvOptions{Seed: seed + int64(rep)})
+		b := env.Browser
+		b.RegisterWorkerScript("bench-worker.js", func(g *browser.Global) {
+			g.PostMessage("ready")
+		})
+		ready := 0
+		var doneAt sim.Time
+		start := env.Sim.Now()
+		var werr error
+		b.RunScript("worker-bench", func(g *browser.Global) {
+			for i := 0; i < n; i++ {
+				w, err := g.NewWorker("bench-worker.js")
+				if err != nil {
+					werr = err
+					return
+				}
+				w.SetOnMessage(func(gg *browser.Global, _ browser.MessageEvent) {
+					if ready++; ready == n {
+						doneAt = env.Sim.Now()
+					}
+				})
+			}
+		})
+		if err := b.RunFor(10 * sim.Second); err != nil {
+			return nil, err
+		}
+		if werr != nil {
+			return nil, fmt.Errorf("worker bench: %w", werr)
+		}
+		if ready != n {
+			return nil, fmt.Errorf("worker bench: only %d/%d workers became ready", ready, n)
+		}
+		out = append(out, (doneAt - start).Milliseconds())
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+package workload
+
+import (
+	"testing"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/stats"
+)
+
+func TestDromaeoRunsOnLegacy(t *testing.T) {
+	results, err := RunDromaeo(defense.Chrome(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(DromaeoSuite()) {
+		t.Fatalf("got %d results, want %d", len(results), len(DromaeoSuite()))
+	}
+	for _, r := range results {
+		if r.Millis <= 0 {
+			t.Errorf("test %s took %v ms; every test must consume virtual time", r.ID, r.Millis)
+		}
+	}
+}
+
+func TestDromaeoOverheadShape(t *testing.T) {
+	base, err := RunDromaeo(defense.Chrome(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := RunDromaeo(defense.JSKernel("chrome"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := DromaeoOverheads(base, with)
+	if len(over) != len(base) {
+		t.Fatalf("overhead map has %d entries", len(over))
+	}
+	var all []float64
+	worstID, worst := "", -1.0
+	for id, v := range over {
+		all = append(all, v)
+		if v > worst {
+			worst, worstID = v, id
+		}
+	}
+	mean, median := stats.Mean(all), stats.Median(all)
+	// Paper: 1.99% average, 0.30% median, DOM attribute worst (~21%).
+	if worstID != "dom-attr" {
+		t.Errorf("worst test = %s (%.1f%%), want dom-attr", worstID, worst*100)
+	}
+	if worst < 0.05 || worst > 0.40 {
+		t.Errorf("dom-attr overhead = %.1f%%, want roughly 20%%", worst*100)
+	}
+	if mean < 0 || mean > 0.08 {
+		t.Errorf("mean overhead = %.2f%%, want small (~2%%)", mean*100)
+	}
+	if median > 0.03 {
+		t.Errorf("median overhead = %.2f%%, want under 3%%", median*100)
+	}
+}
+
+func TestGenerateSitesDeterministic(t *testing.T) {
+	a, b := GenerateSites(50, 7), GenerateSites(50, 7)
+	if len(a) != 50 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Domain != b[i].Domain || len(a[i].Scripts) != len(b[i].Scripts) ||
+			a[i].InlineWork != b[i].InlineWork {
+			t.Fatal("site generation is not deterministic")
+		}
+	}
+	c := GenerateSites(50, 8)
+	same := true
+	for i := range a {
+		if a[i].Elements != c[i].Elements {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical site populations")
+	}
+}
+
+func TestLoadSiteProducesMilestones(t *testing.T) {
+	site := GenerateSites(3, 11)[2]
+	site.HeroDelay = 10 * 1000 * 1000 // 10ms in sim units
+	env := defense.Chrome().NewEnv(defense.EnvOptions{Seed: 3})
+	load, err := LoadSite(env, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.OnloadMs <= 0 {
+		t.Fatalf("onload = %v", load.OnloadMs)
+	}
+	if load.HeroMs < load.OnloadMs {
+		t.Fatalf("hero (%v) before onload (%v)", load.HeroMs, load.OnloadMs)
+	}
+	if load.DOM == nil || load.DOM.GetElementByID("hero") == nil {
+		t.Fatal("hero element missing from DOM")
+	}
+}
+
+func TestLoadSiteUnderJSKernelComparable(t *testing.T) {
+	site := GenerateSites(5, 13)[1]
+	legacyEnv := defense.Chrome().NewEnv(defense.EnvOptions{Seed: 5})
+	legacy, err := LoadSite(legacyEnv, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kernelEnv := defense.JSKernel("chrome").NewEnv(defense.EnvOptions{Seed: 5})
+	kernel, err := LoadSite(kernelEnv, site)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := kernel.OnloadMs / legacy.OnloadMs
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Fatalf("JSKernel load %.1fms vs legacy %.1fms (ratio %.2f); overhead should be small",
+			kernel.OnloadMs, legacy.OnloadMs, ratio)
+	}
+	// Compatibility: the rendered DOM must be essentially identical.
+	sim := stats.CosineSimilarity(legacy.DOM.TermFrequency(), kernel.DOM.TermFrequency())
+	if sim < 0.99 {
+		t.Fatalf("DOM similarity = %v, want >= 0.99", sim)
+	}
+}
+
+func TestRaptorRunsAndSkipsFirstLoad(t *testing.T) {
+	results, err := RunRaptor(defense.Chrome(), 4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("subtests = %d", len(results))
+	}
+	for _, r := range results {
+		if r.Summary.N != 3 {
+			t.Errorf("%s: N = %d, want 3 (4 loads minus skipped first)", r.Site, r.Summary.N)
+		}
+		if r.Summary.Mean <= 0 {
+			t.Errorf("%s: mean = %v", r.Site, r.Summary.Mean)
+		}
+	}
+}
+
+func TestWorkerBench(t *testing.T) {
+	base, err := RunWorkerBench(defense.Chrome(), 16, 3, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := RunWorkerBench(defense.JSKernel("chrome"), 16, 3, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 3 || len(with) != 3 {
+		t.Fatalf("reps = %d, %d", len(base), len(with))
+	}
+	overhead := stats.RelativeOverhead(stats.Mean(base), stats.Mean(with))
+	if overhead < -0.05 || overhead > 0.10 {
+		t.Fatalf("worker creation overhead = %.2f%%, want ~1%%", overhead*100)
+	}
+}
+
+func TestCodePenAppsAllRunOnLegacy(t *testing.T) {
+	apps := CodePenApps()
+	if len(apps) != 20 {
+		t.Fatalf("apps = %d, want 20", len(apps))
+	}
+	for i, app := range apps {
+		res, err := RunApp(defense.Chrome(), app, int64(100+i))
+		if err != nil {
+			t.Errorf("app %s: %v", app.ID, err)
+			continue
+		}
+		if len(res.Trace) == 0 {
+			t.Errorf("app %s produced no observable trace", app.ID)
+		}
+	}
+}
+
+func TestCodePenBaselineSelfConsistent(t *testing.T) {
+	// Running the same app twice under the same defense must produce the
+	// same observable behaviour (the comparison is meaningful).
+	app := CodePenApps()[0]
+	a, err := RunApp(defense.Chrome(), app, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunApp(defense.Chrome(), app, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ObservableDiff(a, b) {
+		t.Fatal("identical runs observably differ")
+	}
+}
+
+func TestCompatCountOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-defense compat sweep")
+	}
+	// Like the paper, each Firefox-based defense is compared against its
+	// own base browser.
+	jsk, _, err := CompatCount(defense.JSKernel("firefox"), defense.Firefox(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deter, _, err := CompatCount(defense.DeterFox(), defense.Firefox(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fuzzy, _, err := CompatCount(defense.Fuzzyfox(), defense.Firefox(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsk > deter || deter > fuzzy {
+		t.Fatalf("compat ordering violated: jsk=%d deterfox=%d fuzzyfox=%d (want jsk <= deterfox <= fuzzyfox)",
+			jsk, deter, fuzzy)
+	}
+	if jsk > 10 {
+		t.Fatalf("JSKernel observable diffs = %d/20, want few", jsk)
+	}
+}
+
+func TestRaptorSuitesCoverTp6Range(t *testing.T) {
+	suites := RaptorSuites()
+	for _, name := range []string{"tp6-1", "tp6-2", "tp6-3"} {
+		suite, ok := suites[name]
+		if !ok || len(suite) == 0 {
+			t.Errorf("missing suite %s", name)
+			continue
+		}
+		for _, s := range suite {
+			if s.Domain == "" || len(s.Scripts) == 0 || s.HeroDelay == 0 {
+				t.Errorf("%s: site %q underspecified", name, s.Domain)
+			}
+		}
+	}
+}
+
+func TestRaptorAggregateOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-suite sweep")
+	}
+	over, err := RaptorAggregateOverhead(defense.Chrome(), defense.JSKernel("chrome"), 3, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 2.75% on Chrome; ours is network-bound and lands
+	// lower, but must stay within a few percent.
+	if over < -0.02 || over > 0.05 {
+		t.Fatalf("aggregate tp6 overhead = %.2f%%, want small", over*100)
+	}
+}

@@ -1,0 +1,229 @@
+// Package jskernel is a Go reproduction of "JSKernel: Fortifying
+// JavaScript against Web Concurrency Attacks via a Kernel-Like Structure"
+// (Chen & Cao, DSN 2020).
+//
+// The library provides, on top of a deterministic simulated browser
+// substrate:
+//
+//   - the JSKernel itself: a kernel layer interposed between "website
+//     JavaScript" (Go closures run against a Global scope) and the
+//     browser's native APIs, with an event queue, a logical clock, a
+//     two-stage scheduler, a dispatcher, and a thread manager;
+//   - a JSON-codable security policy engine with the paper's general
+//     deterministic-scheduling policy and its twelve CVE-specific
+//     policies;
+//   - the seven defenses the paper compares (legacy Chrome/Firefox/Edge,
+//     Fuzzyfox, DeterFox, Tor Browser, Chrome Zero, JSKernel);
+//   - every attack of the paper's Table I — ten implicit-clock timing
+//     attacks and twelve web-concurrency CVE exploits — plus the
+//     workloads (Dromaeo, Alexa, Raptor tp6, CodePen apps) and experiment
+//     drivers that regenerate each table and figure.
+//
+// # Quick start
+//
+//	env := jskernel.Protected("chrome", 1)
+//	env.Browser.RunScript("main", func(g *jskernel.Global) {
+//	    g.SetTimeout(func(g *jskernel.Global) {
+//	        fmt.Println("dispatched at logical", g.PerformanceNow(), "ms")
+//	    }, 5*jskernel.Millisecond)
+//	})
+//	_ = env.Browser.Run()
+//
+// See the examples directory for runnable programs and internal/expr for
+// the experiment harness behind `cmd/jsk-eval`.
+package jskernel
+
+import (
+	"jskernel/internal/attack"
+	"jskernel/internal/browser"
+	"jskernel/internal/defense"
+	"jskernel/internal/dom"
+	"jskernel/internal/expr"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+	"jskernel/internal/vuln"
+	"jskernel/internal/webnet"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Core simulation and browser types.
+type (
+	// Simulator is the deterministic discrete-event engine everything
+	// runs on.
+	Simulator = sim.Simulator
+	// Time is a virtual timestamp in nanoseconds.
+	Time = sim.Time
+	// Duration is a span of virtual time in nanoseconds.
+	Duration = sim.Duration
+
+	// Browser is a simulated multi-threaded web browser instance.
+	Browser = browser.Browser
+	// BrowserOptions configures browser construction.
+	BrowserOptions = browser.Options
+	// Global is a JavaScript global scope (window or worker self).
+	Global = browser.Global
+	// Script is website JavaScript: a closure run against a Global.
+	Script = browser.Script
+	// Bindings is the native API table defenses interpose on.
+	Bindings = browser.Bindings
+	// Worker is the user-space view of a web worker.
+	Worker = browser.Worker
+	// Frame is the user-space view of an embedded iframe context.
+	Frame = browser.Frame
+	// MessageEvent is an onmessage payload.
+	MessageEvent = browser.MessageEvent
+	// FetchOptions configures a fetch request.
+	FetchOptions = browser.FetchOptions
+	// Response is a completed fetch result.
+	Response = browser.Response
+	// SharedBuffer models a SharedArrayBuffer / transferable.
+	SharedBuffer = browser.SharedBuffer
+	// Profile is a browser engine cost model.
+	Profile = browser.Profile
+
+	// Document is the simulated DOM document.
+	Document = dom.Document
+	// Element is one DOM node.
+	Element = dom.Element
+
+	// Net is the simulated network.
+	Net = webnet.Net
+	// NetConfig tunes the network model.
+	NetConfig = webnet.Config
+
+	// Kernel is one thread's JSKernel instance.
+	Kernel = kernel.Kernel
+	// KernelShared is the cross-thread kernel state for one browser.
+	KernelShared = kernel.Shared
+	// Policy is what the kernel consults on every intercepted call.
+	Policy = kernel.Policy
+	// PolicySpec is a JSON-codable policy implementation.
+	PolicySpec = policy.Spec
+	// PolicyRule is one condition→action rule of a policy.
+	PolicyRule = policy.Rule
+	// PolicyCondition selects the calls a rule applies to.
+	PolicyCondition = policy.Condition
+
+	// Defense is one of the paper's evaluated browser configurations.
+	Defense = defense.Defense
+	// Env is a ready-to-run (simulator, browser, registry) environment.
+	Env = defense.Env
+	// EnvOptions tunes environment construction.
+	EnvOptions = defense.EnvOptions
+
+	// CVE identifies a modeled vulnerability.
+	CVE = vuln.CVE
+	// VulnRegistry detects CVE triggering sequences on the native trace.
+	VulnRegistry = vuln.Registry
+
+	// TimingAttack is one implicit-clock attack row of Table I.
+	TimingAttack = attack.TimingAttack
+	// CVEAttack is one web-concurrency CVE row of Table I.
+	CVEAttack = attack.CVEAttack
+	// AttackOutcome is the verdict of one (attack, defense) cell.
+	AttackOutcome = attack.Outcome
+
+	// ExperimentConfig scales the paper's experiments.
+	ExperimentConfig = expr.Config
+)
+
+// Virtual time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewSimulator returns a deterministic simulator seeded with seed.
+func NewSimulator(seed int64) *Simulator { return sim.New(seed) }
+
+// NewBrowser creates a browser on the simulator. Zero options give an
+// unprotected Chrome-profile browser with the default network model.
+func NewBrowser(s *Simulator, opts BrowserOptions) *Browser { return browser.New(s, opts) }
+
+// NewKernel creates the shared kernel state for one browser under a
+// policy. Wire its Install method into BrowserOptions.InstallScope so
+// every JavaScript context is kernelized.
+func NewKernel(p Policy) *KernelShared { return kernel.NewShared(p) }
+
+// DeterministicPolicy returns the paper's general deterministic
+// scheduling policy (§II-B1).
+func DeterministicPolicy() *PolicySpec { return policy.Deterministic() }
+
+// FullDefensePolicy returns deterministic scheduling plus all twelve
+// CVE-specific policies — the configuration the paper evaluates.
+func FullDefensePolicy() *PolicySpec { return policy.FullDefense() }
+
+// PolicyForCVE returns the builtin policy defending one CVE id, e.g.
+// "CVE-2018-5092" (the paper's Listing 4).
+func PolicyForCVE(id string) (*PolicySpec, error) { return policy.ForCVE(id) }
+
+// DisableSharedBuffersPolicy returns the post-Spectre hardening stance:
+// deny all SharedArrayBuffer access, closing the fine-grained timer the
+// kernel's serializing queue only coarsens.
+func DisableSharedBuffersPolicy() *PolicySpec { return policy.DisableSharedBuffers() }
+
+// CombinePolicies merges several policy specs; the first one's scheduling
+// parameters win and rule lists concatenate in order.
+func CombinePolicies(name string, specs ...*PolicySpec) *PolicySpec {
+	return policy.Combine(name, specs...)
+}
+
+// ParsePolicy decodes a policy from its JSON form.
+func ParsePolicy(data []byte) (*PolicySpec, error) { return policy.Parse(data) }
+
+// TraceRecorder retains every native-layer event for offline analysis.
+type TraceRecorder = browser.Recorder
+
+// SynthFinding explains one automatically synthesized policy rule.
+type SynthFinding = policy.SynthFinding
+
+// SynthesizePolicy implements the paper's future work (§VI): given a
+// recorded native-layer trace of an exploit run, it compiles a policy
+// whose rules break every dangerous condition observed.
+func SynthesizePolicy(name string, events []browser.TraceEvent) (*PolicySpec, []SynthFinding, error) {
+	return policy.Synthesize(name, events)
+}
+
+// Protected builds a ready-to-use environment: a browser with the given
+// base profile ("chrome", "firefox", "edge") fully protected by JSKernel
+// with the full defense policy.
+func Protected(base string, seed int64) *Env {
+	return defense.JSKernel(base).NewEnv(defense.EnvOptions{Seed: seed})
+}
+
+// Legacy builds an unprotected environment with the given base profile.
+func Legacy(base string, seed int64) *Env {
+	d := defense.Defense{ID: base, Label: base, Base: base, Kind: defense.KindLegacy}
+	return d.NewEnv(defense.EnvOptions{Seed: seed})
+}
+
+// Defenses returns the paper's evaluated defense catalog (Table I
+// columns).
+func Defenses() []Defense { return defense.TableIDefenses() }
+
+// DefenseByID resolves a defense from its identifier.
+func DefenseByID(id string) (Defense, error) { return defense.ByID(id) }
+
+// TimingAttacks returns the ten implicit-clock attacks of Table I.
+func TimingAttacks() []*TimingAttack { return attack.TimingAttacks() }
+
+// CVEAttacks returns the twelve web-concurrency CVE exploits of Table I.
+func CVEAttacks() []*CVEAttack { return attack.CVEAttacks() }
+
+// AllCVEs lists the modeled CVE identifiers.
+func AllCVEs() []CVE { return vuln.All() }
+
+// NewVulnRegistry arms detectors for the given CVEs (all of them when
+// none are named) over a browser's native trace.
+func NewVulnRegistry(cves ...CVE) *VulnRegistry { return vuln.NewRegistry(cves...) }
+
+// PaperExperimentConfig reproduces the published experiment scale.
+func PaperExperimentConfig() ExperimentConfig { return expr.PaperConfig() }
+
+// QuickExperimentConfig shrinks the experiments for smoke runs.
+func QuickExperimentConfig() ExperimentConfig { return expr.QuickConfig() }

@@ -1,0 +1,122 @@
+package jskernel_test
+
+import (
+	"testing"
+
+	"jskernel"
+)
+
+func TestProtectedEnvironment(t *testing.T) {
+	env := jskernel.Protected("chrome", 1)
+	if env.Kernel == nil {
+		t.Fatal("protected env has no kernel")
+	}
+	var display float64
+	env.Browser.RunScript("main", func(g *jskernel.Global) {
+		g.SetTimeout(func(gg *jskernel.Global) {
+			display = gg.PerformanceNow()
+		}, 5*jskernel.Millisecond)
+	})
+	if err := env.Browser.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if display != 5 {
+		t.Fatalf("displayed time = %v, want the 5ms prediction", display)
+	}
+}
+
+func TestLegacyEnvironment(t *testing.T) {
+	env := jskernel.Legacy("firefox", 1)
+	if env.Kernel != nil {
+		t.Fatal("legacy env should have no kernel")
+	}
+	if env.Browser.Profile.Name != "firefox" {
+		t.Fatalf("profile = %s", env.Browser.Profile.Name)
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(jskernel.Defenses()) != 8 {
+		t.Fatalf("defenses = %d", len(jskernel.Defenses()))
+	}
+	if len(jskernel.TimingAttacks()) != 10 {
+		t.Fatalf("timing attacks = %d", len(jskernel.TimingAttacks()))
+	}
+	if len(jskernel.CVEAttacks()) != 12 {
+		t.Fatalf("cve attacks = %d", len(jskernel.CVEAttacks()))
+	}
+	if len(jskernel.AllCVEs()) != 12 {
+		t.Fatalf("cves = %d", len(jskernel.AllCVEs()))
+	}
+	if _, err := jskernel.DefenseByID("jskernel-chrome"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyHelpers(t *testing.T) {
+	full := jskernel.FullDefensePolicy()
+	if full.PolicyName == "" || len(full.Rules) == 0 {
+		t.Fatal("full defense policy incomplete")
+	}
+	one, err := jskernel.PolicyForCVE("CVE-2013-1714")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := one.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := jskernel.ParsePolicy(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.PolicyName != one.PolicyName {
+		t.Fatal("policy JSON round trip failed")
+	}
+}
+
+func TestCustomKernelAssembly(t *testing.T) {
+	// The long way: assemble simulator, kernel, browser by hand.
+	s := jskernel.NewSimulator(7)
+	shared := jskernel.NewKernel(jskernel.DeterministicPolicy())
+	b := jskernel.NewBrowser(s, jskernel.BrowserOptions{InstallScope: shared.Install})
+	ran := false
+	b.RunScript("main", func(g *jskernel.Global) {
+		if !g.Frozen() {
+			t.Error("scope not kernelized")
+		}
+		ran = true
+	})
+	if err := b.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("script did not run")
+	}
+}
+
+func TestExperimentConfigs(t *testing.T) {
+	paper := jskernel.PaperExperimentConfig()
+	quick := jskernel.QuickExperimentConfig()
+	if paper.Reps != 25 {
+		t.Fatalf("paper reps = %d", paper.Reps)
+	}
+	if quick.Reps >= paper.Reps || quick.AlexaSites >= paper.AlexaSites {
+		t.Fatal("quick config should be smaller than paper config")
+	}
+}
+
+func TestHardeningPolicyHelpers(t *testing.T) {
+	hard := jskernel.DisableSharedBuffersPolicy()
+	if len(hard.Rules) != 2 {
+		t.Fatalf("hardening rules = %d", len(hard.Rules))
+	}
+	combined := jskernel.CombinePolicies("max", hard, jskernel.FullDefensePolicy())
+	if len(combined.Rules) != len(hard.Rules)+len(jskernel.FullDefensePolicy().Rules) {
+		t.Fatal("combine lost rules")
+	}
+	reg := jskernel.NewVulnRegistry()
+	if reg == nil {
+		t.Fatal("nil registry")
+	}
+}
