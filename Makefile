@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet check chaos clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the pre-merge gate: compile, vet, and the full test suite
+# under the race detector.
+check:
+	./scripts/check.sh
+
+# chaos re-runs the Table I security matrix under every standard fault
+# plan and fails if any verdict flips.
+chaos:
+	$(GO) run ./cmd/jsk-eval -chaos
+
+clean:
+	$(GO) clean ./...

@@ -38,6 +38,7 @@ func run(w io.Writer, args []string) error {
 		apps     = fs.Bool("apps", false, "run the CodePen API-specific compatibility test")
 		ablation = fs.Bool("ablation", false, "run the quantum and policy ablation studies")
 		recovery = fs.Bool("recovery", false, "run the end-to-end secret recovery experiment")
+		chaos    = fs.Bool("chaos", false, "re-run the Table I matrix under seeded fault plans and diff every verdict")
 		all      = fs.Bool("all", false, "run every experiment")
 		paper    = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
 		seed     = fs.Int64("seed", 0, "override the experiment seed")
@@ -214,9 +215,31 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 	}
+	if *chaos {
+		any = true
+		res, err := expr.Chaos(cfg)
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		if err := emit(res.Table); err != nil {
+			return err
+		}
+		for _, pr := range res.Plans {
+			for _, f := range pr.Weakened {
+				fmt.Fprintf(w, "WEAKENED under %s: %s\n", pr.Plan.Name, f)
+			}
+			for _, f := range pr.Masked {
+				fmt.Fprintf(w, "masked under %s: %s\n", pr.Plan.Name, f)
+			}
+		}
+		if n := res.Weakened(); n > 0 {
+			return fmt.Errorf("chaos: %d security verdicts weakened under fault injection", n)
+		}
+		fmt.Fprintf(w, "chaos: %d plans, every security verdict unchanged\n", len(res.Plans))
+	}
 	if !any {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, or an experiment flag")
+		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -chaos, or an experiment flag")
 	}
 	return nil
 }

@@ -94,6 +94,28 @@ func TestRunRemainingArtifacts(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos matrix via CLI")
+	}
+	var b strings.Builder
+	if err := run(&b, []string{"-chaos"}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Chaos matrix", "flaky-net", "crashy-workers", "hostile-page",
+		"every security verdict unchanged",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "WEAKENED") {
+		t.Errorf("chaos output reports weakened verdicts:\n%s", out)
+	}
+}
+
 func TestRunTable1Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full matrix via CLI")

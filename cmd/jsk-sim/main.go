@@ -137,6 +137,7 @@ func run(w io.Writer, args []string) error {
 		if err := env.Kernel.WriteDecisions(w); err != nil {
 			return err
 		}
+		fmt.Fprintf(w, "journal entries dropped: %d\n", env.Kernel.DroppedDecisions())
 	}
 	return nil
 }

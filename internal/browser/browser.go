@@ -56,7 +56,27 @@ type Browser struct {
 	idb           *indexedDB
 	fetches       map[FetchID]*fetchRecord
 	tornDown      bool
+	faults        *FaultHooks
 }
+
+// FaultHooks are optional fault-injection callbacks the native layer
+// consults at specific degradation points. All fields are nil-safe; the
+// deterministic implementations live in internal/fault. Hooks must be
+// pure functions of seeded injector state so runs stay reproducible.
+type FaultHooks struct {
+	// WorkerDelivery is consulted as a parent→worker message is delivered;
+	// returning true crashes the worker thread mid-message (the delivery is
+	// lost and the thread dies without any terminate bookkeeping).
+	WorkerDelivery func(workerID int) bool
+	// FetchDone is consulted as a fetch response is about to complete;
+	// returning true aborts the request at the last instant — the abort
+	// race where a response event is registered but never delivered.
+	FetchDone func(url string) bool
+}
+
+// SetFaultHooks installs (or, with nil, removes) the native layer's fault
+// hooks.
+func (b *Browser) SetFaultHooks(h *FaultHooks) { b.faults = h }
 
 // SetRedirect records that a worker source is served via an HTTP redirect
 // to finalURL, the precondition for the worker-location disclosure of

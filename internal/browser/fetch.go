@@ -26,7 +26,19 @@ type Response struct {
 // FetchOptions configures a fetch request.
 type FetchOptions struct {
 	Signal *AbortSignal
+	// MaxRetries re-issues the request after a transient network failure
+	// (webnet.TransientError) with exponential backoff, up to this many
+	// extra attempts. Permanent failures (webnet.NotFoundError) are never
+	// retried. Zero disables retry.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent attempt. Zero defaults to 50ms of virtual time.
+	RetryBackoff sim.Duration
 }
+
+// defaultRetryBackoff is the base retry delay when FetchOptions leaves
+// RetryBackoff unset.
+const defaultRetryBackoff = 50 * sim.Millisecond
 
 // AbortSignal connects a fetch to an AbortController.
 type AbortSignal struct {
@@ -74,6 +86,7 @@ type fetchRecord struct {
 	done     bool
 	aborted  bool
 	orphaned bool // its thread was terminated while the fetch was pending
+	retries  int  // transient-failure retries performed so far
 	cancel   func()
 	cb       func(*Response, error)
 }
@@ -117,42 +130,81 @@ func (g *Global) nativeFetch(url string, opts FetchOptions, cb func(*Response, e
 	}
 	b.trace(TraceEvent{Kind: TraceFetchStart, ThreadID: g.thread.id, WorkerID: workerID, URL: url, Value: int64(id)})
 
-	result, err := b.Net.Fetch(url, b.Origin)
-	if err != nil {
-		// Network-level failure still resolves asynchronously.
-		failAt := g.thread.Now() + b.Profile.MessageLatency
-		g.thread.PostTask(failAt, "fetch-error", func(gg *Global) {
-			if rec.aborted {
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	retriesLeft := opts.MaxRetries
+
+	var attempt func()
+	attempt = func() {
+		result, err := b.Net.Fetch(url, b.Origin)
+		if err != nil {
+			// Network-level failure still resolves asynchronously — after
+			// the (possibly truncated) transfer latency for injected
+			// transient faults, or one message hop for permanent ones.
+			failLatency := result.Latency
+			if failLatency <= 0 {
+				failLatency = b.Profile.MessageLatency
+			}
+			failAt := rec.thread.Now() + failLatency
+			if retriesLeft > 0 && webnet.IsTransient(err) {
+				retriesLeft--
+				rec.retries++
+				delay := backoff
+				backoff *= 2
+				b.trace(TraceEvent{Kind: TraceFetchRetry, ThreadID: rec.thread.id, WorkerID: workerID, URL: url, Value: int64(id), Detail: err.Error()})
+				evID := b.Sim.Schedule(failAt+delay, fmt.Sprintf("fetch-retry#%d", id), func() {
+					if rec.aborted || rec.thread.terminated {
+						return
+					}
+					attempt()
+				})
+				rec.cancel = func() { b.Sim.Cancel(evID) }
+				return
+			}
+			rec.cancel = nil
+			rec.thread.PostTask(failAt, "fetch-error", func(gg *Global) {
+				if rec.aborted {
+					return
+				}
+				rec.done = true
+				delete(b.fetches, id)
+				if cb != nil {
+					cb(nil, err)
+				}
+			})
+			return
+		}
+		resp := &Response{URL: url, Opaque: result.Opaque, Cached: !result.FromNet}
+		if !result.Opaque {
+			resp.Bytes = result.Resource.Bytes
+			resp.Body = result.Resource.Body
+		}
+		doneAt := rec.thread.Now() + result.Latency
+		evID := b.Sim.Schedule(doneAt, fmt.Sprintf("fetch#%d", id), func() {
+			if rec.aborted || rec.thread.terminated {
+				return
+			}
+			if h := b.faults; h != nil && h.FetchDone != nil && h.FetchDone(url) {
+				// Injected abort race: the response is ready, but an abort
+				// lands first. The abort path resolves the request (and any
+				// kernel event registered for it) with ErrAborted.
+				g.nativeAbortFetch(id)
 				return
 			}
 			rec.done = true
 			delete(b.fetches, id)
-			if cb != nil {
-				cb(nil, err)
-			}
+			b.trace(TraceEvent{Kind: TraceFetchDone, ThreadID: rec.thread.id, WorkerID: workerID, URL: url, Value: int64(id)})
+			rec.thread.PostTask(doneAt, "fetch-cb", func(gg *Global) {
+				if cb != nil {
+					cb(resp, nil)
+				}
+			})
 		})
-		return id
+		rec.cancel = func() { b.Sim.Cancel(evID) }
 	}
-	resp := &Response{URL: url, Opaque: result.Opaque, Cached: !result.FromNet}
-	if !result.Opaque {
-		resp.Bytes = result.Resource.Bytes
-		resp.Body = result.Resource.Body
-	}
-	doneAt := g.thread.Now() + result.Latency
-	evID := g.thread.b.Sim.Schedule(doneAt, fmt.Sprintf("fetch#%d", id), func() {
-		if rec.aborted || rec.thread.terminated {
-			return
-		}
-		rec.done = true
-		delete(b.fetches, id)
-		b.trace(TraceEvent{Kind: TraceFetchDone, ThreadID: rec.thread.id, WorkerID: workerID, URL: url, Value: int64(id)})
-		rec.thread.PostTask(doneAt, "fetch-cb", func(gg *Global) {
-			if cb != nil {
-				cb(resp, nil)
-			}
-		})
-	})
-	rec.cancel = func() { b.Sim.Cancel(evID) }
+	attempt()
 	return id
 }
 

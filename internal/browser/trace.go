@@ -29,6 +29,8 @@ const (
 	TraceDocumentTeardown
 	TraceNavigationError
 	TraceSharedBufferOp
+	TraceFetchRetry
+	TraceFaultInjected
 )
 
 // String names the trace kind for diagnostics.
@@ -52,6 +54,8 @@ func (k TraceKind) String() string {
 		TraceDocumentTeardown: "document-teardown",
 		TraceNavigationError:  "navigation-error",
 		TraceSharedBufferOp:   "shared-buffer-op",
+		TraceFetchRetry:       "fetch-retry",
+		TraceFaultInjected:    "fault-injected",
 	}
 	if s, ok := names[k]; ok {
 		return s

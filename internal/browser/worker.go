@@ -103,6 +103,17 @@ func (w *WorkerHandle) post(m MessageEvent) {
 	deliverAt := st.parent.Now() + b.Profile.MessageLatency
 	st.thread.PostTask(deliverAt, "worker-onmessage", func(g *Global) {
 		st.inFlight--
+		if h := b.faults; h != nil && h.WorkerDelivery != nil && h.WorkerDelivery(st.id) {
+			// Injected crash mid-message: the worker thread dies without
+			// any terminate bookkeeping. Its pending fetches stay pending
+			// forever (the kernel watchdog's job to reap), and the message
+			// is lost. The trace detail is distinct from user-initiated
+			// termination so CVE detectors never mistake a crash for an
+			// exploit step.
+			b.trace(TraceEvent{Kind: TraceFaultInjected, ThreadID: st.thread.id, WorkerID: st.id, Detail: "worker-crash"})
+			st.thread.terminate()
+			return
+		}
 		b.trace(TraceEvent{Kind: TraceMessageDelivered, ThreadID: st.thread.id, WorkerID: st.id, Detail: "to-worker"})
 		st.thread.deliverMessage(m)
 	})

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"jskernel/internal/browser"
+	"jskernel/internal/fault"
 	"jskernel/internal/kernel"
 	"jskernel/internal/policy"
 	"jskernel/internal/sim"
@@ -45,6 +46,16 @@ type Defense struct {
 	// means the full defense policy). Ablation studies use it to sweep
 	// scheduling parameters and rule subsets.
 	Policy kernel.Policy
+	// FaultPlan, when non-nil, injects the plan's deterministic faults
+	// into every environment this defense builds (chaos experiments).
+	FaultPlan *fault.Plan
+}
+
+// WithFaults returns a copy of the defense that builds every
+// environment under the given fault plan (nil clears it).
+func (d Defense) WithFaults(p *fault.Plan) Defense {
+	d.FaultPlan = p
+	return d
 }
 
 // EnvOptions tunes environment construction.
@@ -65,6 +76,9 @@ type Env struct {
 	Registry *vuln.Registry
 	// Kernel is non-nil for kernel-based defenses (JSKernel, DeterFox).
 	Kernel *kernel.Shared
+	// Faults is non-nil when the defense carries a fault plan; it
+	// reports the faults actually injected into this environment.
+	Faults *fault.Injector
 }
 
 // NewEnv builds an environment for this defense.
@@ -89,6 +103,12 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 	net := webnet.New(cfg, s.Rand())
 	reg := vuln.NewRegistry()
 
+	var inj *fault.Injector
+	if d.FaultPlan != nil {
+		inj = fault.NewInjector(d.FaultPlan, opts.Seed, d.ID)
+		net.SetFaultInjector(inj)
+	}
+
 	bopts := browser.Options{
 		Profile:     browser.ProfileByName(d.Base),
 		Net:         net,
@@ -104,6 +124,9 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		p := d.Policy
 		if p == nil {
 			p = policy.FullDefense()
+		}
+		if inj != nil {
+			p = inj.WrapPolicy(p)
 		}
 		shared = kernel.NewShared(p)
 		bopts.InstallScope = shared.Install
@@ -127,7 +150,16 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 
 	b := browser.New(s, bopts)
 	b.Origin = "https://site.example"
-	return &Env{Defense: d, Sim: s, Browser: b, Registry: reg, Kernel: shared}
+	if inj != nil {
+		if h := inj.BrowserHooks(); h != nil {
+			b.SetFaultHooks(h)
+		}
+		if shared != nil {
+			shared.SetCallbackFault(inj.CallbackPanic)
+		}
+		inj.Arm(b)
+	}
+	return &Env{Defense: d, Sim: s, Browser: b, Registry: reg, Kernel: shared, Faults: inj}
 }
 
 // Catalog construction -------------------------------------------------

@@ -1,0 +1,141 @@
+package defense
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/fault"
+	"jskernel/internal/sim"
+)
+
+// chaosPlan is deliberately violent: every fault category fires often,
+// so the determinism guard exercises all injection paths at once.
+func chaosPlan() *fault.Plan {
+	return &fault.Plan{
+		Name: "test-chaos",
+		Seed: 4242,
+		Net: fault.NetFaults{
+			ErrorRate:     0.3,
+			ErrorStatus:   503,
+			TruncateFrac:  0.5,
+			SpikeRate:     0.3,
+			SpikeScaleMin: 2,
+			SpikeScaleMax: 5,
+		},
+		Browser: fault.BrowserFaults{
+			WorkerCrashRate: 0.3,
+			FetchAbortRate:  0.3,
+			CancelStorms:    2,
+			CancelStormSize: 16,
+			OverloadBursts:  2,
+			OverloadBusy:    3 * sim.Millisecond,
+		},
+		Kernel: fault.KernelFaults{
+			CallbackPanicRate: 0.2,
+			PolicyPanicRate:   0.05,
+		},
+	}
+}
+
+// runChaosWorkload drives a worker-and-fetch-heavy page under the plan
+// and returns (decision journal, native trace) rendered as text.
+func runChaosWorkload(t *testing.T, plan *fault.Plan, seed int64) (string, string) {
+	t.Helper()
+	env := JSKernel("chrome").WithFaults(plan).NewEnv(EnvOptions{Seed: seed})
+	b := env.Browser
+	rec := &browser.Recorder{}
+	b.AddTracer(rec)
+
+	for i := 0; i < 6; i++ {
+		b.Net.RegisterScript(fmt.Sprintf("https://site.example/f%d.js", i), 400_000)
+	}
+	b.RegisterWorkerScript("busy.js", func(g *browser.Global) {
+		g.SetOnMessage(func(gg *browser.Global, m browser.MessageEvent) {
+			gg.PostMessage(m.Data)
+		})
+	})
+	b.RunScript("main", func(g *browser.Global) {
+		for i := 0; i < 2; i++ {
+			w, err := g.NewWorker("busy.js")
+			if err != nil {
+				t.Fatalf("NewWorker: %v", err)
+			}
+			w.SetOnMessage(func(*browser.Global, browser.MessageEvent) {})
+			for j := 0; j < 4; j++ {
+				w.PostMessage(j)
+			}
+		}
+		for i := 0; i < 6; i++ {
+			url := fmt.Sprintf("https://site.example/f%d.js", i)
+			g.Fetch(url, browser.FetchOptions{MaxRetries: 2}, func(*browser.Response, error) {})
+		}
+		for i := 0; i < 5; i++ {
+			g.SetTimeout(func(*browser.Global) {}, sim.Duration(i+1)*sim.Millisecond)
+		}
+	})
+	if err := b.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var journal strings.Builder
+	if env.Kernel != nil {
+		if err := env.Kernel.WriteDecisions(&journal); err != nil {
+			t.Fatalf("WriteDecisions: %v", err)
+		}
+	}
+	var trace strings.Builder
+	for _, ev := range rec.Events() {
+		fmt.Fprintf(&trace, "%+v\n", ev)
+	}
+	return journal.String(), trace.String()
+}
+
+// TestFaultPlanRunsAreBitIdentical is the determinism regression guard:
+// the same (plan, seed) twice must reproduce the decision journal and
+// the full native dispatch trace byte for byte.
+func TestFaultPlanRunsAreBitIdentical(t *testing.T) {
+	j1, tr1 := runChaosWorkload(t, chaosPlan(), 11)
+	j2, tr2 := runChaosWorkload(t, chaosPlan(), 11)
+	if j1 != j2 {
+		t.Errorf("decision journals differ:\n--- first ---\n%s\n--- second ---\n%s", j1, j2)
+	}
+	if tr1 != tr2 {
+		t.Errorf("dispatch traces differ (lengths %d vs %d)", len(tr1), len(tr2))
+	}
+	if tr1 == "" {
+		t.Error("empty trace: workload did not run")
+	}
+}
+
+// TestFaultPlanSeedMatters: a different run seed must move the faults —
+// otherwise the "seeded" in seeded fault plan is an illusion.
+func TestFaultPlanSeedMatters(t *testing.T) {
+	_, tr1 := runChaosWorkload(t, chaosPlan(), 11)
+	_, tr2 := runChaosWorkload(t, chaosPlan(), 12)
+	if tr1 == tr2 {
+		t.Fatal("different seeds produced identical fault placement")
+	}
+}
+
+// TestFaultsActuallyFire: the violent plan must exercise every category
+// it configures, and the kernel must survive all of it.
+func TestFaultsActuallyFire(t *testing.T) {
+	plan := chaosPlan()
+	plan.Counter = &fault.AtomicCounts{}
+	runChaosWorkload(t, plan, 11)
+	c := plan.Counter.Snapshot()
+	if c.NetErrors == 0 && c.LatencySpikes == 0 {
+		t.Errorf("no network faults fired: %s", c)
+	}
+	if c.WorkerCrashes == 0 {
+		t.Errorf("no worker crashes fired: %s", c)
+	}
+	if c.CancelStorms != 2 || c.OverloadBursts != 2 {
+		t.Errorf("storms/bursts incomplete: %s", c)
+	}
+	if c.CallbackPanics == 0 {
+		t.Errorf("no callback panics fired: %s", c)
+	}
+}

@@ -33,7 +33,13 @@ func (r *Table1Result) Defended(rowID, defenseID string) (bool, bool) {
 
 // Table1 evaluates every attack of Table I against every defense column.
 func Table1(cfg Config) (*Table1Result, error) {
-	defenses := defense.TableIDefenses()
+	return table1Matrix(cfg, defense.TableIDefenses())
+}
+
+// table1Matrix runs the Table I attack matrix against an arbitrary
+// defense list — the chaos experiment reuses it with fault-carrying
+// defense variants.
+func table1Matrix(cfg Config, defenses []defense.Defense) (*Table1Result, error) {
 	res := &Table1Result{
 		Defenses: defenses,
 		Timing:   make(map[string]map[string]attack.Outcome),

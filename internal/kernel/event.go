@@ -67,6 +67,12 @@ type Event struct {
 
 	seq   uint64
 	index int // heap index, -1 when not queued
+
+	// Watchdog bookkeeping: while this event is a pending queue head, a
+	// simulator alarm is armed to force-expire it if confirmation never
+	// arrives (see Kernel.armWatchdog).
+	watchdogArmed bool
+	watchdogID    sim.EventID
 }
 
 // EventQueue is the kernel's priority queue of events ordered by

@@ -238,3 +238,122 @@ func TestWorkerStubStatusTransitions(t *testing.T) {
 	})
 	run(t, b)
 }
+
+// Fetch-abort race tests: aborts landing at every awkward point of the
+// kernel event lifecycle — after registration, after confirmation,
+// exactly at completion, and from worker scopes.
+
+func TestKernelAbortAfterConfirmBeforeDispatch(t *testing.T) {
+	// The fast fetch's kernel event confirms at ~100ms but stays blocked
+	// behind a pending slow fetch registered earlier. An abort arriving
+	// in that window loses the race: natively the response is complete,
+	// so the callback must eventually deliver it, not ErrAborted.
+	b, _, _ := newKernelBrowser(t, nil)
+	b.Net.RegisterScript("https://site.example/slow.js", 10_000_000)
+	b.Net.RegisterScript("https://site.example/fast.js", 1000)
+	var fastResp *browser.Response
+	var fastErr error
+	fastDone := false
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch("https://site.example/slow.js", browser.FetchOptions{}, func(*browser.Response, error) {})
+		ctl := g.NewAbortController()
+		g.Fetch("https://site.example/fast.js", browser.FetchOptions{Signal: ctl.Signal()},
+			func(r *browser.Response, err error) {
+				fastDone = true
+				fastResp, fastErr = r, err
+			})
+		// Native completion of fast.js is ~100ms; the slow blocker holds
+		// the queue for seconds. Abort in between.
+		g.SetTimeout(func(*browser.Global) { ctl.Abort() }, 300*sim.Millisecond)
+	})
+	run(t, b)
+	if !fastDone {
+		t.Fatal("fast fetch callback never dispatched")
+	}
+	if fastErr != nil || fastResp == nil {
+		t.Fatalf("late abort must lose to the completed response, got resp=%v err=%v", fastResp, fastErr)
+	}
+}
+
+func TestKernelWorkerFetchAbortRace(t *testing.T) {
+	// A worker aborts its own in-flight fetch; its kernel event must
+	// resolve with ErrAborted, the worker must stay functional, and the
+	// pending-fetch bookkeeping must clear so a later user terminate is
+	// not deferred forever.
+	b, shared, _ := newKernelBrowser(t, nil)
+	b.Net.RegisterScript("https://site.example/wslow.js", 10_000_000)
+	var workerErr error
+	workerAlive := false
+	b.RegisterWorkerScript("aborter.js", func(g *browser.Global) {
+		ctl := g.NewAbortController()
+		g.Fetch("https://site.example/wslow.js", browser.FetchOptions{Signal: ctl.Signal()},
+			func(_ *browser.Response, err error) {
+				workerErr = err
+				g.PostMessage("fetch-resolved")
+			})
+		g.SetTimeout(func(*browser.Global) { ctl.Abort() }, 5*sim.Millisecond)
+		g.SetTimeout(func(gg *browser.Global) { workerAlive = true }, 50*sim.Millisecond)
+	})
+	terminated := false
+	b.RunScript("main", func(g *browser.Global) {
+		w, err := g.NewWorker("aborter.js")
+		if err != nil {
+			t.Errorf("worker: %v", err)
+			return
+		}
+		w.SetOnMessage(func(gg *browser.Global, _ browser.MessageEvent) {
+			// Let the worker's own timers drain, then terminate: the
+			// abort already cleared the pending-fetch bookkeeping, so
+			// the terminate must be immediate, not deferred on phantom
+			// pending fetches.
+			gg.SetTimeout(func(*browser.Global) {
+				w.Terminate()
+				terminated = true
+			}, 100*sim.Millisecond)
+		})
+	})
+	run(t, b)
+	if !errors.Is(workerErr, browser.ErrAborted) {
+		t.Fatalf("worker fetch err = %v, want ErrAborted", workerErr)
+	}
+	if !workerAlive {
+		t.Fatal("worker kernel wedged after abort")
+	}
+	if !terminated {
+		t.Fatal("worker never reported resolution to parent")
+	}
+	_ = shared
+}
+
+func TestKernelInjectedAbortCompletionRace(t *testing.T) {
+	// The FaultHooks.FetchDone race: the response completes and an abort
+	// lands at the same instant. The kernel event must resolve with
+	// ErrAborted and the queue must keep moving.
+	b, _, _ := newKernelBrowser(t, nil)
+	b.Net.RegisterScript("https://site.example/raced.js", 1000)
+	raced := true
+	b.SetFaultHooks(&browser.FaultHooks{
+		FetchDone: func(url string) bool {
+			if raced && url == "https://site.example/raced.js" {
+				raced = false
+				return true
+			}
+			return false
+		},
+	})
+	var gotErr error
+	laterRan := false
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch("https://site.example/raced.js", browser.FetchOptions{}, func(_ *browser.Response, err error) {
+			gotErr = err
+		})
+		g.SetTimeout(func(*browser.Global) { laterRan = true }, 500*sim.Millisecond)
+	})
+	run(t, b)
+	if !errors.Is(gotErr, browser.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted from the injected race", gotErr)
+	}
+	if !laterRan {
+		t.Fatal("queue wedged after injected abort race")
+	}
+}

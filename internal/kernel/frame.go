@@ -48,7 +48,7 @@ func (f *FrameStub) PostMessage(data any, targetOrigin string) {
 		f.native.PostMessage(data, targetOrigin)
 		return
 	}
-	ev := fk.queue.NewEvent("onmessage", fk.nextInboundPred(f.parent.nextOutgoingPred()), func(g *browser.Global, args any) {
+	ev := fk.newEvent("onmessage", fk.nextInboundPred(f.parent.nextOutgoingPred()), func(g *browser.Global, args any) {
 		m, ok := args.(browser.MessageEvent)
 		if !ok {
 			return

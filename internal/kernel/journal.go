@@ -7,7 +7,9 @@ import (
 
 // Decision records one non-allow policy verdict the kernel enforced —
 // the audit trail an operator needs to understand why a page behaved
-// differently under the kernel.
+// differently under the kernel. Survival incidents (recovered panics,
+// quarantines, watchdog expiries, overload sheds) are journaled through
+// the same record type so one stream tells the whole enforcement story.
 type Decision struct {
 	Seq    uint64
 	API    string
@@ -37,13 +39,48 @@ func (d Decision) String() string {
 }
 
 // maxJournal bounds the journal so pathological pages cannot exhaust
-// memory; older entries are dropped.
+// memory; older entries are dropped and counted (DroppedDecisions).
 const maxJournal = 4096
 
+// append records one decision, dropping (and counting) the oldest entry
+// when the journal is full.
+func (s *Shared) appendDecision(d Decision) {
+	if len(s.journal) >= maxJournal {
+		copy(s.journal, s.journal[1:])
+		s.journal[len(s.journal)-1] = d
+		s.droppedDecisions++
+	} else {
+		s.journal = append(s.journal, d)
+	}
+}
+
+// journalIncident records a kernel survival incident (panic isolation,
+// quarantine, watchdog expiry, overload shed) in the decision journal.
+func (s *Shared) journalIncident(d Decision) {
+	s.decisionSeq++
+	d.Seq = s.decisionSeq
+	s.appendDecision(d)
+}
+
 // evaluate consults the policy and journals every enforced (non-allow)
-// verdict. All kernel call sites go through here.
+// verdict. All kernel call sites go through here. A panicking policy
+// never reaches the dispatcher: the panic is recovered, journaled, and
+// replaced with a fail-closed deny verdict.
 func (s *Shared) evaluate(ctx CallContext) Verdict {
-	v := s.policy.Evaluate(ctx)
+	v, panicked := s.safeEvaluate(ctx)
+	if panicked {
+		s.policyPanics++
+		s.journalIncident(Decision{
+			API:         ctx.API,
+			Action:      ActionIsolate,
+			Reason:      fmt.Sprintf("recovered policy panic (fail closed): %v", s.lastPolicyPanic),
+			InWorker:    ctx.InWorker,
+			CrossOrigin: ctx.CrossOrigin,
+			WorkerID:    ctx.WorkerID,
+			URL:         ctx.URL,
+		})
+		return Verdict{Action: ActionDeny, Reason: "policy panicked; kernel fails closed"}
+	}
 	if v.Action == ActionAllow || v.Action == "" {
 		return v
 	}
@@ -58,13 +95,20 @@ func (s *Shared) evaluate(ctx CallContext) Verdict {
 		WorkerID:    ctx.WorkerID,
 		URL:         ctx.URL,
 	}
-	if len(s.journal) >= maxJournal {
-		copy(s.journal, s.journal[1:])
-		s.journal[len(s.journal)-1] = d
-	} else {
-		s.journal = append(s.journal, d)
-	}
+	s.appendDecision(d)
 	return v
+}
+
+// safeEvaluate runs the policy's Evaluate under panic isolation, so a
+// misbehaving policy can never kill the dispatcher.
+func (s *Shared) safeEvaluate(ctx CallContext) (v Verdict, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			s.lastPolicyPanic = r
+		}
+	}()
+	return s.policy.Evaluate(ctx), false
 }
 
 // Decisions returns a copy of the enforcement journal.
@@ -74,8 +118,23 @@ func (s *Shared) Decisions() []Decision {
 	return out
 }
 
-// WriteDecisions dumps the journal to w, one line per decision.
+// DroppedDecisions reports how many journal entries were discarded after
+// the journal hit its size bound — a silent-truncation tell for
+// operators reading the audit trail.
+func (s *Shared) DroppedDecisions() uint64 { return s.droppedDecisions }
+
+// PolicyPanics reports how many policy Evaluate panics the kernel
+// recovered (each one fails closed and is journaled).
+func (s *Shared) PolicyPanics() uint64 { return s.policyPanics }
+
+// WriteDecisions dumps the journal to w, one line per decision, with a
+// truncation notice when entries were dropped.
 func (s *Shared) WriteDecisions(w io.Writer) error {
+	if s.droppedDecisions > 0 {
+		if _, err := fmt.Fprintf(w, "(journal truncated: %d older decisions dropped)\n", s.droppedDecisions); err != nil {
+			return err
+		}
+	}
 	for _, d := range s.journal {
 		if _, err := fmt.Fprintln(w, d.String()); err != nil {
 			return err

@@ -38,9 +38,30 @@ type Shared struct {
 	lastBufAccess sim.Time // serialization point for shared-buffer ops
 	installs      int
 
-	journal     []Decision // enforcement audit trail
-	decisionSeq uint64
+	journal          []Decision // enforcement audit trail
+	decisionSeq      uint64
+	droppedDecisions uint64 // entries discarded past maxJournal
+
+	// Survival hardening knobs (see SetWatchdogDeadline, SetMaxQueueDepth,
+	// SetCallbackFault) and incident counters.
+	watchdogDeadline sim.Duration
+	maxQueueDepth    int
+	callbackFault    func(api string) bool
+	policyPanics     uint64
+	lastPolicyPanic  any
 }
+
+// Survival hardening defaults. The watchdog deadline comfortably exceeds
+// the slowest legitimate confirmation in any workload (a 10MB transfer
+// over the Tor-degraded link takes ~29s of virtual time); the queue bound
+// exceeds the deepest legitimate queue by an order of magnitude.
+const (
+	DefaultWatchdogDeadline = 60 * sim.Second
+	DefaultMaxQueueDepth    = 16384
+	// maxCallbackPanics is how many user-callback panics one context may
+	// throw before the kernel quarantines it.
+	maxCallbackPanics = 8
+)
 
 // NewShared creates the cross-thread kernel state for one browser under
 // the given policy. Wire its Install method into browser.Options
@@ -51,15 +72,33 @@ func NewShared(p Policy) *Shared {
 		panic("kernel: nil policy")
 	}
 	return &Shared{
-		policy:       p,
-		kernels:      make(map[*browser.Global]*Kernel),
-		byThread:     make(map[int]*Kernel),
-		workers:      make(map[int]*WorkerStub),
-		pendingFetch: make(map[int]int),
-		transferred:  make(map[int]bool),
-		deferredTerm: make(map[int]bool),
+		policy:           p,
+		kernels:          make(map[*browser.Global]*Kernel),
+		byThread:         make(map[int]*Kernel),
+		workers:          make(map[int]*WorkerStub),
+		pendingFetch:     make(map[int]int),
+		transferred:      make(map[int]bool),
+		deferredTerm:     make(map[int]bool),
+		watchdogDeadline: DefaultWatchdogDeadline,
+		maxQueueDepth:    DefaultMaxQueueDepth,
 	}
 }
+
+// SetWatchdogDeadline tunes how long a pending queue head may wait for
+// its confirmation before the watchdog force-expires it. Zero or negative
+// disables the watchdog.
+func (s *Shared) SetWatchdogDeadline(d sim.Duration) { s.watchdogDeadline = d }
+
+// SetMaxQueueDepth bounds each context's event queue; registrations past
+// the bound are shed (journaled, their callbacks never run). Zero or
+// negative removes the bound.
+func (s *Shared) SetMaxQueueDepth(n int) { s.maxQueueDepth = n }
+
+// SetCallbackFault installs a fault-injection hook consulted before every
+// user-callback dispatch; returning true makes the dispatch panic inside
+// the user callback (exercising the kernel's panic isolation). Tests and
+// internal/fault use it; nil removes the hook.
+func (s *Shared) SetCallbackFault(f func(api string) bool) { s.callbackFault = f }
 
 // Policy returns the installed policy.
 func (s *Shared) Policy() Policy { return s.policy }
@@ -158,6 +197,12 @@ type Kernel struct {
 
 	animChains map[int]*tickChain // css animation id → chain
 	dispatched uint64
+
+	// Survival state: recovered user-callback panics, quarantine flag, and
+	// shed-registration count for this context.
+	panics      int
+	quarantined bool
+	shed        uint64
 }
 
 // Queue exposes the kernel event queue (tests and reports).
@@ -169,6 +214,18 @@ func (k *Kernel) Clock() *Clock { return k.clock }
 // Dispatched reports how many kernel events have been released to user
 // space.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// Quarantined reports whether this context's user callbacks are
+// suppressed after repeated panics.
+func (k *Kernel) Quarantined() bool { return k.quarantined }
+
+// Panics reports how many user-callback panics this context threw (all
+// recovered by the dispatcher).
+func (k *Kernel) Panics() int { return k.panics }
+
+// ShedEvents reports how many event registrations were refused because
+// the context hit its queue-depth bound.
+func (k *Kernel) ShedEvents() uint64 { return k.shed }
 
 // interposeCost is the real (virtual-time) cost of crossing the kernel
 // boundary once: the user→kernel→native round trip of §III-B. It is what
@@ -268,6 +325,10 @@ func (k *Kernel) cancelEvent(ev *Event) {
 // drain is the dispatcher (§III-D3): release queue-head events in
 // predicted-time order. A pending head blocks everything behind it, which
 // is precisely what makes observable interleavings secret-independent.
+// The dispatcher survives whatever user space throws at it: a pending
+// head that never confirms is force-expired by the watchdog, and a user
+// callback that panics is isolated (and, past a threshold, its whole
+// context quarantined) without ever unwinding the dispatch loop.
 func (k *Kernel) drain() {
 	if k.dispatching {
 		return
@@ -276,10 +337,15 @@ func (k *Kernel) drain() {
 	defer func() { k.dispatching = false }()
 	for {
 		head := k.queue.Top()
-		if head == nil || head.Status == StatusPending {
+		if head == nil {
+			return
+		}
+		if head.Status == StatusPending {
+			k.armWatchdog(head)
 			return
 		}
 		k.queue.Pop()
+		k.disarmWatchdog(head)
 		if head.Status == StatusCancelled {
 			continue
 		}
@@ -287,9 +353,101 @@ func (k *Kernel) drain() {
 		head.Status = StatusDone
 		k.dispatched++
 		if head.Callback != nil {
-			head.Callback(k.g, head.Args)
+			k.dispatchUser(head)
 		}
 	}
+}
+
+// dispatchUser runs one released event's user callback under panic
+// isolation. A panic is recovered and journaled; after maxCallbackPanics
+// the context is quarantined — its later callbacks are suppressed while
+// its events keep draining, so a hostile page can never wedge the
+// dispatcher or take the process down.
+func (k *Kernel) dispatchUser(ev *Event) {
+	if k.quarantined {
+		return
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		k.panics++
+		d := Decision{
+			API:      ev.API,
+			Action:   ActionIsolate,
+			Reason:   fmt.Sprintf("recovered user-callback panic: %v", r),
+			InWorker: k.g.IsWorkerScope(),
+			WorkerID: k.workerID(),
+		}
+		if k.panics >= maxCallbackPanics {
+			k.quarantined = true
+			d.Action = ActionQuarantine
+			d.Reason = fmt.Sprintf("context quarantined after %d user-callback panics (last: %v)", k.panics, r)
+		}
+		k.shared.journalIncident(d)
+	}()
+	if f := k.shared.callbackFault; f != nil && f(ev.API) {
+		panic("fault: injected user-callback panic")
+	}
+	ev.Callback(k.g, ev.Args)
+}
+
+// armWatchdog schedules a force-expiry alarm for a pending queue head.
+// If the event's confirmation never arrives before the (virtual-time)
+// deadline, the event is cancelled, the incident journaled, and the
+// queue drained past it — registered-but-never-confirmed events cannot
+// wedge the context forever. Confirmation or dispatch disarms the alarm.
+func (k *Kernel) armWatchdog(ev *Event) {
+	d := k.shared.watchdogDeadline
+	if d <= 0 || ev.watchdogArmed {
+		return
+	}
+	ev.watchdogArmed = true
+	s := k.g.Browser().Sim
+	ev.watchdogID = s.Schedule(s.Now()+d, "kernel-watchdog", func() {
+		ev.watchdogArmed = false
+		if ev.Status != StatusPending {
+			return
+		}
+		ev.Status = StatusCancelled
+		k.shared.journalIncident(Decision{
+			API:      ev.API,
+			Action:   ActionExpire,
+			Reason:   fmt.Sprintf("watchdog: confirmation never arrived within %v", d),
+			InWorker: k.g.IsWorkerScope(),
+			WorkerID: k.workerID(),
+		})
+		k.drain()
+	})
+}
+
+// disarmWatchdog cancels a popped event's pending alarm, if any.
+func (k *Kernel) disarmWatchdog(ev *Event) {
+	if !ev.watchdogArmed {
+		return
+	}
+	ev.watchdogArmed = false
+	k.g.Browser().Sim.Cancel(ev.watchdogID)
+}
+
+// newEvent registers an event with overload shedding: once the context's
+// queue depth hits the bound, the registration is refused — the returned
+// event is born cancelled and unqueued, so confirmations for it are
+// no-ops and its callback never runs. Every shed is journaled.
+func (k *Kernel) newEvent(api string, predicted sim.Time, cb func(*browser.Global, any)) *Event {
+	if max := k.shared.maxQueueDepth; max > 0 && k.queue.Len() >= max {
+		k.shed++
+		k.shared.journalIncident(Decision{
+			API:      api,
+			Action:   ActionShed,
+			Reason:   fmt.Sprintf("overload: queue depth at bound (%d)", max),
+			InWorker: k.g.IsWorkerScope(),
+			WorkerID: k.workerID(),
+		})
+		return &Event{API: api, Status: StatusCancelled, Predicted: predicted, index: -1}
+	}
+	return k.queue.NewEvent(api, predicted, cb)
 }
 
 // callCtx assembles the policy evaluation context for a call from this
@@ -329,7 +487,7 @@ func (k *Kernel) kSetTimeout(cb func(*browser.Global), d sim.Duration) int {
 	}
 	k.interpose()
 	k.ensureTimerMaps()
-	ev := k.queue.NewEvent("setTimeout", k.predict("setTimeout", d), func(g *browser.Global, _ any) {
+	ev := k.newEvent("setTimeout", k.predict("setTimeout", d), func(g *browser.Global, _ any) {
 		cb(g)
 	})
 	id := k.native.SetTimeout(func(*browser.Global) { k.confirm(ev, nil) }, d)
@@ -372,7 +530,7 @@ func (k *Kernel) kSetInterval(cb func(*browser.Global), d sim.Duration) int {
 	var arm func()
 	arm = func() {
 		st.pred += delta
-		ev := k.queue.NewEvent("setInterval", st.pred, func(g *browser.Global, _ any) {
+		ev := k.newEvent("setInterval", st.pred, func(g *browser.Global, _ any) {
 			if st.cancelled {
 				return
 			}
@@ -411,7 +569,7 @@ func (k *Kernel) kRequestAnimationFrame(cb func(*browser.Global, float64)) int {
 	k.ensureTimerMaps()
 	frame := k.shared.policy.PredictDelay("raf", 0)
 	pred := (k.clock.Now()/frame + 1) * frame
-	ev := k.queue.NewEvent("raf", pred, func(g *browser.Global, _ any) {
+	ev := k.newEvent("raf", pred, func(g *browser.Global, _ any) {
 		cb(g, k.clock.DisplayMillis())
 	})
 	id := k.native.RequestAnimationFrame(func(*browser.Global, float64) { k.confirm(ev, nil) })
@@ -447,7 +605,7 @@ func (k *Kernel) kPostMessage(data any) {
 			k.native.PostMessage(data)
 			return
 		}
-		ev := mk.queue.NewEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
+		ev := mk.newEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
 			m, ok := args.(browser.MessageEvent)
 			if !ok {
 				return
@@ -476,7 +634,7 @@ func (k *Kernel) kPostMessage(data any) {
 			return
 		}
 		stub := k.shared.workers[wid]
-		ev := mk.queue.NewEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
+		ev := mk.newEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
 			m, ok := args.(browser.MessageEvent)
 			if !ok {
 				return
@@ -491,7 +649,7 @@ func (k *Kernel) kPostMessage(data any) {
 		return
 	}
 	// Main-scope self post.
-	ev := k.queue.NewEvent("onmessage", k.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
+	ev := k.newEvent("onmessage", k.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
 		m, ok := args.(browser.MessageEvent)
 		if !ok {
 			return
@@ -534,7 +692,7 @@ func (k *Kernel) onNativeMessage(g *browser.Global, m browser.MessageEvent) {
 	if !ok {
 		// Raw (non-kernel) traffic: deliver through a freshly registered
 		// event to keep ordering deterministic.
-		ev := k.queue.NewEvent("onmessage", k.nextMessagePred(), func(gg *browser.Global, args any) {
+		ev := k.newEvent("onmessage", k.nextMessagePred(), func(gg *browser.Global, args any) {
 			mm, ok := args.(browser.MessageEvent)
 			if !ok {
 				return
@@ -593,7 +751,7 @@ func (k *Kernel) kFetch(url string, opts browser.FetchOptions, cb func(*browser.
 	wid := k.workerID()
 	ctx.WorkerID = wid
 	if v := k.shared.evaluate(ctx); v.Action == ActionDeny {
-		ev := k.queue.NewEvent("fetch", k.predict("fetch", 0), func(g *browser.Global, _ any) {
+		ev := k.newEvent("fetch", k.predict("fetch", 0), func(g *browser.Global, _ any) {
 			if cb != nil {
 				cb(nil, fmt.Errorf("%w: fetch %s", ErrPolicyDenied, url))
 			}
@@ -601,7 +759,7 @@ func (k *Kernel) kFetch(url string, opts browser.FetchOptions, cb func(*browser.
 		k.confirm(ev, nil)
 		return 0
 	}
-	ev := k.queue.NewEvent("fetch", k.predict("fetch", 0), func(g *browser.Global, args any) {
+	ev := k.newEvent("fetch", k.predict("fetch", 0), func(g *browser.Global, args any) {
 		r, ok := args.(fetchResult)
 		if !ok {
 			return
@@ -697,7 +855,7 @@ func (k *Kernel) kWorkerLocation() string {
 // --- Resource loads (multi-callback confirmation, §III-D1) ---
 
 func (k *Kernel) kLoadScript(url string, onload func(*browser.Global), onerror func(*browser.Global)) {
-	ev := k.queue.NewEvent("script-load", k.predict("script-load", 0), func(g *browser.Global, args any) {
+	ev := k.newEvent("script-load", k.predict("script-load", 0), func(g *browser.Global, args any) {
 		outcome, ok := args.(string)
 		if !ok {
 			return
@@ -727,7 +885,7 @@ type loadedImage struct {
 }
 
 func (k *Kernel) kLoadImage(url string, onload func(*browser.Global, *dom.Element), onerror func(*browser.Global)) {
-	ev := k.queue.NewEvent("image-load", k.predict("image-load", 0), func(g *browser.Global, args any) {
+	ev := k.newEvent("image-load", k.predict("image-load", 0), func(g *browser.Global, args any) {
 		switch v := args.(type) {
 		case loadedImage:
 			if onload != nil {
@@ -762,7 +920,7 @@ type tickChain struct {
 
 func (c *tickChain) arm() {
 	c.pred += c.delta
-	c.ev = c.k.queue.NewEvent(c.api, c.pred, func(g *browser.Global, _ any) {
+	c.ev = c.k.newEvent(c.api, c.pred, func(g *browser.Global, _ any) {
 		if c.cancelled {
 			return
 		}
@@ -891,7 +1049,7 @@ func (k *Kernel) kTransferToParent(data any, buf *browser.SharedBuffer) error {
 	if mk == nil {
 		return k.native.TransferToParent(data, buf)
 	}
-	ev := mk.queue.NewEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
+	ev := mk.newEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
 		m, ok := args.(browser.MessageEvent)
 		if !ok {
 			return

@@ -28,6 +28,24 @@ const (
 	ActionSerialize Action = "serialize"
 )
 
+// Journal-only actions: the kernel writes these to the decision journal
+// when recording survival incidents. Policies never return them.
+const (
+	// ActionIsolate records one recovered panic (a user callback or a
+	// policy Evaluate) that the kernel absorbed without quarantining.
+	ActionIsolate Action = "isolate"
+	// ActionQuarantine records a context whose user callbacks are
+	// suppressed after repeated panics; its events still drain so the
+	// dispatcher never wedges.
+	ActionQuarantine Action = "quarantine"
+	// ActionShed records an event registration refused because the
+	// context's queue depth hit the overload bound.
+	ActionShed Action = "shed"
+	// ActionExpire records a pending event force-expired by the watchdog
+	// because its confirmation never arrived.
+	ActionExpire Action = "expire"
+)
+
 // CallContext describes one intercepted API call for policy evaluation.
 // Field names mirror the predicates the paper's example policies test.
 type CallContext struct {

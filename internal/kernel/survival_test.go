@@ -1,0 +1,278 @@
+package kernel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/kernel"
+	"jskernel/internal/policy"
+	"jskernel/internal/sim"
+	"jskernel/internal/webnet"
+)
+
+// Survival-hardening tests: panicking user callbacks and policies,
+// never-confirmed events, and queue overload must all leave the
+// dispatcher alive and the incident journaled.
+
+// journalText renders the shared journal for substring assertions.
+func journalText(t *testing.T, shared *kernel.Shared) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := shared.WriteDecisions(&sb); err != nil {
+		t.Fatalf("WriteDecisions: %v", err)
+	}
+	return sb.String()
+}
+
+func TestCallbackPanicIsolatedAndJournaled(t *testing.T) {
+	b, shared, _ := newKernelBrowser(t, nil)
+	injected := false
+	shared.SetCallbackFault(func(api string) bool {
+		if api == "setTimeout" && !injected {
+			injected = true
+			return true
+		}
+		return false
+	})
+	var fired []int
+	b.RunScript("main", func(g *browser.Global) {
+		g.SetTimeout(func(*browser.Global) { fired = append(fired, 1) }, 1*sim.Millisecond)
+		g.SetTimeout(func(*browser.Global) { fired = append(fired, 2) }, 2*sim.Millisecond)
+		g.SetTimeout(func(*browser.Global) { fired = append(fired, 3) }, 3*sim.Millisecond)
+	})
+	run(t, b)
+	// The first dispatch panicked inside the injected fault; the kernel
+	// must isolate it and dispatch the remaining events.
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [2 3]", fired)
+	}
+	k := shared.KernelFor(b.Main())
+	if k.Panics() != 1 {
+		t.Errorf("Panics = %d, want 1", k.Panics())
+	}
+	if k.Quarantined() {
+		t.Error("a single panic must not quarantine the context")
+	}
+	j := journalText(t, shared)
+	if !strings.Contains(j, "isolate") || !strings.Contains(j, "user-callback panic") {
+		t.Errorf("journal missing isolation incident:\n%s", j)
+	}
+}
+
+func TestRepeatedPanicsQuarantineButDrain(t *testing.T) {
+	b, shared, _ := newKernelBrowser(t, nil)
+	shared.SetCallbackFault(func(api string) bool { return api == "setTimeout" })
+	const timers = 12
+	fired := 0
+	b.RunScript("main", func(g *browser.Global) {
+		for i := 0; i < timers; i++ {
+			g.SetTimeout(func(*browser.Global) { fired++ }, sim.Duration(i+1)*sim.Millisecond)
+		}
+	})
+	run(t, b)
+	if fired != 0 {
+		t.Fatalf("fired = %d, want 0 (all dispatches injected to panic)", fired)
+	}
+	k := shared.KernelFor(b.Main())
+	if !k.Quarantined() {
+		t.Fatal("context not quarantined after repeated panics")
+	}
+	// Quarantine suppresses callbacks but never wedges the queue: every
+	// event must still be retired by the dispatcher.
+	if k.Dispatched() != timers {
+		t.Errorf("Dispatched = %d, want %d (quarantined events still drain)", k.Dispatched(), timers)
+	}
+	if k.Queue().Len() != 0 {
+		t.Errorf("queue depth = %d after run, want 0", k.Queue().Len())
+	}
+	if !strings.Contains(journalText(t, shared), "quarantine") {
+		t.Error("journal missing quarantine incident")
+	}
+}
+
+// panickyPolicy delegates to a real policy but panics when evaluating
+// one API — the misbehaving-policy scenario.
+type panickyPolicy struct {
+	kernel.Policy
+	api string
+}
+
+func (p *panickyPolicy) Evaluate(ctx kernel.CallContext) kernel.Verdict {
+	if ctx.API == p.api {
+		panic("boom: policy bug")
+	}
+	return p.Policy.Evaluate(ctx)
+}
+
+func TestPolicyPanicFailsClosed(t *testing.T) {
+	b, shared, _ := newKernelBrowser(t, &panickyPolicy{Policy: policy.FullDefense(), api: "fetch"})
+	b.Net.RegisterScript("https://site.example/ok.js", 1000)
+	var gotErr error
+	timerRan := false
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch("https://site.example/ok.js", browser.FetchOptions{}, func(_ *browser.Response, err error) {
+			gotErr = err
+		})
+		g.SetTimeout(func(*browser.Global) { timerRan = true }, 5*sim.Millisecond)
+	})
+	run(t, b)
+	if !errors.Is(gotErr, kernel.ErrPolicyDenied) {
+		t.Fatalf("fetch err = %v, want fail-closed policy denial", gotErr)
+	}
+	if !timerRan {
+		t.Fatal("dispatcher wedged after policy panic")
+	}
+	if shared.PolicyPanics() == 0 {
+		t.Error("policy panic not counted")
+	}
+	if !strings.Contains(journalText(t, shared), "recovered policy panic") {
+		t.Error("journal missing policy-panic incident")
+	}
+}
+
+func TestWatchdogExpiresNeverConfirmedEvent(t *testing.T) {
+	b, shared, _ := newKernelBrowser(t, nil)
+	shared.SetWatchdogDeadline(200 * sim.Millisecond)
+	fired := false
+	b.RunScript("main", func(g *browser.Global) {
+		// An event that is registered but whose confirmation never
+		// arrives — the stuck-native-callback scenario.
+		k := shared.KernelOf(g)
+		k.Queue().NewEvent("orphan", sim.Time(sim.Millisecond), nil)
+		g.SetTimeout(func(*browser.Global) { fired = true }, 5*sim.Millisecond)
+	})
+	run(t, b)
+	if !fired {
+		t.Fatal("queue stayed wedged behind a never-confirmed event")
+	}
+	if b.Sim.Now() < sim.Time(200*sim.Millisecond) {
+		t.Fatalf("run ended at %v, before the watchdog deadline", b.Sim.Now())
+	}
+	j := journalText(t, shared)
+	if !strings.Contains(j, "expire") || !strings.Contains(j, "watchdog") {
+		t.Errorf("journal missing watchdog expiry:\n%s", j)
+	}
+}
+
+func TestWatchdogDisabledLeavesQueueBlocked(t *testing.T) {
+	b, shared, _ := newKernelBrowser(t, nil)
+	shared.SetWatchdogDeadline(0) // disabled
+	fired := false
+	b.RunScript("main", func(g *browser.Global) {
+		k := shared.KernelOf(g)
+		k.Queue().NewEvent("orphan", sim.Time(sim.Millisecond), nil)
+		g.SetTimeout(func(*browser.Global) { fired = true }, 5*sim.Millisecond)
+	})
+	run(t, b)
+	if fired {
+		t.Fatal("with the watchdog disabled the pending head must block forever")
+	}
+}
+
+func TestOverloadShedsAndJournals(t *testing.T) {
+	b, shared, _ := newKernelBrowser(t, nil)
+	shared.SetMaxQueueDepth(3)
+	fired := 0
+	lateFired := false
+	b.RunScript("main", func(g *browser.Global) {
+		// Registration from inside a callback, after the queue drains
+		// below the bound, must be accepted again.
+		g.SetTimeout(func(gg *browser.Global) {
+			gg.SetTimeout(func(*browser.Global) { lateFired = true }, sim.Millisecond)
+		}, sim.Millisecond)
+		for i := 0; i < 10; i++ {
+			g.SetTimeout(func(*browser.Global) { fired++ }, sim.Duration(i+1)*sim.Millisecond)
+		}
+	})
+	run(t, b)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2 (bound of 3 minus the re-arming timer)", fired)
+	}
+	if !lateFired {
+		t.Fatal("post-drain registration was refused — shedding is sticky")
+	}
+	k := shared.KernelFor(b.Main())
+	if k.ShedEvents() != 8 {
+		t.Errorf("ShedEvents = %d, want 8", k.ShedEvents())
+	}
+	if !strings.Contains(journalText(t, shared), "overload: queue depth at bound") {
+		t.Error("journal missing shed incidents")
+	}
+}
+
+// flakyURL fails a URL's first n network transfers with a transient
+// error, then succeeds.
+type flakyURL struct {
+	url  string
+	left int
+}
+
+func (f *flakyURL) FetchFault(url string) webnet.FaultDecision {
+	if url == f.url && f.left > 0 {
+		f.left--
+		return webnet.FaultDecision{
+			Err:          &webnet.TransientError{URL: url, Status: 503, Reason: "flaky"},
+			TruncateFrac: 0.5,
+		}
+	}
+	return webnet.FaultDecision{}
+}
+
+func TestKernelFetchRetriesTransientFailure(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	const url = "https://site.example/flaky.js"
+	b.Net.RegisterScript(url, 1000)
+	b.Net.SetFaultInjector(&flakyURL{url: url, left: 2})
+	var gotErr error
+	called := false
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch(url, browser.FetchOptions{MaxRetries: 3}, func(r *browser.Response, err error) {
+			called = true
+			gotErr = err
+		})
+	})
+	run(t, b)
+	if !called {
+		t.Fatal("fetch callback never dispatched")
+	}
+	if gotErr != nil {
+		t.Fatalf("fetch should succeed after retries, got %v", gotErr)
+	}
+}
+
+func TestKernelFetchRetriesExhausted(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	const url = "https://site.example/flaky.js"
+	b.Net.RegisterScript(url, 1000)
+	b.Net.SetFaultInjector(&flakyURL{url: url, left: 10})
+	var gotErr error
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch(url, browser.FetchOptions{MaxRetries: 2}, func(_ *browser.Response, err error) {
+			gotErr = err
+		})
+	})
+	run(t, b)
+	if !webnet.IsTransient(gotErr) {
+		t.Fatalf("err = %v, want the final transient failure after retries exhaust", gotErr)
+	}
+	if b.Net.TransientFailures() != 3 {
+		t.Errorf("TransientFailures = %d, want 3 (initial + 2 retries)", b.Net.TransientFailures())
+	}
+}
+
+func TestKernelNoRetryWithoutOptIn(t *testing.T) {
+	b, _, _ := newKernelBrowser(t, nil)
+	const url = "https://site.example/flaky.js"
+	b.Net.RegisterScript(url, 1000)
+	b.Net.SetFaultInjector(&flakyURL{url: url, left: 1})
+	var gotErr error
+	b.RunScript("main", func(g *browser.Global) {
+		g.Fetch(url, browser.FetchOptions{}, func(_ *browser.Response, err error) { gotErr = err })
+	})
+	run(t, b)
+	if !webnet.IsTransient(gotErr) {
+		t.Fatalf("err = %v, want transient failure surfaced without retries", gotErr)
+	}
+}

@@ -73,7 +73,7 @@ func (w *WorkerStub) PostMessage(data any) {
 		w.native.PostMessage(data)
 		return
 	}
-	ev := wk.queue.NewEvent("onmessage", wk.nextInboundPred(mk.nextOutgoingPred()), func(g *browser.Global, args any) {
+	ev := wk.newEvent("onmessage", wk.nextInboundPred(mk.nextOutgoingPred()), func(g *browser.Global, args any) {
 		m, ok := args.(browser.MessageEvent)
 		if !ok {
 			return
@@ -94,7 +94,7 @@ func (w *WorkerStub) PostMessageTransfer(data any, buf *browser.SharedBuffer) {
 		w.native.PostMessageTransfer(data, buf)
 		return
 	}
-	ev := wk.queue.NewEvent("onmessage", wk.nextInboundPred(mk.nextOutgoingPred()), func(g *browser.Global, args any) {
+	ev := wk.newEvent("onmessage", wk.nextInboundPred(mk.nextOutgoingPred()), func(g *browser.Global, args any) {
 		m, ok := args.(browser.MessageEvent)
 		if !ok {
 			return
@@ -236,7 +236,7 @@ func (k *Kernel) kNewWorker(src string) (browser.Worker, error) {
 		}
 		env, ok := m.Data.(envelope)
 		if !ok {
-			ev := mk.queue.NewEvent("onmessage", mk.nextMessagePred(), func(gg *browser.Global, args any) {
+			ev := mk.newEvent("onmessage", mk.nextMessagePred(), func(gg *browser.Global, args any) {
 				mm, ok := args.(browser.MessageEvent)
 				if !ok {
 					return

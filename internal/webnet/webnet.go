@@ -8,6 +8,7 @@ package webnet
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -59,12 +60,57 @@ type Resource struct {
 	Body   string // small textual bodies (scripts, JSON); optional
 }
 
-// NotFoundError reports a fetch of an unregistered URL.
+// NotFoundError reports a fetch of an unregistered URL. It is a permanent
+// failure: retrying the same request can never succeed.
 type NotFoundError struct {
 	URL string
 }
 
 func (e *NotFoundError) Error() string { return fmt.Sprintf("webnet: no resource at %q", e.URL) }
+
+// TransientError reports a retryable network-level failure — a simulated
+// 5xx response, a truncated transfer, or a congestion drop. Callers that
+// can afford the latency (see browser.FetchOptions.MaxRetries) may retry;
+// permanent failures (NotFoundError) must not be retried.
+type TransientError struct {
+	URL    string
+	Status int    // HTTP-like status code, e.g. 503
+	Reason string // "injected-5xx", "truncated", ...
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("webnet: transient failure for %q (status %d, %s)", e.URL, e.Status, e.Reason)
+}
+
+// IsTransient reports whether err is (or wraps) a retryable network
+// failure.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// FaultDecision tells Net.Fetch how to degrade one network transfer. The
+// zero value means "no fault".
+type FaultDecision struct {
+	// Err, when non-nil, fails the fetch with this error instead of
+	// delivering the resource. Use *TransientError for retryable faults.
+	Err error
+	// TruncateFrac, in (0,1], reports the failure after that fraction of
+	// the computed transfer latency (a connection dying mid-body). Zero
+	// reports the failure after the full transfer latency.
+	TruncateFrac float64
+	// LatencyScale multiplies the transfer latency when > 0 (congestion or
+	// a latency spike). It applies to successful and failed transfers.
+	LatencyScale float64
+}
+
+// FaultInjector lets a fault plan degrade network transfers. Injectors
+// must be deterministic functions of their own seeded state; Net consults
+// them only for transfers that actually hit the network (cache hits are
+// served locally and cannot fail).
+type FaultInjector interface {
+	FetchFault(url string) FaultDecision
+}
 
 // OriginOf extracts the origin (scheme + host) from a URL string. Relative
 // URLs have no origin and return "".
@@ -122,10 +168,13 @@ type Net struct {
 	cfg       Config
 	rng       *rand.Rand
 	resources map[string]*Resource
+	faults    FaultInjector
 
 	cache      map[string]*list.Element // url → LRU node
 	lru        *list.List               // front = most recent
 	cacheBytes int64
+
+	transientFails uint64
 }
 
 // cacheEntry is one LRU node.
@@ -290,11 +339,34 @@ func (n *Net) Fetch(url, fromOrigin string) (FetchResult, error) {
 	}
 	res.FromNet = true
 	res.Latency = n.transferTime(r.Bytes)
+	if n.faults != nil {
+		d := n.faults.FetchFault(url)
+		if d.LatencyScale > 0 {
+			res.Latency = sim.Duration(float64(res.Latency) * d.LatencyScale)
+		}
+		if d.Err != nil {
+			// A failed transfer still costs time on the wire, but never
+			// populates the cache.
+			n.transientFails++
+			if d.TruncateFrac > 0 && d.TruncateFrac <= 1 {
+				res.Latency = sim.Duration(float64(res.Latency) * d.TruncateFrac)
+			}
+			res.Resource = nil
+			return res, d.Err
+		}
+	}
 	if n.cfg.EnableCaching {
 		n.cacheInsert(url, r.Bytes)
 	}
 	return res, nil
 }
+
+// SetFaultInjector installs (or, with nil, removes) the network's fault
+// injector. Only transfers that hit the network consult it.
+func (n *Net) SetFaultInjector(fi FaultInjector) { n.faults = fi }
+
+// TransientFailures reports how many transfers the fault injector failed.
+func (n *Net) TransientFailures() uint64 { return n.transientFails }
 
 // transferTime models RTT + size/bandwidth with uniform jitter.
 func (n *Net) transferTime(bytes int64) sim.Duration {

@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the pre-merge gate: build, vet, and race-test everything.
+# Usage: ./scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== OK"
