@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check chaos clean
+.PHONY: all build test race vet lint check chaos clean
 
 all: build
 
@@ -10,14 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs the jsk-lint determinism & kernel-invariant analyzers
+# (internal/analysis) over the whole repo; nonzero on any unsuppressed
+# finding.
+lint:
+	$(GO) run ./cmd/jsk-lint ./internal/... ./cmd/...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# check is the pre-merge gate: compile, vet, and the full test suite
-# under the race detector.
+# check is the pre-merge gate: compile, vet, jsk-lint, and the full
+# test suite under the race detector.
 check:
 	./scripts/check.sh
 

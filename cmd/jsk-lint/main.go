@@ -1,0 +1,91 @@
+// Command jsk-lint runs the repository's determinism and
+// kernel-invariant static analyzers (internal/analysis) over the given
+// package patterns — by default ./internal/... and ./cmd/... — and
+// exits nonzero if any unsuppressed finding remains.
+//
+// Usage:
+//
+//	jsk-lint [-json] [-list] [pattern ...]
+//
+// Findings print as "file:line:col: [analyzer] message", or as one JSON
+// object per line with -json (machine-readable for CI annotation
+// tooling). Intentional exceptions are annotated in source with
+// "//jsk:lint-ignore <analyzer> <reason>".
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/typecheck error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"jskernel/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jsk-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic object per line")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "jsk-lint:", err)
+		return 2
+	}
+	modRoot, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "jsk-lint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(modRoot)
+	if err != nil {
+		fmt.Fprintln(stderr, "jsk-lint:", err)
+		return 2
+	}
+	diags, err := loader.Run(patterns, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, "jsk-lint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			if err := enc.Encode(d); err != nil {
+				fmt.Fprintln(stderr, "jsk-lint:", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "jsk-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

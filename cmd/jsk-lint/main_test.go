@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"jskernel/internal/analysis"
+)
+
+// seedViolationModule writes a throwaway module containing one of every
+// analyzer's violations and chdirs into it for the test's duration.
+func seedViolationModule(t *testing.T) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module seeded\n\ngo 1.22\n")
+	write("internal/bad/bad.go", `package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Roll() int { return rand.Intn(6) }
+
+func Spawn(f func()) { go f() }
+`)
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSeededViolationsExitNonzero(t *testing.T) {
+	seedViolationModule(t)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"./internal/..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, wantFrag := range []string{
+		"internal/bad/bad.go:8", "[detwalltime]",
+		"internal/bad/bad.go:10", "[detrand]",
+		"internal/bad/bad.go:12", "[goroutinescope]",
+	} {
+		if !strings.Contains(out, wantFrag) {
+			t.Errorf("output missing %q:\n%s", wantFrag, out)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	seedViolationModule(t)
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json", "./internal/..."}, &stdout, &stderr); got != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", got, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 JSON diagnostics, got %d:\n%s", len(lines), stdout.String())
+	}
+	var analyzers []string
+	for _, line := range lines {
+		var d analysis.Diagnostic
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q is not a JSON diagnostic: %v", line, err)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("diagnostic %+v has empty fields", d)
+		}
+		analyzers = append(analyzers, d.Analyzer)
+	}
+	want := []string{"detwalltime", "detrand", "goroutinescope"}
+	for _, w := range want {
+		found := false
+		for _, a := range analyzers {
+			if a == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no %s diagnostic in JSON output: %v", w, analyzers)
+		}
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	seedViolationModule(t)
+	// Replace the bad file with clean code: the driver must go quiet.
+	if err := os.WriteFile(filepath.Join("internal", "bad", "bad.go"),
+		[]byte("package bad\n\nfunc Fine() int { return 4 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"./internal/..."}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run = %d, want 0; stdout: %s stderr: %s", got, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed: %s", stdout.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run -list = %d, want 0", got)
+	}
+	for _, name := range analysis.AnalyzerNames() {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetMapIter flags ranging over a map while producing order-sensitive
+// output. Go randomizes map iteration order on every loop, so anything
+// the body emits in iteration order — elements appended to a slice,
+// bytes printed or written, floats accumulated (addition is not
+// associative) — differs from run to run and breaks the byte-identical
+// replay guarantee. The sanctioned idiom is to collect the keys, sort
+// them, and range over the sorted slice; a loop that appends to a
+// variable which is demonstrably sorted later in the same file is
+// accepted as that idiom's first half.
+//
+// Order-insensitive bodies (counting, map-to-map transfer, lookups,
+// integer sums, `x++` tallies) pass untouched.
+var DetMapIter = &Analyzer{
+	Name: "detmapiter",
+	Doc:  "forbid order-sensitive output from map iteration without an intervening sort",
+	Run:  runDetMapIter,
+}
+
+func runDetMapIter(p *Pass) {
+	for _, f := range p.Files {
+		sorted := collectSortCalls(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapType(p.Info.TypeOf(rs.X)) {
+				return true
+			}
+			checkMapRange(p, rs, sorted)
+			return true
+		})
+	}
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// sortedObj records one "sort.X(args)" / "slices.X(args)" call and the
+// variable objects it touches, so an append-then-sort idiom can be
+// recognized.
+type sortedObj struct {
+	obj types.Object
+	pos token.Pos
+}
+
+func collectSortCalls(p *Pass, f *ast.File) []sortedObj {
+	var out []sortedObj
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		if path := obj.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok {
+					if vo, ok := p.Info.Uses[id].(*types.Var); ok {
+						out = append(out, sortedObj{obj: vo, pos: call.Pos()})
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func sortedAfter(sorted []sortedObj, obj types.Object, after token.Pos) bool {
+	for _, s := range sorted {
+		if s.obj == obj && s.pos > after {
+			return true
+		}
+	}
+	return false
+}
+
+// writerMethods are ordered-sink methods: each call emits bytes whose
+// position in the output depends on iteration order.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// checkMapRange scans one map-range body for ordered sinks. Nested map
+// ranges are skipped here — the outer Inspect visits them and they are
+// judged (and attributed) on their own.
+func checkMapRange(p *Pass, rs *ast.RangeStmt, sorted []sortedObj) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(p.Info.TypeOf(n.X)) {
+				return false
+			}
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside map iteration: delivery order follows the randomized map order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			checkFloatAccum(p, n)
+		case *ast.CallExpr:
+			checkOrderedCall(p, rs, n, sorted)
+		}
+		return true
+	})
+}
+
+// checkFloatAccum flags `f += expr` (and -=, *=, /=) on floating-point
+// targets: float arithmetic is not associative, so accumulating in map
+// order perturbs low-order bits between runs. Integer accumulation and
+// `x++` counting are exact and pass.
+func checkFloatAccum(p *Pass, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	for _, lhs := range as.Lhs {
+		t := p.Info.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&(types.IsFloat|types.IsComplex) != 0 {
+			p.Reportf(as.Pos(), "floating-point accumulation in map iteration order is not associative and differs between runs; iterate sorted keys instead")
+			return
+		}
+	}
+}
+
+func checkOrderedCall(p *Pass, rs *ast.RangeStmt, call *ast.CallExpr, sorted []sortedObj) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		// Builtin append: elements land in map iteration order.
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if id, ok := call.Args[0].(*ast.Ident); ok {
+				if vo, ok := p.Info.Uses[id].(*types.Var); ok && sortedAfter(sorted, vo, rs.End()) {
+					return // append-then-sort idiom
+				}
+			}
+			p.Reportf(call.Pos(), "append inside map iteration produces map-ordered elements and no later sort was found; iterate sorted keys (or sort the result) instead")
+		}
+	case *ast.SelectorExpr:
+		obj, ok := p.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, _ := obj.Type().(*types.Signature)
+		isMethod := sig != nil && sig.Recv() != nil
+		if !isMethod && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in randomized map order; iterate sorted keys instead", obj.Name())
+			return
+		}
+		if isMethod && writerMethods[obj.Name()] {
+			p.Reportf(call.Pos(), "%s call inside map iteration writes bytes in randomized map order; iterate sorted keys instead", obj.Name())
+		}
+	}
+}

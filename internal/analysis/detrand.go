@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors are the math/rand package-level functions that build
+// an explicit generator rather than draw from the global one. They are
+// the sanctioned path: rand.New(rand.NewSource(seed)).
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes the *rand.Rand explicitly
+}
+
+// DetRand rejects the global math/rand convenience functions. The
+// global generator is seeded from runtime entropy (and shared across
+// the process), so any draw from it makes a run irreproducible; every
+// stream in this repo must be an explicitly seeded *rand.Rand (see the
+// per-layer splitmix64 streams in internal/fault for the idiom).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand functions; randomness must flow through a seeded *rand.Rand",
+	Run:  runDetRand,
+}
+
+func runDetRand(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method on an explicit *rand.Rand — the sanctioned form
+			}
+			if randConstructors[obj.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "global %s.%s draws from the process-wide generator; use a seeded *rand.Rand stream", path, obj.Name())
+			return true
+		})
+	}
+}

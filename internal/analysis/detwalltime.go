@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time entry points that observe or wait
+// on the real clock. Referencing any of them (call or function value)
+// breaks determinism: the same program run twice sees different values,
+// which is exactly the implicit clock the kernel exists to remove.
+// Duration arithmetic, formatting, and constants (time.Millisecond,
+// time.Duration, ParseDuration, ...) remain fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// wallClockAllowedPkgs are package-path suffixes where real time is
+// legitimate by design. Empty today: even cmd/ binaries report virtual
+// time. Extend deliberately, with a comment, if a wall-clock use case
+// ever appears (e.g. a profiling harness).
+var wallClockAllowedPkgs = []string{}
+
+// DetWallTime rejects wall-clock observation outside the allowlist.
+var DetWallTime = &Analyzer{
+	Name: "detwalltime",
+	Doc:  "forbid time.Now/Since/Sleep/After etc.; simulated code must use the virtual clock in internal/sim",
+	Applies: func(pkgPath string) bool {
+		for _, allowed := range wallClockAllowedPkgs {
+			if hasPathSuffix(pkgPath, allowed) {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runDetWallTime,
+}
+
+func runDetWallTime(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // method like t.Sub — operates on values, not the clock
+			}
+			if wallClockFuncs[obj.Name()] {
+				p.Reportf(sel.Pos(), "time.%s observes the wall clock; deterministic code must use the virtual clock (internal/sim)", obj.Name())
+			}
+			return true
+		})
+	}
+}

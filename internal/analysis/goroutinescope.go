@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// goroutineAllowedPkgs are package-path suffixes allowed to start
+// goroutines: the discrete-event runtime itself. Everything else must
+// schedule work through the simulator — a stray goroutine races the
+// event loop with real (nondeterministic) OS scheduling, which is
+// precisely the concurrency channel the kernel removes.
+var goroutineAllowedPkgs = []string{
+	"internal/sim",
+}
+
+// GoroutineScope rejects `go` statements outside the scheduler
+// allowlist.
+var GoroutineScope = &Analyzer{
+	Name: "goroutinescope",
+	Doc:  "forbid go statements outside the scheduler/runtime allowlist; use the discrete-event loop in internal/sim",
+	Applies: func(pkgPath string) bool {
+		for _, allowed := range goroutineAllowedPkgs {
+			if hasPathSuffix(pkgPath, allowed) {
+				return false
+			}
+		}
+		return true
+	},
+	Run: runGoroutineScope,
+}
+
+func runGoroutineScope(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "go statement outside the scheduler allowlist races the discrete-event loop; schedule through internal/sim instead")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+)
+
+// TestRepoSelfCheck runs the full jsk-lint suite over the repository's
+// own ./internal/... and ./cmd/... trees and requires zero unsuppressed
+// findings. This is the enforcement teeth: any future time.Now, global
+// rand draw, stray goroutine, unsorted order-sensitive map walk, or raw
+// policy/callback invocation fails the tier-1 test run, not just the
+// lint target.
+func TestRepoSelfCheck(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatalf("find module root: %v", err)
+	}
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatalf("new loader: %v", err)
+	}
+	diags, err := loader.Run([]string{"./internal/...", "./cmd/..."}, Analyzers())
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d unsuppressed finding(s); fix the code or add a //jsk:lint-ignore with a reason", len(diags))
+	}
+}
+
+// TestExpandPatterns pins the pattern expansion the driver relies on.
+func TestExpandPatterns(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	modRoot, err := FindModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(modRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand([]string{"./internal/...", "./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"jskernel/internal/analysis": false,
+		"jskernel/internal/kernel":   false,
+		"jskernel/internal/sim":      false,
+		"jskernel/cmd/jsk-lint":      false,
+		"jskernel/cmd/jsk-eval":      false,
+	}
+	for _, p := range paths {
+		if _, ok := want[p]; ok {
+			want[p] = true
+		}
+	}
+	for p, seen := range want {
+		if !seen {
+			t.Errorf("Expand did not surface %s (got %v)", p, paths)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses one analyzer's
+// findings on one line. Full form:
+//
+//	//jsk:lint-ignore <analyzer> <reason>
+//
+// Placed at the end of a code line it suppresses that line; placed on a
+// line of its own it suppresses the line that follows. The reason is
+// mandatory and the analyzer name must be real — violations of either
+// rule are reported as "lint-ignore" diagnostics so a suppression can
+// never silently rot.
+const ignoreDirective = "jsk:lint-ignore"
+
+// suppressions indexes parsed directives for one package.
+type suppressions struct {
+	// byKey maps "analyzer\x00file\x00line" → directive present.
+	byKey map[string]bool
+	// malformed holds diagnostics for broken directives.
+	malformed []Diagnostic
+}
+
+func (s *suppressions) suppressed(analyzer, file string, line int) bool {
+	return s.byKey[supKey(analyzer, file, line)]
+}
+
+func supKey(analyzer, file string, line int) string {
+	return analyzer + "\x00" + file + "\x00" + itoa(line)
+}
+
+// itoa avoids strconv for this hot, tiny case.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// parseSuppressions scans every comment in the package for ignore
+// directives. valid is the set of real analyzer names.
+func parseSuppressions(fset *token.FileSet, files []*ast.File, valid map[string]bool) *suppressions {
+	sup := &suppressions{byKey: make(map[string]bool)}
+	for _, f := range files {
+		codeLines := codeLineSet(fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					sup.malformed = append(sup.malformed, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "lint-ignore",
+						Message:  "directive names no analyzer; want //jsk:lint-ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[0]
+				if !valid[name] {
+					sup.malformed = append(sup.malformed, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "lint-ignore",
+						Message:  "unknown analyzer \"" + name + "\" in suppression; valid: " + strings.Join(AnalyzerNames(), ", "),
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					sup.malformed = append(sup.malformed, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: "lint-ignore",
+						Message:  "suppression of " + name + " gives no reason; every exception must say why",
+					})
+					continue
+				}
+				// A trailing comment suppresses its own line; a comment on
+				// a line of its own suppresses the next line.
+				target := pos.Line
+				if !codeLines[pos.Line] {
+					target = pos.Line + 1
+				}
+				sup.byKey[supKey(name, pos.Filename, target)] = true
+			}
+		}
+	}
+	return sup
+}
+
+// directiveText extracts the directive payload from a comment, or
+// reports that the comment is not a directive.
+func directiveText(comment string) (string, bool) {
+	var body string
+	switch {
+	case strings.HasPrefix(comment, "//"):
+		body = comment[2:]
+	case strings.HasPrefix(comment, "/*"):
+		body = strings.TrimSuffix(comment[2:], "*/")
+	default:
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, ignoreDirective) {
+		return "", false
+	}
+	rest := body[len(ignoreDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. jsk:lint-ignorex — a different word
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// codeLineSet records which lines of a file carry code tokens, so a
+// directive can tell "trailing comment" apart from "own line". Every
+// node's start and end line is marked; comments are excluded by
+// construction (ast.Inspect does not descend into them unless they are
+// in f.Comments, which we never visit here).
+func codeLineSet(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup:
+			return false
+		}
+		switch n.(type) {
+		case *ast.Ident, *ast.BasicLit, *ast.BlockStmt, *ast.CompositeLit,
+			*ast.CallExpr, *ast.ReturnStmt, *ast.BranchStmt, *ast.StructType,
+			*ast.InterfaceType, *ast.FuncType:
+			lines[fset.Position(n.Pos()).Line] = true
+			lines[fset.Position(n.End()).Line] = true
+		}
+		return true
+	})
+	return lines
+}

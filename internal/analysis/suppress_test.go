@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// The suppression fixtures all use the same seeded detrand violation
+// and vary only the directive, exercising the parser's placement and
+// validation rules.
+
+func TestSuppressionEndOfLinePlacement(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int { return rand.Intn(10) } //jsk:lint-ignore detrand trailing directive suppresses its own line
+`)
+	wantFindings(t, diags)
+}
+
+func TestSuppressionPrecedingLinePlacement(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int {
+	//jsk:lint-ignore detrand standalone directive suppresses the next line
+	return rand.Intn(10)
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestSuppressionStandaloneDoesNotReachPastNextLine(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int {
+	//jsk:lint-ignore detrand directive covers only the line below
+	x := 1
+	return x + rand.Intn(10)
+}
+`)
+	wantFindings(t, diags, [2]any{"detrand", 8})
+}
+
+func TestSuppressionWrongAnalyzerNameDoesNotSuppress(t *testing.T) {
+	// detwalltime is a real analyzer, so the directive is well-formed —
+	// but it must not silence a detrand finding.
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int { return rand.Intn(10) } //jsk:lint-ignore detwalltime wrong analyzer named here
+`)
+	wantFindings(t, diags, [2]any{"detrand", 5})
+}
+
+func TestSuppressionUnknownAnalyzerIsMalformed(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int { return rand.Intn(10) } //jsk:lint-ignore nosuchcheck some reason
+`)
+	wantFindings(t, diags, [2]any{"detrand", 5}, [2]any{"lint-ignore", 5})
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuchcheck"`) {
+		t.Errorf("malformed-directive message = %q", diags[1].Message)
+	}
+}
+
+func TestSuppressionMissingReasonIsMalformed(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() int { return rand.Intn(10) } //jsk:lint-ignore detrand
+`)
+	// The reasonless directive does not suppress, and is itself flagged.
+	wantFindings(t, diags, [2]any{"detrand", 5}, [2]any{"lint-ignore", 5})
+	if !strings.Contains(diags[1].Message, "no reason") {
+		t.Errorf("malformed-directive message = %q", diags[1].Message)
+	}
+}
+
+func TestSuppressionEmptyDirectiveIsMalformed(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+//jsk:lint-ignore
+var x = 1
+`)
+	wantFindings(t, diags, [2]any{"lint-ignore", 3})
+}
+
+func TestSimilarCommentIsNotADirective(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+// jsk:lint-ignorefoo is not our directive and must be ignored entirely.
+var x = 1
+`)
+	wantFindings(t, diags)
+}
+
+func TestDirectiveTextParsing(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    string
+		ok      bool
+	}{
+		{"//jsk:lint-ignore detrand reason", "detrand reason", true},
+		{"// jsk:lint-ignore detrand reason", "detrand reason", true},
+		{"/* jsk:lint-ignore detrand reason */", "detrand reason", true},
+		{"//jsk:lint-ignore", "", true},
+		{"//jsk:lint-ignoreX detrand r", "", false},
+		{"// unrelated comment", "", false},
+	}
+	for _, c := range cases {
+		got, ok := directiveText(c.comment)
+		if got != c.want || ok != c.ok {
+			t.Errorf("directiveText(%q) = (%q, %v), want (%q, %v)", c.comment, got, ok, c.want, c.ok)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package attack
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"jskernel/internal/defense"
@@ -127,13 +128,24 @@ func (a *TimingAttack) Evaluate(d defense.Defense, reps int, baseSeed int64) Out
 					continue
 				}
 				pair := samples[ch]
+				// Each append target is keyed by the iteration variable, so
+				// every channel's slice fills in rep order, not map order.
+				//jsk:lint-ignore detmapiter append target is keyed by the range variable; per-channel order is rep order
 				pair[variant] = append(pair[variant], v)
 				samples[ch] = pair
 			}
 		}
 	}
 	out := Outcome{AttackID: a.ID, DefenseID: d.ID, Defended: true, Samples: samples}
-	for ch, pair := range samples {
+	// Walk channels in sorted order so Channels is reproducible — map
+	// order would reshuffle the outcome between identical runs.
+	chans := make([]string, 0, len(samples))
+	for ch := range samples {
+		chans = append(chans, ch)
+	}
+	sort.Strings(chans)
+	for _, ch := range chans {
+		pair := samples[ch]
 		if len(pair[0]) == 0 || len(pair[1]) == 0 {
 			continue
 		}

@@ -2,6 +2,7 @@ package browser
 
 import (
 	"fmt"
+	"sort"
 
 	"jskernel/internal/sim"
 )
@@ -185,5 +186,6 @@ func (b *Browser) PersistedStores() []string {
 			out = append(out, name)
 		}
 	}
+	sort.Strings(out)
 	return out
 }

@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"sort"
 
 	"jskernel/internal/attack"
 	"jskernel/internal/defense"
@@ -65,9 +66,16 @@ func QuantumAblation(cfg Config) ([]QuantumAblationRow, *report.Table, error) {
 			return nil, nil, err
 		}
 		over := workload.DromaeoOverheads(base, with)
+		// Sum in sorted key order — float accumulation in map order
+		// would perturb low bits between identical runs.
+		overIDs := make([]string, 0, len(over))
+		for id := range over {
+			overIDs = append(overIDs, id)
+		}
+		sort.Strings(overIDs)
 		mean := 0.0
-		for _, v := range over {
-			mean += v
+		for _, id := range overIDs {
+			mean += over[id]
 		}
 		if len(over) > 0 {
 			mean /= float64(len(over))

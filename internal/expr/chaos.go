@@ -2,12 +2,24 @@ package expr
 
 import (
 	"fmt"
+	"sort"
 
 	"jskernel/internal/attack"
 	"jskernel/internal/defense"
 	"jskernel/internal/fault"
 	"jskernel/internal/report"
 )
+
+// sortedCellKeys returns a verdict map's keys in sorted order, so cell
+// walks are independent of map iteration order.
+func sortedCellKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // ChaosFlip is one Table I cell whose verdict changed under a fault
 // plan.
@@ -104,9 +116,13 @@ func ChaosWithPlans(cfg Config, plans []*fault.Plan) (*ChaosResult, error) {
 			return nil, err
 		}
 		pr := &ChaosPlanResult{Plan: plan, Matrix: m}
+		// Compare cells in sorted (row, defense) order so the Weakened
+		// and Masked flip lists come out in a reproducible order.
 		compare := func(rows map[string]map[string]bool) {
-			for row, perDefense := range rows {
-				for id, baseDefended := range perDefense {
+			for _, row := range sortedCellKeys(rows) {
+				perDefense := rows[row]
+				for _, id := range sortedCellKeys(perDefense) {
+					baseDefended := perDefense[id]
 					pr.Cells++
 					faulted, ok := m.Defended(row, id)
 					if !ok {

@@ -35,16 +35,21 @@ func Dromaeo(cfg Config) (*DromaeoReport, error) {
 	}
 	over := workload.DromaeoOverheads(base, with)
 	rep := &DromaeoReport{PerTest: over}
-	var all []float64
+	// Sort the test ids before accumulating: the mean is a float sum and
+	// the worst-test tie-break must not depend on map iteration order.
 	ids := make([]string, 0, len(over))
-	for id, v := range over {
-		all = append(all, v)
+	for id := range over {
 		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var all []float64
+	for _, id := range ids {
+		v := over[id]
+		all = append(all, v)
 		if v > rep.WorstOverhead {
 			rep.WorstOverhead, rep.WorstTest = v, id
 		}
 	}
-	sort.Strings(ids)
 	rep.MeanOverhead = stats.Mean(all)
 	rep.MedianOverhead = stats.Median(all)
 

@@ -14,6 +14,17 @@ import (
 // ErrEmpty is returned by functions that need at least one sample.
 var ErrEmpty = errors.New("stats: empty sample")
 
+// sortedKeys returns m's keys in sorted order, the deterministic way to
+// iterate a map whose visit order reaches any output.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -180,12 +191,17 @@ func CosineSimilarity(a, b map[string]float64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
+	// Float accumulation is not associative, so iterate in sorted key
+	// order: byte-identical results across runs matter more here than
+	// the cost of two sorts (term vectors are small).
 	var dot, na, nb float64
-	for k, va := range a {
+	for _, k := range sortedKeys(a) {
+		va := a[k]
 		dot += va * b[k]
 		na += va * va
 	}
-	for _, vb := range b {
+	for _, k := range sortedKeys(b) {
+		vb := b[k]
 		nb += vb * vb
 	}
 	if na == 0 || nb == 0 {

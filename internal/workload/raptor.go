@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"jskernel/internal/defense"
 	"jskernel/internal/sim"
@@ -179,7 +180,16 @@ func RunRaptorSuite(d defense.Defense, suite []Site, loads int, seed int64) ([]R
 // the number the paper quotes as 2.75% (Chrome) and 3.85% (Firefox).
 func RaptorAggregateOverhead(base, kernel defense.Defense, loads int, seed int64) (float64, error) {
 	var overheads []float64
-	for name, suite := range RaptorSuites() {
+	// Run suites in sorted name order: the overhead mean is a float
+	// accumulation, so iteration order must not follow map order.
+	suites := RaptorSuites()
+	names := make([]string, 0, len(suites))
+	for name := range suites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		suite := suites[name]
 		baseRes, err := RunRaptorSuite(base, suite, loads, seed)
 		if err != nil {
 			return 0, fmt.Errorf("raptor %s base: %w", name, err)

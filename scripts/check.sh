@@ -1,17 +1,37 @@
 #!/bin/sh
-# check.sh — the pre-merge gate: build, vet, and race-test everything.
+# check.sh — the pre-merge gate: build, vet, jsk-lint, race-test.
 # Usage: ./scripts/check.sh   (or: make check)
+#
+# Fails fast: the first failing stage stops the run, and the banner
+# names the stage so the log reads unambiguously even in CI.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "== go build ./..."
-go build ./...
+stage() {
+	echo ""
+	echo "==================================================================="
+	echo "== stage: $1"
+	echo "==================================================================="
+}
 
-echo "== go vet ./..."
-go vet ./...
+fail() {
+	echo ""
+	echo "xx stage FAILED: $1" >&2
+	exit 1
+}
 
-echo "== go test -race ./..."
-go test -race ./...
+stage "go build ./..."
+go build ./... || fail "go build"
 
-echo "== OK"
+stage "go vet ./..."
+go vet ./... || fail "go vet"
+
+stage "jsk-lint ./internal/... ./cmd/..."
+go run ./cmd/jsk-lint ./internal/... ./cmd/... || fail "jsk-lint"
+
+stage "go test -race ./..."
+go test -race ./... || fail "go test -race"
+
+echo ""
+echo "== OK: all stages passed"
