@@ -16,6 +16,7 @@ package jskernel_test
 
 import (
 	"testing"
+	"time"
 
 	"jskernel"
 	"jskernel/internal/attack"
@@ -24,6 +25,7 @@ import (
 	"jskernel/internal/kernel"
 	"jskernel/internal/policy"
 	"jskernel/internal/sim"
+	"jskernel/internal/trace"
 	"jskernel/internal/workload"
 )
 
@@ -150,6 +152,62 @@ func BenchmarkDromaeoJSKernel(b *testing.B) {
 		if _, err := workload.RunDromaeo(defense.JSKernel("chrome"), 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDromaeoJSKernelTraced is BenchmarkDromaeoJSKernel with a live
+// trace session attached — compare the two to see the tracing tax when
+// on (BENCH_trace.json records a sample). The nil-sink (tracing off)
+// case is BenchmarkDromaeoJSKernel itself, and TestTraceNilSinkOverhead
+// bounds its overhead against a tracer-free build of the same workload.
+func BenchmarkDromaeoJSKernelTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := trace.NewSession()
+		if _, err := workload.RunDromaeo(defense.JSKernel("chrome").WithTracer(s), 1); err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() == 0 {
+			b.Fatal("traced run emitted no records")
+		}
+	}
+}
+
+// TestTraceNilSinkOverhead checks the tracing-off fast path. A kernel
+// holding a nil *trace.Session must do nothing at each emission site
+// beyond the nil check, so the off run can never be slower than the
+// traced run — tracing on performs a strict superset of the work. The
+// bound is deliberately generous (3x plus slack) so scheduler jitter
+// never flakes it; what it catches is a future change that makes the
+// off state do real work per emission (allocate, format, lock). Wall
+// time is fine here: this file is outside the detwalltime lint scope.
+func TestTraceNilSinkOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	runOnce := func(d defense.Defense) time.Duration {
+		start := time.Now()
+		if _, err := workload.RunDromaeo(d, 1); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Warm up allocators and caches, then take the best of 3 per side.
+	runOnce(defense.JSKernel("chrome"))
+	best := func(d defense.Defense) time.Duration {
+		b := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			if v := runOnce(d); v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	off := best(defense.JSKernel("chrome")) // nil tracer: the off fast path
+	on := best(defense.JSKernel("chrome").WithTracer(trace.NewSession()))
+	t.Logf("dromaeo: tracing off %v, tracing on %v", off, on)
+	if off > 3*on+10*time.Millisecond {
+		t.Fatalf("nil-sink path (%v) grossly slower than traced path (%v): the off state is doing real work", off, on)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"jskernel/internal/expr"
 	"jskernel/internal/report"
+	"jskernel/internal/trace"
 )
 
 func main() {
@@ -30,21 +31,23 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("jsk-eval", flag.ContinueOnError)
 	var (
-		table    = fs.Int("table", 0, "regenerate Table 1, 2 or 3")
-		fig      = fs.Int("fig", 0, "regenerate Figure 2 or 3")
-		dromaeo  = fs.Bool("dromaeo", false, "run the Dromaeo overhead experiment")
-		workers  = fs.Bool("workers", false, "run the 16-worker creation benchmark")
-		compat   = fs.Bool("compat", false, "run the Alexa DOM-similarity compatibility test")
-		apps     = fs.Bool("apps", false, "run the CodePen API-specific compatibility test")
-		ablation = fs.Bool("ablation", false, "run the quantum and policy ablation studies")
-		recovery = fs.Bool("recovery", false, "run the end-to-end secret recovery experiment")
-		chaos    = fs.Bool("chaos", false, "re-run the Table I matrix under seeded fault plans and diff every verdict")
-		all      = fs.Bool("all", false, "run every experiment")
-		paper    = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
-		seed     = fs.Int64("seed", 0, "override the experiment seed")
-		reps     = fs.Int("reps", 0, "override the repetition budget")
-		csv      = fs.Bool("csv", false, "emit tables as CSV")
-		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored markdown")
+		table     = fs.Int("table", 0, "regenerate Table 1, 2 or 3")
+		fig       = fs.Int("fig", 0, "regenerate Figure 2 or 3")
+		dromaeo   = fs.Bool("dromaeo", false, "run the Dromaeo overhead experiment")
+		workers   = fs.Bool("workers", false, "run the 16-worker creation benchmark")
+		compat    = fs.Bool("compat", false, "run the Alexa DOM-similarity compatibility test")
+		apps      = fs.Bool("apps", false, "run the CodePen API-specific compatibility test")
+		ablation  = fs.Bool("ablation", false, "run the quantum and policy ablation studies")
+		recovery  = fs.Bool("recovery", false, "run the end-to-end secret recovery experiment")
+		chaos     = fs.Bool("chaos", false, "re-run the Table I matrix under seeded fault plans and diff every verdict")
+		all       = fs.Bool("all", false, "run every experiment")
+		paper     = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
+		seed      = fs.Int64("seed", 0, "override the experiment seed")
+		reps      = fs.Int("reps", 0, "override the repetition budget")
+		csv       = fs.Bool("csv", false, "emit tables as CSV")
+		markdown  = fs.Bool("markdown", false, "emit tables as GitHub-flavored markdown")
+		traceOut  = fs.String("trace", "", "record a kernel lifecycle trace of the run to this file (Chrome trace-event JSON, Perfetto-loadable)")
+		traceText = fs.Bool("trace-text", false, "with -trace, also write the compact text rendering next to the JSON (<out>.txt)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,6 +62,14 @@ func run(w io.Writer, args []string) error {
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	if *traceOut != "" {
+		cfg.Trace = trace.NewSession()
+		defer func() {
+			if err := writeTrace(w, cfg.Trace, *traceOut, *traceText); err != nil {
+				fmt.Fprintln(os.Stderr, "jsk-eval: trace:", err)
+			}
+		}()
 	}
 
 	emit := func(t *report.Table) error {
@@ -242,4 +253,43 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -chaos, or an experiment flag")
 	}
 	return nil
+}
+
+// writeTrace closes the session, validates it against the kernel
+// lifecycle invariants, writes the Chrome trace-event JSON (plus the
+// compact text rendering when asked), and prints the metrics summary.
+func writeTrace(w io.Writer, s *trace.Session, out string, alsoText bool) error {
+	s.Close()
+	recs := s.Records()
+	rep, err := trace.Validate(recs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if alsoText {
+		tf, err := os.Create(out + ".txt")
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteText(tf, recs); err != nil {
+			tf.Close()
+			return err
+		}
+		if err := tf.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "trace: %d records -> %s (validated: %d enqueued = %d dispatched + %d shed + %d cancelled + %d expired)\n",
+		len(recs), out, rep.Enqueued, rep.Dispatched, rep.Shed, rep.Cancelled, rep.Expired)
+	return s.Metrics().WriteSummary(w)
 }

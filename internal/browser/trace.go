@@ -104,6 +104,20 @@ func (r *Recorder) Len() int { return len(r.events) }
 // Reset clears the recording.
 func (r *Recorder) Reset() { r.events = nil }
 
+// Tee combines several tracers into one; nil entries are skipped.
+func Tee(ts ...Tracer) Tracer {
+	var m multiTracer
+	for _, t := range ts {
+		if t != nil {
+			m = append(m, t)
+		}
+	}
+	if len(m) == 1 {
+		return m[0]
+	}
+	return m
+}
+
 // multiTracer fans a trace out to several tracers.
 type multiTracer []Tracer
 

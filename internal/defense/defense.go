@@ -15,6 +15,7 @@ import (
 	"jskernel/internal/kernel"
 	"jskernel/internal/policy"
 	"jskernel/internal/sim"
+	"jskernel/internal/trace"
 	"jskernel/internal/vuln"
 	"jskernel/internal/webnet"
 )
@@ -49,6 +50,13 @@ type Defense struct {
 	// FaultPlan, when non-nil, injects the plan's deterministic faults
 	// into every environment this defense builds (chaos experiments).
 	FaultPlan *fault.Plan
+	// Tracer, when non-nil, receives the kernel lifecycle trace of every
+	// environment this defense builds: kernel defenses attach it before
+	// scope installation, and native browser events are bridged in as
+	// OpNative records. Attack evaluators construct environments
+	// internally, so the session rides on the defense the same way fault
+	// plans do.
+	Tracer *trace.Session
 }
 
 // WithFaults returns a copy of the defense that builds every
@@ -56,6 +64,36 @@ type Defense struct {
 func (d Defense) WithFaults(p *fault.Plan) Defense {
 	d.FaultPlan = p
 	return d
+}
+
+// WithTracer returns a copy of the defense whose environments feed the
+// given trace session (nil clears it).
+func (d Defense) WithTracer(t *trace.Session) Defense {
+	d.Tracer = t
+	return d
+}
+
+// traceBridge forwards native-layer browser trace events into the
+// kernel trace session as OpNative records, so one trace shows the
+// end-to-end story. Native events may carry in-task cursor timestamps,
+// which is why OpNative is exempt from the validator's per-thread
+// monotonicity invariant.
+type traceBridge struct {
+	s   *trace.Session
+	run int
+}
+
+func (tb traceBridge) Trace(ev browser.TraceEvent) {
+	tb.s.Emit(trace.Record{
+		Run:      tb.run,
+		VT:       ev.At,
+		Thread:   ev.ThreadID,
+		WorkerID: ev.WorkerID,
+		Op:       trace.OpNative,
+		API:      ev.Kind.String(),
+		Reason:   ev.Detail,
+		URL:      ev.URL,
+	})
 }
 
 // EnvOptions tunes environment construction.
@@ -79,6 +117,8 @@ type Env struct {
 	// Faults is non-nil when the defense carries a fault plan; it
 	// reports the faults actually injected into this environment.
 	Faults *fault.Injector
+	// Trace is the defense's trace session, when one is attached.
+	Trace *trace.Session
 }
 
 // NewEnv builds an environment for this defense.
@@ -115,7 +155,6 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		PrivateMode: opts.PrivateMode,
 		Tracer:      reg,
 	}
-
 	var shared *kernel.Shared
 	switch d.Kind {
 	case KindLegacy:
@@ -129,6 +168,7 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 			p = inj.WrapPolicy(p)
 		}
 		shared = kernel.NewShared(p)
+		shared.SetTracer(d.Tracer)
 		bopts.InstallScope = shared.Install
 	case KindDeterFox:
 		// DeterFox applies the same deterministic scheduling discipline in
@@ -139,6 +179,7 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		p.PolicyName = "deterfox-determinism"
 		p.QuantumMicros = 4000
 		shared = kernel.NewShared(p)
+		shared.SetTracer(d.Tracer)
 		bopts.InstallScope = shared.Install
 	case KindFuzzyfox:
 		bopts.InstallScope = fuzzyfoxInstall(s)
@@ -146,6 +187,21 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		bopts.InstallScope = torInstall
 	case KindChromeZero:
 		bopts.InstallScope = chromeZeroInstall(s)
+	}
+
+	if d.Tracer != nil {
+		// The native bridge must be in the initial tracer chain so even
+		// events fired while browser.New bootstraps the main thread land in
+		// the session. Kernel defenses allocated this environment's run
+		// generation in SetTracer above; environments without a kernel take
+		// their own.
+		run := 0
+		if shared != nil {
+			run = shared.TraceRun()
+		} else {
+			run = d.Tracer.NextRun()
+		}
+		bopts.Tracer = browser.Tee(reg, traceBridge{s: d.Tracer, run: run})
 	}
 
 	b := browser.New(s, bopts)
@@ -159,7 +215,7 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		}
 		inj.Arm(b)
 	}
-	return &Env{Defense: d, Sim: s, Browser: b, Registry: reg, Kernel: shared, Faults: inj}
+	return &Env{Defense: d, Sim: s, Browser: b, Registry: reg, Kernel: shared, Faults: inj, Trace: d.Tracer}
 }
 
 // Catalog construction -------------------------------------------------

@@ -5,6 +5,11 @@
 // Dromaeo, worker-creation, and compatibility numbers quoted in the text.
 package expr
 
+import (
+	"jskernel/internal/defense"
+	"jskernel/internal/trace"
+)
+
 // Config scales the experiments. Paper scale reproduces the published
 // setup; Quick scale keeps CI fast while preserving every qualitative
 // conclusion.
@@ -24,6 +29,31 @@ type Config struct {
 	Fig2SizesMB []int
 	// Fig2Reps is per-size repetitions in Figure 2.
 	Fig2Reps int
+	// Trace, when non-nil, attaches this kernel trace session to every
+	// environment a traced experiment builds (Table I–III, Dromaeo), so
+	// runs can be inspected end-to-end and validated against the kernel
+	// lifecycle invariants. Nil (the default) keeps tracing off.
+	Trace *trace.Session
+}
+
+// traced wires the config's trace session onto one defense.
+func (c Config) traced(d defense.Defense) defense.Defense {
+	if c.Trace == nil {
+		return d
+	}
+	return d.WithTracer(c.Trace)
+}
+
+// tracedAll wires the config's trace session onto a defense list.
+func (c Config) tracedAll(ds []defense.Defense) []defense.Defense {
+	if c.Trace == nil {
+		return ds
+	}
+	out := make([]defense.Defense, len(ds))
+	for i, d := range ds {
+		out[i] = d.WithTracer(c.Trace)
+	}
+	return out
 }
 
 // PaperConfig reproduces the published experiment sizes.

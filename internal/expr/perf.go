@@ -25,11 +25,11 @@ type DromaeoReport struct {
 // reports overheads (paper: 1.99% average, 0.30% median, DOM attribute
 // worst at ~21%).
 func Dromaeo(cfg Config) (*DromaeoReport, error) {
-	base, err := workload.RunDromaeo(defense.Chrome(), cfg.Seed)
+	base, err := workload.RunDromaeo(cfg.traced(defense.Chrome()), cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("dromaeo baseline: %w", err)
 	}
-	with, err := workload.RunDromaeo(defense.JSKernel("chrome"), cfg.Seed)
+	with, err := workload.RunDromaeo(cfg.traced(defense.JSKernel("chrome")), cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("dromaeo jskernel: %w", err)
 	}

@@ -40,6 +40,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 // defense list — the chaos experiment reuses it with fault-carrying
 // defense variants.
 func table1Matrix(cfg Config, defenses []defense.Defense) (*Table1Result, error) {
+	defenses = cfg.tracedAll(defenses)
 	res := &Table1Result{
 		Defenses: defenses,
 		Timing:   make(map[string]map[string]attack.Outcome),

@@ -39,7 +39,7 @@ type Table2Result struct {
 // Table II defense, averaging cfg.Reps runs like the paper's 25.
 func Table2(cfg Config) (*Table2Result, error) {
 	res := &Table2Result{}
-	for _, d := range defense.TableIIDefenses() {
+	for _, d := range cfg.tracedAll(defense.TableIIDefenses()) {
 		row := Table2Row{Defense: d}
 		for rep := 0; rep < cfg.Reps; rep++ {
 			for variant, dim := range []int{table2LowRes, table2HighRes} {

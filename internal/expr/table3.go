@@ -27,7 +27,7 @@ func table3Defenses() []defense.Defense {
 // without JSKernel.
 func Table3(cfg Config) (*Table3Result, error) {
 	res := &Table3Result{Cells: make(map[string]map[string]workload.RaptorResult)}
-	defs := table3Defenses()
+	defs := cfg.tracedAll(table3Defenses())
 	cols := []string{"Subtest"}
 	for _, d := range defs {
 		cols = append(cols, d.Label)

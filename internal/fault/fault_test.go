@@ -122,9 +122,9 @@ func TestBrowserHooksNilWhenUnused(t *testing.T) {
 
 type stubPolicy struct{}
 
-func (stubPolicy) Name() string            { return "stub" }
-func (stubPolicy) Deterministic() bool     { return true }
-func (stubPolicy) Quantum() sim.Duration   { return sim.Millisecond }
+func (stubPolicy) Name() string          { return "stub" }
+func (stubPolicy) Deterministic() bool   { return true }
+func (stubPolicy) Quantum() sim.Duration { return sim.Millisecond }
 func (stubPolicy) PredictDelay(api string, req sim.Duration) sim.Duration {
 	return kernel.DefaultPredictDelay(api, req, sim.Millisecond, 0)
 }

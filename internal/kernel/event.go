@@ -112,6 +112,14 @@ func (q *EventQueue) NewEvent(api string, predicted sim.Time, cb func(*browser.G
 	return ev
 }
 
+// AllocID reserves the next event ID without queueing anything. Shed
+// registrations use it so even refused events are identifiable in the
+// journal and the trace.
+func (q *EventQueue) AllocID() EventID {
+	q.nextID++
+	return q.nextID
+}
+
 // push inserts an event into the heap.
 func (q *EventQueue) push(ev *Event) {
 	heap.Push(&q.heap, ev)

@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"io"
+
+	"jskernel/internal/trace"
 )
 
 // Decision records one non-allow policy verdict the kernel enforced —
@@ -62,6 +64,28 @@ func (s *Shared) journalIncident(d Decision) {
 	s.appendDecision(d)
 }
 
+// emitPolicy emits one policy-verdict trace record. Verdict records are
+// not event-scoped (Event 0); they exist so the trace shows every
+// intercepted call's decision, including allows that never reach the
+// journal.
+func (s *Shared) emitPolicy(ctx CallContext, a Action, reason string) {
+	t := s.tracer
+	if t == nil || s.simNow == nil {
+		return
+	}
+	t.Emit(trace.Record{
+		Run:      s.traceRun,
+		VT:       s.simNow(),
+		Thread:   ctx.ThreadID,
+		WorkerID: ctx.WorkerID,
+		Op:       trace.OpPolicy,
+		API:      ctx.API,
+		Action:   string(a),
+		Reason:   reason,
+		URL:      ctx.URL,
+	})
+}
+
 // evaluate consults the policy and journals every enforced (non-allow)
 // verdict. All kernel call sites go through here. A panicking policy
 // never reaches the dispatcher: the panic is recovered, journaled, and
@@ -79,11 +103,14 @@ func (s *Shared) evaluate(ctx CallContext) Verdict {
 			WorkerID:    ctx.WorkerID,
 			URL:         ctx.URL,
 		})
+		s.emitPolicy(ctx, ActionDeny, "policy panicked; kernel fails closed")
 		return Verdict{Action: ActionDeny, Reason: "policy panicked; kernel fails closed"}
 	}
 	if v.Action == ActionAllow || v.Action == "" {
+		s.emitPolicy(ctx, ActionAllow, v.Reason)
 		return v
 	}
+	s.emitPolicy(ctx, v.Action, v.Reason)
 	s.decisionSeq++
 	d := Decision{
 		Seq:         s.decisionSeq,

@@ -7,6 +7,7 @@ import (
 	"jskernel/internal/browser"
 	"jskernel/internal/dom"
 	"jskernel/internal/sim"
+	"jskernel/internal/trace"
 	"jskernel/internal/webnet"
 )
 
@@ -49,6 +50,19 @@ type Shared struct {
 	callbackFault    func(api string) bool
 	policyPanics     uint64
 	lastPolicyPanic  any
+
+	// tracer is the optional lifecycle trace sink (internal/trace). Nil —
+	// the default — is the near-zero-overhead off state: every emission
+	// site bails on one nil check. simNow is captured from the first
+	// installed scope so Shared-level emissions (policy verdicts) can be
+	// virtual-time-stamped without a kernel in hand.
+	tracer *trace.Session
+	simNow func() sim.Time
+	// traceRun is this environment's session-unique run generation:
+	// sessions may span many environments, each with its own simulator
+	// (virtual time restarts at zero) and thread numbering, so records
+	// carry the run so consumers can partition per-environment.
+	traceRun int
 }
 
 // Survival hardening defaults. The watchdog deadline comfortably exceeds
@@ -100,6 +114,24 @@ func (s *Shared) SetMaxQueueDepth(n int) { s.maxQueueDepth = n }
 // internal/fault use it; nil removes the hook.
 func (s *Shared) SetCallbackFault(f func(api string) bool) { s.callbackFault = f }
 
+// SetTracer attaches a lifecycle trace session and allocates this
+// environment's run generation from it. It must be set before scopes are
+// installed — installation is when each kernel is assigned its
+// session-unique trace scope ID. Nil detaches (tracing off).
+func (s *Shared) SetTracer(t *trace.Session) {
+	s.tracer = t
+	if t != nil {
+		s.traceRun = t.NextRun()
+	}
+}
+
+// Tracer returns the attached trace session, or nil.
+func (s *Shared) Tracer() *trace.Session { return s.tracer }
+
+// TraceRun returns this environment's trace run generation (0 when no
+// tracer is attached).
+func (s *Shared) TraceRun() int { return s.traceRun }
+
 // Policy returns the installed policy.
 func (s *Shared) Policy() Policy { return s.policy }
 
@@ -135,6 +167,19 @@ func (s *Shared) Install(g *browser.Global) {
 		s.byThread[g.Thread().ID()] = k
 	}
 	s.installs++
+	if s.simNow == nil {
+		s.simNow = g.Browser().Sim.Now
+	}
+	if s.tracer != nil {
+		k.scope = s.tracer.NextScope()
+		kind := "window"
+		if g.IsFrameScope() {
+			kind = "frame"
+		} else if g.IsWorkerScope() {
+			kind = "worker"
+		}
+		k.emit(trace.Record{Op: trace.OpInstall, API: kind})
+	}
 
 	bn := g.Bindings()
 	bn.SetTimeout = k.kSetTimeout
@@ -203,6 +248,29 @@ type Kernel struct {
 	panics      int
 	quarantined bool
 	shed        uint64
+
+	// scope is this kernel's session-unique trace scope ID (0 when the
+	// scope was installed without a tracer attached).
+	scope int
+}
+
+// emit stamps one trace record with this kernel's virtual time, logical
+// clock, thread and scope, and forwards it to the session. The nil check
+// is the tracing-off fast path.
+func (k *Kernel) emit(r trace.Record) {
+	t := k.shared.tracer
+	if t == nil {
+		return
+	}
+	r.Run = k.shared.traceRun
+	r.VT = k.g.Browser().Sim.Now()
+	r.LC = k.clock.Now()
+	r.Thread = k.g.Thread().ID()
+	r.Scope = k.scope
+	if r.WorkerID == 0 && k.g.IsWorkerScope() {
+		r.WorkerID = k.workerID()
+	}
+	t.Emit(r)
 }
 
 // Queue exposes the kernel event queue (tests and reports).
@@ -234,7 +302,10 @@ func (k *Kernel) ShedEvents() uint64 { return k.shed }
 const interposeCost = 50 * sim.Nanosecond
 
 // interpose charges one kernel-boundary crossing.
-func (k *Kernel) interpose() { k.g.Busy(interposeCost) }
+func (k *Kernel) interpose() {
+	k.g.Busy(interposeCost)
+	k.shared.tracer.CountInterpose(interposeCost)
+}
 
 // kDOMSetAttribute mediates attribute writes. The DOM attribute test is
 // the paper's worst case (≈21% slower) because every access traverses the
@@ -309,6 +380,7 @@ func (k *Kernel) confirm(ev *Event, args any) {
 	}
 	ev.Args = args
 	ev.Status = StatusReady
+	k.emit(trace.Record{Op: trace.OpConfirm, API: ev.API, Event: uint64(ev.ID), Predicted: ev.Predicted})
 	k.drain()
 }
 
@@ -316,10 +388,11 @@ func (k *Kernel) confirm(ev *Event, args any) {
 // cancel (native side handled by caller); ready-but-undispatched → mark
 // cancelled; already dispatched → ignore.
 func (k *Kernel) cancelEvent(ev *Event) {
-	if ev == nil || ev.Status == StatusDone {
+	if ev == nil || ev.Status == StatusDone || ev.Status == StatusCancelled {
 		return
 	}
 	ev.Status = StatusCancelled
+	k.emit(trace.Record{Op: trace.OpCancel, API: ev.API, Event: uint64(ev.ID), Predicted: ev.Predicted, Action: "cancel"})
 }
 
 // drain is the dispatcher (§III-D3): release queue-head events in
@@ -352,6 +425,7 @@ func (k *Kernel) drain() {
 		k.clock.TickTo(head.Predicted)
 		head.Status = StatusDone
 		k.dispatched++
+		k.emit(trace.Record{Op: trace.OpDispatch, API: head.API, Event: uint64(head.ID), Predicted: head.Predicted, Depth: k.queue.Len()})
 		if head.Callback != nil {
 			k.dispatchUser(head)
 		}
@@ -386,6 +460,10 @@ func (k *Kernel) dispatchUser(ev *Event) {
 			d.Reason = fmt.Sprintf("context quarantined after %d user-callback panics (last: %v)", k.panics, r)
 		}
 		k.shared.journalIncident(d)
+		k.emit(trace.Record{Op: trace.OpPanic, API: ev.API, Event: uint64(ev.ID), Action: string(ActionIsolate), Reason: fmt.Sprintf("recovered user-callback panic: %v", r)})
+		if d.Action == ActionQuarantine {
+			k.emit(trace.Record{Op: trace.OpQuarantine, Action: string(ActionQuarantine), Reason: d.Reason})
+		}
 	}()
 	if f := k.shared.callbackFault; f != nil && f(ev.API) {
 		panic("fault: injected user-callback panic")
@@ -418,6 +496,7 @@ func (k *Kernel) armWatchdog(ev *Event) {
 			InWorker: k.g.IsWorkerScope(),
 			WorkerID: k.workerID(),
 		})
+		k.emit(trace.Record{Op: trace.OpExpire, API: ev.API, Event: uint64(ev.ID), Predicted: ev.Predicted, Action: string(ActionExpire), Reason: fmt.Sprintf("watchdog: confirmation never arrived within %v", d)})
 		k.drain()
 	})
 }
@@ -445,9 +524,16 @@ func (k *Kernel) newEvent(api string, predicted sim.Time, cb func(*browser.Globa
 			InWorker: k.g.IsWorkerScope(),
 			WorkerID: k.workerID(),
 		})
-		return &Event{API: api, Status: StatusCancelled, Predicted: predicted, index: -1}
+		ev := &Event{ID: k.queue.AllocID(), API: api, Status: StatusCancelled, Predicted: predicted, index: -1}
+		k.emit(trace.Record{Op: trace.OpPolicy, API: api, Event: uint64(ev.ID), Predicted: predicted, Action: "schedule"})
+		k.emit(trace.Record{Op: trace.OpEnqueue, API: api, Event: uint64(ev.ID), Predicted: predicted, Depth: k.queue.Len()})
+		k.emit(trace.Record{Op: trace.OpShed, API: api, Event: uint64(ev.ID), Predicted: predicted, Action: string(ActionShed), Reason: fmt.Sprintf("overload: queue depth at bound (%d)", max)})
+		return ev
 	}
-	return k.queue.NewEvent(api, predicted, cb)
+	ev := k.queue.NewEvent(api, predicted, cb)
+	k.emit(trace.Record{Op: trace.OpPolicy, API: api, Event: uint64(ev.ID), Predicted: predicted, Action: "schedule"})
+	k.emit(trace.Record{Op: trace.OpEnqueue, API: api, Event: uint64(ev.ID), Predicted: predicted, Depth: k.queue.Len()})
+	return ev
 }
 
 // callCtx assembles the policy evaluation context for a call from this
@@ -457,6 +543,7 @@ func (k *Kernel) callCtx(api, url string) CallContext {
 	ctx := CallContext{
 		API:         api,
 		URL:         url,
+		ThreadID:    k.g.Thread().ID(),
 		InWorker:    k.g.IsWorkerScope(),
 		PrivateMode: b.PrivateMode,
 		TornDown:    b.DocumentTornDown(),

@@ -52,6 +52,7 @@ type CallContext struct {
 	API              string // e.g. "fetch", "xhr", "worker.terminate"
 	URL              string
 	WorkerID         int
+	ThreadID         int  // simulated thread the call originated on
 	InWorker         bool // call made from a worker scope
 	CrossOrigin      bool // URL is cross-origin w.r.t. the page
 	PrivateMode      bool // browser is in private browsing

@@ -108,7 +108,7 @@ func (w *WorkerStub) PostMessageTransfer(data any, buf *browser.SharedBuffer) {
 // policy rejects assignment to terminated workers (CVE-2013-5602) before
 // anything reaches the vulnerable native setter.
 func (w *WorkerStub) SetOnMessage(cb func(*browser.Global, browser.MessageEvent)) {
-	ctx := CallContext{API: "worker.onmessage", WorkerID: w.id, WorkerTerminated: !w.Alive()}
+	ctx := CallContext{API: "worker.onmessage", WorkerID: w.id, ThreadID: w.shared.mainThreadID(), WorkerTerminated: !w.Alive()}
 	if v := w.shared.evaluate(ctx); v.Action == ActionDrop || v.Action == ActionDeny {
 		return
 	}
@@ -165,6 +165,7 @@ func (w *WorkerStub) Terminate() {
 	ctx := CallContext{
 		API:              "worker.terminate",
 		WorkerID:         w.id,
+		ThreadID:         w.shared.mainThreadID(),
 		PendingFetches:   w.shared.pendingFetch[w.id] > 0,
 		InFlightMessages: w.native.InFlight() > 0 || w.native.Thread().QueueDepth() > 0,
 		Transferred:      w.shared.transferred[w.id],
@@ -189,6 +190,7 @@ func (w *WorkerStub) Release() {
 	ctx := CallContext{
 		API:              "worker.release",
 		WorkerID:         w.id,
+		ThreadID:         w.shared.mainThreadID(),
 		InFlightMessages: w.native.InFlight() > 0,
 	}
 	if v := w.shared.evaluate(ctx); v.Action == ActionRetain || v.Action == ActionDefer || v.Action == ActionDrop {
@@ -287,6 +289,15 @@ func (s *Shared) maybeFinishDeferredTerminate(wid int) {
 	}
 	delete(s.deferredTerm, wid)
 	stub.native.Terminate()
+}
+
+// mainThreadID returns the main thread's ID for trace attribution of
+// stub calls (which always originate on the main thread).
+func (s *Shared) mainThreadID() int {
+	if k := s.mainKernel(); k != nil {
+		return k.g.Thread().ID()
+	}
+	return 0
 }
 
 // mainGlobal returns the main thread's global object.

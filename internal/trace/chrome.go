@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"jskernel/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (catapult "JSON Array Format"), loadable in Perfetto and
+// chrome://tracing. Field order is fixed by the struct, and args maps
+// are marshalled with sorted keys by encoding/json, so the exporter is
+// byte-deterministic.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// usec converts a virtual timestamp to the microsecond unit the trace
+// format uses.
+func usec(t sim.Time) float64 { return float64(t) / float64(sim.Microsecond) }
+
+// chromeName labels one record for the timeline.
+func chromeName(r Record) string {
+	switch {
+	case r.Op == OpPolicy && r.API != "":
+		return "policy:" + r.API
+	case r.API != "":
+		return r.Op.String() + ":" + r.API
+	default:
+		return r.Op.String()
+	}
+}
+
+// chromeArgs collects a record's non-zero fields into the event's args
+// payload. encoding/json emits map keys sorted, keeping output
+// deterministic.
+func chromeArgs(r Record) map[string]any {
+	args := make(map[string]any)
+	args["seq"] = r.Seq
+	if r.Scope != 0 {
+		args["scope"] = r.Scope
+	}
+	if r.Event != 0 {
+		args["event"] = r.Event
+	}
+	if r.WorkerID != 0 {
+		args["worker"] = r.WorkerID
+	}
+	if r.Predicted != 0 {
+		args["predicted_ms"] = r.Predicted.Milliseconds()
+	}
+	if r.LC != 0 {
+		args["lc_ms"] = r.LC.Milliseconds()
+	}
+	if r.Action != "" {
+		args["action"] = r.Action
+	}
+	if r.Reason != "" {
+		args["reason"] = r.Reason
+	}
+	if r.URL != "" {
+		args["url"] = r.URL
+	}
+	if r.Depth != 0 {
+		args["depth"] = r.Depth
+	}
+	return args
+}
+
+// chromePid maps a record's run generation to a trace process ID: each
+// traced environment renders as its own process (its simulator restarts
+// virtual time at zero, so mixing runs on one timeline would overlap
+// unrelated events). Run 0 — records with no run context — folds into
+// process 1.
+func chromePid(r Record) int {
+	if r.Run == 0 {
+		return 1
+	}
+	return r.Run
+}
+
+// WriteChrome renders records as Chrome trace-event JSON. Each traced
+// environment (run) becomes one process; dispatches become complete
+// ("X") events spanning enqueue → dispatch virtual time on the
+// dispatching thread; every other record becomes a thread-scoped
+// instant ("i") event. Metadata ("M") events name each process and each
+// simulated thread.
+//
+// Events are streamed one compact JSON object per line — traces of full
+// evaluation runs reach millions of records, so the exporter never
+// materializes the whole file in memory. Output is byte-identical for
+// identical input: struct field order fixes key order and encoding/json
+// marshals the args maps with sorted keys.
+func WriteChrome(w io.Writer, recs []Record) error {
+	threads := make(map[uint64]bool) // pid<<32|tid
+	enq := make(map[uint64]sim.Time)
+	for _, r := range recs {
+		threads[uint64(chromePid(r))<<32|uint64(uint32(r.Thread))] = true
+		if r.Op == OpEnqueue && r.Event != 0 {
+			enq[r.key()] = r.VT
+		}
+	}
+	keys := make([]uint64, 0, len(threads))
+	for k := range threads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ev chromeEvent) error {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(data)
+		return err
+	}
+
+	lastPid := -1
+	for _, k := range keys {
+		pid, tid := int(k>>32), int(uint32(k))
+		if pid != lastPid {
+			name := "jskernel"
+			if pid != 1 {
+				name = fmt.Sprintf("jskernel run %d", pid)
+			}
+			if err := emit(chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": name},
+			}); err != nil {
+				return err
+			}
+			lastPid = pid
+		}
+		if err := emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("thread %d", tid)},
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, r := range recs {
+		ev := chromeEvent{
+			Name: chromeName(r),
+			Cat:  r.Op.String(),
+			Ph:   "i",
+			Ts:   usec(r.VT),
+			Pid:  chromePid(r),
+			Tid:  r.Thread,
+			S:    "t",
+			Args: chromeArgs(r),
+		}
+		if r.Op == OpDispatch && r.Event != 0 {
+			if start, ok := enq[r.key()]; ok {
+				dur := usec(r.VT - start)
+				if dur < 0 {
+					dur = 0
+				}
+				ev = chromeEvent{
+					Name: r.API,
+					Cat:  "dispatch",
+					Ph:   "X",
+					Ts:   usec(start),
+					Dur:  &dur,
+					Pid:  chromePid(r),
+					Tid:  r.Thread,
+					Args: chromeArgs(r),
+				}
+			}
+		}
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"jskernel/internal/sim"
+)
+
+// latencyBuckets is the number of power-of-two histogram buckets; bucket
+// i counts dispatch latencies in [2^i, 2^(i+1)) virtual nanoseconds
+// (bucket 0 additionally absorbs zero-latency dispatches).
+const latencyBuckets = 48
+
+// Histogram is a fixed power-of-two histogram over virtual durations.
+type Histogram struct {
+	Counts [latencyBuckets]uint64
+	Total  uint64
+	Sum    sim.Duration
+	Max    sim.Duration
+}
+
+// Observe folds one duration into the histogram.
+func (h *Histogram) Observe(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	if d > 0 {
+		i = bits.Len64(uint64(d)) - 1
+		if i >= latencyBuckets {
+			i = latencyBuckets - 1
+		}
+	}
+	h.Counts[i]++
+	h.Total++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+}
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() sim.Duration {
+	if h.Total == 0 {
+		return 0
+	}
+	return h.Sum / sim.Duration(h.Total)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) from
+// the bucket boundaries.
+func (h *Histogram) Quantile(q float64) sim.Duration {
+	if h.Total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range h.Counts {
+		seen += c
+		if seen >= target {
+			// Upper edge of bucket i.
+			return sim.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return h.Max
+}
+
+// Metrics is the per-session metrics registry the kernel feeds while
+// tracing is enabled. Counter fields are exported for direct assertion
+// in tests; maps must be read through the sorted accessors so consumers
+// stay deterministic.
+type Metrics struct {
+	// Lifecycle counters.
+	Installs    uint64
+	Enqueued    uint64
+	Confirmed   uint64
+	Dispatched  uint64
+	Shed        uint64
+	Cancelled   uint64
+	Expired     uint64
+	Panics      uint64
+	Quarantines uint64
+	Native      uint64
+
+	// Policy decision counters.
+	PolicyDecisions uint64
+
+	// Interposition-overhead totals (kernel-boundary crossings charged to
+	// the engine, §III-B).
+	InterposeCrossings uint64
+	InterposeVirtual   sim.Duration
+
+	// DispatchLatency is the virtual time between an event's enqueue and
+	// its dispatch.
+	DispatchLatency Histogram
+
+	perAPI       map[string]uint64 // enqueues per API kind
+	perAction    map[string]uint64 // policy verdicts per action
+	depthHWM     map[int]int       // queue-depth high-water mark per scope
+	scopeThreads map[int]int       // scope → thread (from install/enqueue records)
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		perAPI:       make(map[string]uint64),
+		perAction:    make(map[string]uint64),
+		depthHWM:     make(map[int]int),
+		scopeThreads: make(map[int]int),
+	}
+}
+
+// observe folds one record into the registry.
+func (m *Metrics) observe(r Record) {
+	if r.Scope != 0 {
+		if _, ok := m.scopeThreads[r.Scope]; !ok {
+			m.scopeThreads[r.Scope] = r.Thread
+		}
+	}
+	switch r.Op {
+	case OpInstall:
+		m.Installs++
+	case OpEnqueue:
+		m.Enqueued++
+		m.perAPI[r.API]++
+		if r.Depth > m.depthHWM[r.Scope] {
+			m.depthHWM[r.Scope] = r.Depth
+		}
+	case OpPolicy:
+		m.PolicyDecisions++
+		m.perAction[r.Action]++
+	case OpConfirm:
+		m.Confirmed++
+	case OpDispatch:
+		m.Dispatched++
+	case OpShed:
+		m.Shed++
+	case OpCancel:
+		m.Cancelled++
+	case OpExpire:
+		m.Expired++
+	case OpPanic:
+		m.Panics++
+	case OpQuarantine:
+		m.Quarantines++
+	case OpNative:
+		m.Native++
+	}
+}
+
+func (m *Metrics) observeLatency(d sim.Duration) { m.DispatchLatency.Observe(d) }
+
+// Count is one (name, count) pair of a sorted counter dump.
+type Count struct {
+	Name  string
+	Count uint64
+}
+
+func sortedCounts(in map[string]uint64) []Count {
+	keys := make([]string, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Count, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, Count{Name: k, Count: in[k]})
+	}
+	return out
+}
+
+// APICounts returns per-API registration counters sorted by API name.
+func (m *Metrics) APICounts() []Count { return sortedCounts(m.perAPI) }
+
+// ActionCounts returns policy verdict counters sorted by action name.
+func (m *Metrics) ActionCounts() []Count { return sortedCounts(m.perAction) }
+
+// ScopeDepth is one scope's queue-depth high-water mark.
+type ScopeDepth struct {
+	Scope     int
+	Thread    int
+	HighWater int
+}
+
+// QueueHighWater returns per-scope queue-depth high-water marks sorted
+// by scope ID.
+func (m *Metrics) QueueHighWater() []ScopeDepth {
+	scopes := make([]int, 0, len(m.depthHWM))
+	for s := range m.depthHWM {
+		scopes = append(scopes, s)
+	}
+	sort.Ints(scopes)
+	out := make([]ScopeDepth, 0, len(scopes))
+	for _, s := range scopes {
+		out = append(out, ScopeDepth{Scope: s, Thread: m.scopeThreads[s], HighWater: m.depthHWM[s]})
+	}
+	return out
+}
+
+// WriteSummary renders a deterministic human-readable metrics summary.
+func (m *Metrics) WriteSummary(w io.Writer) error {
+	if m == nil {
+		_, err := fmt.Fprintln(w, "trace metrics: (no session)")
+		return err
+	}
+	p := func(format string, args ...any) (err error) {
+		_, err = fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("trace metrics:\n"); err != nil {
+		return err
+	}
+	if err := p("  scopes installed      %d\n", m.Installs); err != nil {
+		return err
+	}
+	if err := p("  events: enqueued=%d dispatched=%d shed=%d cancelled=%d expired=%d confirmed=%d\n",
+		m.Enqueued, m.Dispatched, m.Shed, m.Cancelled, m.Expired, m.Confirmed); err != nil {
+		return err
+	}
+	if err := p("  survival: panics=%d quarantines=%d\n", m.Panics, m.Quarantines); err != nil {
+		return err
+	}
+	if err := p("  policy decisions      %d\n", m.PolicyDecisions); err != nil {
+		return err
+	}
+	for _, c := range m.ActionCounts() {
+		if err := p("    action %-12s %d\n", c.Name, c.Count); err != nil {
+			return err
+		}
+	}
+	if err := p("  interposition         %d crossings, %s of virtual overhead\n",
+		m.InterposeCrossings, fmtVT(m.InterposeVirtual)); err != nil {
+		return err
+	}
+	lat := &m.DispatchLatency
+	if err := p("  dispatch latency      n=%d mean=%s p50<=%s p99<=%s max=%s\n",
+		lat.Total, fmtVT(lat.Mean()), fmtVT(lat.Quantile(0.50)), fmtVT(lat.Quantile(0.99)), fmtVT(lat.Max)); err != nil {
+		return err
+	}
+	for _, d := range m.QueueHighWater() {
+		if err := p("    scope %-3d thread %-3d queue high-water %d\n", d.Scope, d.Thread, d.HighWater); err != nil {
+			return err
+		}
+	}
+	if err := p("  native records        %d\n", m.Native); err != nil {
+		return err
+	}
+	top := m.APICounts()
+	for _, c := range top {
+		if err := p("    api %-16s %d\n", c.Name, c.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FormatRecord renders one record as a fixed-layout single line. The
+// layout is stable — golden-trace tests diff these lines byte-for-byte.
+func FormatRecord(r Record) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d r%-3d %12s t%-3d", r.Seq, r.Run, fmtVT(r.VT), r.Thread)
+	if r.Scope != 0 {
+		fmt.Fprintf(&b, " s%-3d", r.Scope)
+	} else {
+		b.WriteString(" s-  ")
+	}
+	fmt.Fprintf(&b, " %-10s %-16s", r.Op, r.API)
+	if r.Event != 0 {
+		fmt.Fprintf(&b, " ev=%d", r.Event)
+	}
+	if r.Predicted != 0 {
+		fmt.Fprintf(&b, " pred=%s", fmtVT(r.Predicted))
+	}
+	if r.Action != "" {
+		fmt.Fprintf(&b, " action=%s", r.Action)
+	}
+	if r.Reason != "" {
+		fmt.Fprintf(&b, " reason=%q", r.Reason)
+	}
+	if r.URL != "" {
+		fmt.Fprintf(&b, " url=%s", r.URL)
+	}
+	if r.Depth != 0 {
+		fmt.Fprintf(&b, " depth=%d", r.Depth)
+	}
+	if r.WorkerID != 0 {
+		fmt.Fprintf(&b, " worker=%d", r.WorkerID)
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// WriteText renders records as the compact one-line-per-record text
+// form used for golden files and terminal inspection.
+func WriteText(w io.Writer, recs []Record) error {
+	for _, r := range recs {
+		if _, err := fmt.Fprintln(w, FormatRecord(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

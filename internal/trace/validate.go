@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"fmt"
+
+	"jskernel/internal/sim"
+)
+
+// Validator replays a trace and asserts the kernel's lifecycle
+// invariants:
+//
+//  1. Sequence numbers are strictly increasing — the trace is a total
+//     order.
+//  2. Kernel-record virtual timestamps are monotone per (run, thread) —
+//     a session may trace many environments, each with its own simulator
+//     and thread numbering (native records may carry in-task cursor
+//     times and are exempt) — and each scope's logical clock never moves
+//     backwards.
+//  3. Every event-scoped record belongs to an event that was enqueued
+//     exactly once, and no lifecycle record follows the event's terminal
+//     record.
+//  4. Every enqueued event reaches exactly one terminal state —
+//     dispatched, shed, cancelled, or expired — so per scope
+//     dispatched + shed + cancelled + expired == enqueued. (Traces of
+//     horizon-bounded runs satisfy this after Session.Close, which
+//     retires still-open events with synthetic "run-end" cancels;
+//     AllowOpen relaxes the check for raw, unclosed traces.)
+//  5. No event dispatches without a prior policy decision and a prior
+//     confirmation.
+type Validator struct {
+	// AllowOpen accepts traces whose tail leaves events enqueued but
+	// unretired (a session that was not Closed).
+	AllowOpen bool
+}
+
+// Report summarizes a validated trace.
+type Report struct {
+	Records  int
+	Enqueued int
+	// Terminal-state accounting; when the trace is closed,
+	// Dispatched+Shed+Cancelled+Expired == Enqueued.
+	Dispatched int
+	Shed       int
+	Cancelled  int
+	Expired    int
+	// Open counts enqueued events with no terminal record (always 0 for
+	// closed traces).
+	Open int
+	// PolicyDecisions counts OpPolicy records (both per-event scheduling
+	// decisions and per-call verdicts).
+	PolicyDecisions int
+	// Scopes and Threads count the distinct kernelized scopes and
+	// threads observed.
+	Scopes  int
+	Threads int
+}
+
+// evState tracks one event's lifecycle during replay.
+type evState struct {
+	enqueued  bool
+	policied  bool
+	confirmed bool
+	terminal  Op
+}
+
+// Validate replays records (in the given order) against the invariants,
+// returning a summary report. The first violation aborts with an error
+// naming the offending record.
+func (v Validator) Validate(recs []Record) (*Report, error) {
+	rep := &Report{Records: len(recs)}
+	events := make(map[uint64]*evState)
+	lastVT := make(map[uint64]sim.Time) // per-(run, thread) kernel-record VT
+	lastLC := make(map[int]sim.Time)    // per-scope logical clock
+	scopes := make(map[int]bool)
+	threads := make(map[uint64]bool)
+	var lastSeq uint64
+
+	threadKey := func(r Record) uint64 {
+		return uint64(r.Run)<<32 | uint64(uint32(r.Thread))
+	}
+
+	fail := func(r Record, format string, args ...any) (*Report, error) {
+		return nil, fmt.Errorf("trace: invalid record #%d (%s %s ev=%d scope=%d): %s",
+			r.Seq, r.Op, r.API, r.Event, r.Scope, fmt.Sprintf(format, args...))
+	}
+
+	for _, r := range recs {
+		if r.Seq <= lastSeq {
+			return fail(r, "sequence not strictly increasing (prev %d)", lastSeq)
+		}
+		lastSeq = r.Seq
+		tk := threadKey(r)
+		threads[tk] = true
+		if r.Scope != 0 {
+			scopes[r.Scope] = true
+		}
+
+		if r.Op != OpNative {
+			if vt, ok := lastVT[tk]; ok && r.VT < vt {
+				return fail(r, "virtual time moved backwards on run %d thread %d (%s < %s)",
+					r.Run, r.Thread, fmtVT(r.VT), fmtVT(vt))
+			}
+			lastVT[tk] = r.VT
+			if r.Scope != 0 {
+				if lc, ok := lastLC[r.Scope]; ok && r.LC < lc {
+					return fail(r, "logical clock moved backwards on scope %d (%s < %s)",
+						r.Scope, fmtVT(r.LC), fmtVT(lc))
+				}
+				lastLC[r.Scope] = r.LC
+			}
+		}
+
+		switch r.Op {
+		case OpPolicy:
+			rep.PolicyDecisions++
+		case OpInstall, OpNative, OpQuarantine:
+			// Not event-scoped.
+			continue
+		}
+		if r.Event == 0 || r.Scope == 0 {
+			continue
+		}
+
+		k := r.key()
+		st := events[k]
+		if st == nil {
+			st = &evState{}
+			events[k] = st
+		}
+		if st.terminal != 0 && r.Op != OpPolicy {
+			return fail(r, "lifecycle record after terminal %s", st.terminal)
+		}
+		switch r.Op {
+		case OpPolicy:
+			st.policied = true
+		case OpEnqueue:
+			if st.enqueued {
+				return fail(r, "event enqueued twice")
+			}
+			st.enqueued = true
+			rep.Enqueued++
+		case OpConfirm:
+			if !st.enqueued {
+				return fail(r, "confirmation for an event never enqueued")
+			}
+			st.confirmed = true
+		case OpDispatch:
+			if !st.enqueued {
+				return fail(r, "dispatch of an event never enqueued")
+			}
+			if !st.policied {
+				return fail(r, "dispatch without a prior policy decision")
+			}
+			if !st.confirmed {
+				return fail(r, "dispatch without a prior confirmation")
+			}
+			st.terminal = OpDispatch
+			rep.Dispatched++
+		case OpShed, OpCancel, OpExpire:
+			if !st.enqueued {
+				return fail(r, "terminal %s for an event never enqueued", r.Op)
+			}
+			st.terminal = r.Op
+			switch r.Op {
+			case OpShed:
+				rep.Shed++
+			case OpCancel:
+				rep.Cancelled++
+			case OpExpire:
+				rep.Expired++
+			}
+		case OpPanic:
+			if st.terminal != OpDispatch {
+				return fail(r, "panic recovery outside a dispatch")
+			}
+		}
+	}
+
+	for _, st := range events {
+		if st.enqueued && st.terminal == 0 {
+			rep.Open++
+		}
+	}
+	rep.Scopes = len(scopes)
+	rep.Threads = len(threads)
+
+	if rep.Open > 0 && !v.AllowOpen {
+		return nil, fmt.Errorf("trace: %d enqueued events never reached a terminal state (close the session, or set AllowOpen for raw traces)", rep.Open)
+	}
+	if got := rep.Dispatched + rep.Shed + rep.Cancelled + rep.Expired + rep.Open; got != rep.Enqueued {
+		return nil, fmt.Errorf("trace: terminal accounting broken: dispatched+shed+cancelled+expired+open = %d, enqueued = %d", got, rep.Enqueued)
+	}
+	return rep, nil
+}
+
+// Validate checks a trace against the strict invariants (no open
+// events).
+func Validate(recs []Record) (*Report, error) {
+	return Validator{}.Validate(recs)
+}

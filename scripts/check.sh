@@ -33,5 +33,17 @@ go run ./cmd/jsk-lint ./internal/... ./cmd/... || fail "jsk-lint"
 stage "go test -race ./..."
 go test -race ./... || fail "go test -race"
 
+# Golden traces run as part of the suite above, but re-run here without
+# -race so byte-level determinism is checked in the exact configuration
+# a developer uses for -update, then smoke the end-to-end exporter: a
+# traced Dromaeo run must produce Chrome trace-event JSON that survives
+# trace.Validator (writeTrace validates before it writes).
+stage "golden traces + trace export smoke"
+go test ./internal/trace -run Golden || fail "golden traces"
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+go run ./cmd/jsk-eval -dromaeo -trace "$trace_tmp/dromaeo-trace.json" >/dev/null || fail "trace export smoke"
+test -s "$trace_tmp/dromaeo-trace.json" || fail "trace export smoke (empty output)"
+
 echo ""
 echo "== OK: all stages passed"
