@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check chaos clean
+.PHONY: all build test race vet lint check chaos bench-parallel clean
 
 all: build
 
@@ -31,6 +31,12 @@ check:
 # plan and fails if any verdict flips.
 chaos:
 	$(GO) run ./cmd/jsk-eval -chaos
+
+# bench-parallel times Table I serially vs. on the worker pool, checks
+# byte-identity, and writes BENCH_parallel.json (includes the host's
+# CPU count — expect speedup ~1.0 on single-CPU machines).
+bench-parallel:
+	$(GO) run ./cmd/jsk-bench -out BENCH_parallel.json
 
 clean:
 	$(GO) clean ./...

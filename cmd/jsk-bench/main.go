@@ -1,0 +1,133 @@
+// Command jsk-bench measures the wall-clock effect of the parallel
+// experiment runner: it renders Table I serially (-parallel 1) and on a
+// worker pool, checks the two outputs are byte-identical, and writes
+// the timings to a JSON report.
+//
+// Usage:
+//
+//	jsk-bench                      # quick-scale Table I, pool width = 8
+//	jsk-bench -parallel 4 -reps 10
+//	jsk-bench -out BENCH_parallel.json
+//
+// The report records the machine's CPU count: on a single-CPU host the
+// pool cannot beat the serial loop (speedup ≈ 1.0 minus scheduling
+// overhead), and the honest number is still worth recording — the
+// byte-identity check is what proves the pool safe to use wherever
+// cores exist.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"jskernel/internal/expr"
+)
+
+// Report is the JSON schema of the benchmark output.
+type Report struct {
+	// Experiment identifies the timed workload.
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed"`
+	Reps       int    `json:"reps"`
+	// CPUs is runtime.NumCPU; GOMAXPROCS the effective scheduler width.
+	CPUs       int `json:"cpus"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// ParallelWidth is the worker-pool width the parallel run used.
+	ParallelWidth int     `json:"parallel_width"`
+	SerialMs      float64 `json:"serial_ms"`
+	ParallelMs    float64 `json:"parallel_ms"`
+	// Speedup is serial_ms / parallel_ms.
+	Speedup float64 `json:"speedup"`
+	// Identical reports the byte-identity check of the two rendered
+	// tables — the determinism contract the runner exists to keep.
+	Identical bool `json:"outputs_byte_identical"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jsk-bench", flag.ContinueOnError)
+	var (
+		parallel = fs.Int("parallel", 8, "worker-pool width for the parallel run")
+		reps     = fs.Int("reps", 0, "override the repetition budget")
+		paper    = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
+		out      = fs.String("out", "BENCH_parallel.json", "report output path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := expr.QuickConfig()
+	if *paper {
+		cfg = expr.PaperConfig()
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+
+	render := func(width int) ([]byte, time.Duration, error) {
+		cfg.Parallel = width
+		start := time.Now()
+		res, err := expr.Table1(cfg)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, 0, err
+		}
+		var buf bytes.Buffer
+		if err := res.Table.Render(&buf); err != nil {
+			return nil, 0, err
+		}
+		return buf.Bytes(), elapsed, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "jsk-bench: Table I serial (seed %d, reps %d)...\n", cfg.Seed, cfg.Reps)
+	serialOut, serialDur, err := render(1)
+	if err != nil {
+		return fmt.Errorf("serial run: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "jsk-bench: Table I parallel x%d...\n", *parallel)
+	parOut, parDur, err := render(*parallel)
+	if err != nil {
+		return fmt.Errorf("parallel run: %w", err)
+	}
+
+	rep := Report{
+		Experiment:    "table1",
+		Seed:          cfg.Seed,
+		Reps:          cfg.Reps,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		ParallelWidth: *parallel,
+		SerialMs:      float64(serialDur.Microseconds()) / 1000,
+		ParallelMs:    float64(parDur.Microseconds()) / 1000,
+		Identical:     bytes.Equal(serialOut, parOut),
+	}
+	if rep.ParallelMs > 0 {
+		rep.Speedup = rep.SerialMs / rep.ParallelMs
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("serial %.0f ms, parallel(x%d) %.0f ms, speedup %.2fx on %d CPU(s); outputs identical: %v -> %s\n",
+		rep.SerialMs, rep.ParallelWidth, rep.ParallelMs, rep.Speedup, rep.CPUs, rep.Identical, *out)
+	if !rep.Identical {
+		return fmt.Errorf("parallel output diverged from serial — determinism contract broken")
+	}
+	return nil
+}

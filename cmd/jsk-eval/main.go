@@ -7,6 +7,7 @@
 //	jsk-eval -all -paper          # everything at paper scale (slow)
 //	jsk-eval -table 1             # one artifact
 //	jsk-eval -fig 3 -csv          # figure data as CSV-ish rows
+//	jsk-eval -all -parallel 8     # same bytes, 8 experiment workers
 package main
 
 import (
@@ -44,6 +45,7 @@ func run(w io.Writer, args []string) error {
 		paper     = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
 		seed      = fs.Int64("seed", 0, "override the experiment seed")
 		reps      = fs.Int("reps", 0, "override the repetition budget")
+		parallel  = fs.Int("parallel", 0, "worker-pool width for cell-parallel experiments: 0 = one per CPU, 1 = serial; output is byte-identical at any width")
 		csv       = fs.Bool("csv", false, "emit tables as CSV")
 		markdown  = fs.Bool("markdown", false, "emit tables as GitHub-flavored markdown")
 		traceOut  = fs.String("trace", "", "record a kernel lifecycle trace of the run to this file (Chrome trace-event JSON, Perfetto-loadable)")
@@ -63,6 +65,7 @@ func run(w io.Writer, args []string) error {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
+	cfg.Parallel = *parallel
 	if *traceOut != "" {
 		cfg.Trace = trace.NewSession()
 		defer func() {

@@ -100,43 +100,78 @@ func (o Outcome) BestChannel() ChannelResult {
 	return best
 }
 
-// Evaluate runs the timing attack against a defense with the given
-// repetition budget. Each (rep, variant) pair gets a fresh environment
-// with its own seed, so network jitter and fuzzing re-randomize per run —
-// matching how the paper repeats and averages experiments.
-func (a *TimingAttack) Evaluate(d defense.Defense, reps int, baseSeed int64) Outcome {
-	if reps <= 0 {
-		reps = Reps
-	}
-	samples := make(map[string][2][]float64)
-	for rep := 0; rep < reps; rep++ {
-		for variant := 0; variant < 2; variant++ {
-			seed := baseSeed + int64(rep)*2 + int64(variant) + 1
-			env := d.NewEnv(defense.EnvOptions{Seed: seed})
-			vals, err := a.Measure(env, variant)
-			if err != nil {
-				// The attack could not run under this defense (e.g. API
-				// unavailable): the channel yields nothing.
+// RepSamples holds one repetition's per-channel, per-variant
+// measurements. A single rep contributes at most one value per
+// (channel, variant), so merging reps in rep order reconstructs exactly
+// the sample streams a serial loop would have appended.
+type RepSamples map[string][2][]float64
+
+// MeasureRep performs one repetition of the attack — both secret
+// variants, each in a fresh environment — and returns the measurements.
+// Variant environments are seeded repSeedBase+variant+1, matching the
+// per-(rep, variant) seed layout Evaluate has always used. This is the
+// cell-sized unit of work the parallel experiment runner schedules: a
+// rep touches nothing outside its own environments, so reps of the same
+// (attack, defense) pair may run on different workers.
+func (a *TimingAttack) MeasureRep(d defense.Defense, repSeedBase int64) RepSamples {
+	samples := make(RepSamples)
+	for variant := 0; variant < 2; variant++ {
+		seed := repSeedBase + int64(variant) + 1
+		env := d.NewEnv(defense.EnvOptions{Seed: seed})
+		vals, err := a.Measure(env, variant)
+		if err != nil {
+			// The attack could not run under this defense (e.g. API
+			// unavailable): the channel yields nothing.
+			continue
+		}
+		for ch, v := range vals {
+			if strings.HasPrefix(ch, "_") {
+				// Harness metadata, not an attacker-observable value.
 				continue
 			}
-			for ch, v := range vals {
-				if strings.HasPrefix(ch, "_") {
-					// Harness metadata, not an attacker-observable value.
-					continue
-				}
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					continue
-				}
-				pair := samples[ch]
-				// Each append target is keyed by the iteration variable, so
-				// every channel's slice fills in rep order, not map order.
-				//jsk:lint-ignore detmapiter append target is keyed by the range variable; per-channel order is rep order
-				pair[variant] = append(pair[variant], v)
-				samples[ch] = pair
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
 			}
+			pair := samples[ch]
+			// Each append target is keyed by the iteration variable, so
+			// every channel's slice fills in rep order, not map order.
+			//jsk:lint-ignore detmapiter append target is keyed by the range variable; per-channel order is rep order
+			pair[variant] = append(pair[variant], v)
+			samples[ch] = pair
 		}
 	}
-	out := Outcome{AttackID: a.ID, DefenseID: d.ID, Defended: true, Samples: samples}
+	return samples
+}
+
+// MergeSamples concatenates per-rep sample sets in slice order. Callers
+// must pass parts in rep order: that ordering — not the real-time order
+// the reps finished in — is what keeps merged sample streams identical
+// between serial and parallel evaluation.
+func MergeSamples(parts []RepSamples) map[string][2][]float64 {
+	merged := make(map[string][2][]float64)
+	for _, part := range parts {
+		// Channel names are sorted so the merge itself is deterministic;
+		// per-channel sample order is fixed by part order alone (one value
+		// per variant per rep).
+		chans := make([]string, 0, len(part))
+		for ch := range part {
+			chans = append(chans, ch)
+		}
+		sort.Strings(chans)
+		for _, ch := range chans {
+			pair := merged[ch]
+			pair[0] = append(pair[0], part[ch][0]...)
+			pair[1] = append(pair[1], part[ch][1]...)
+			merged[ch] = pair
+		}
+	}
+	return merged
+}
+
+// AssembleOutcome computes the per-channel statistics and the defended
+// verdict from fully merged samples.
+func (a *TimingAttack) AssembleOutcome(defenseID string, samples map[string][2][]float64) Outcome {
+	out := Outcome{AttackID: a.ID, DefenseID: defenseID, Defended: true, Samples: samples}
 	// Walk channels in sorted order so Channels is reproducible — map
 	// order would reshuffle the outcome between identical runs.
 	chans := make([]string, 0, len(samples))
@@ -162,6 +197,23 @@ func (a *TimingAttack) Evaluate(d defense.Defense, reps int, baseSeed int64) Out
 		out.Channels = append(out.Channels, cr)
 	}
 	return out
+}
+
+// Evaluate runs the timing attack against a defense with the given
+// repetition budget. Each (rep, variant) pair gets a fresh environment
+// with its own seed, so network jitter and fuzzing re-randomize per run —
+// matching how the paper repeats and averages experiments. It is the
+// serial composition of MeasureRep/MergeSamples/AssembleOutcome and its
+// output is unchanged from when it was a single loop.
+func (a *TimingAttack) Evaluate(d defense.Defense, reps int, baseSeed int64) Outcome {
+	if reps <= 0 {
+		reps = Reps
+	}
+	parts := make([]RepSamples, reps)
+	for rep := 0; rep < reps; rep++ {
+		parts[rep] = a.MeasureRep(d, baseSeed+int64(rep)*2)
+	}
+	return a.AssembleOutcome(d.ID, MergeSamples(parts))
 }
 
 // Evaluate runs the CVE exploit against a defense once (the trigger is

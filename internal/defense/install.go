@@ -144,6 +144,11 @@ func chromeZeroInstall(s *sim.Simulator) func(*browser.Global) {
 	// every redefined API traverses several wrapped closures. It is what
 	// makes Chrome Zero visibly slower than JSKernel in Figure 3.
 	const proxyCost = 60 * sim.Microsecond
+	// Polyfill worker IDs are allocated per environment, not from a
+	// package-level counter: a global would make IDs depend on how many
+	// environments ran before this one (and race when experiment cells
+	// run on a worker pool), breaking run isolation.
+	ids := polyfillIDBase
 	return func(g *browser.Global) {
 		rng := s.Rand()
 		bn := g.Bindings()
@@ -162,7 +167,8 @@ func chromeZeroInstall(s *sim.Simulator) func(*browser.Global) {
 		}
 		bn.NewWorker = func(src string) (browser.Worker, error) {
 			g.Busy(proxyCost)
-			return newPolyfillWorker(g, src)
+			ids++
+			return newPolyfillWorker(g, src, ids)
 		}
 		nativeTimeout := bn.SetTimeout
 		bn.SetTimeout = func(cb func(*browser.Global), d sim.Duration) int {
@@ -209,17 +215,17 @@ type polyfillWorker struct {
 
 var _ browser.Worker = (*polyfillWorker)(nil)
 
-// polyfillIDs hands out ids distinct from native worker ids.
-var polyfillIDs = 1_000_000
+// polyfillIDBase offsets polyfill worker ids so they stay distinct from
+// native worker ids; each environment counts up from here independently.
+const polyfillIDBase = 1_000_000
 
-func newPolyfillWorker(main *browser.Global, src string) (browser.Worker, error) {
+func newPolyfillWorker(main *browser.Global, src string, id int) (browser.Worker, error) {
 	b := main.Browser()
 	script, err := b.WorkerScript(src)
 	if err != nil {
 		return nil, fmt.Errorf("chromezero polyfill: %w", err)
 	}
-	polyfillIDs++
-	w := &polyfillWorker{id: polyfillIDs, src: src, alive: true, main: main}
+	w := &polyfillWorker{id: id, src: src, alive: true, main: main}
 	scope := b.NewScopeOnThread(main.Thread())
 	w.scope = scope
 	sb := scope.Bindings()

@@ -29,6 +29,14 @@ type Config struct {
 	Fig2SizesMB []int
 	// Fig2Reps is per-size repetitions in Figure 2.
 	Fig2Reps int
+	// Parallel is the worker-pool width for the cell-parallel drivers
+	// (Table I–III, Dromaeo, worker bench, and the chaos matrices they
+	// compose): 0 (the default) means one worker per available CPU, 1
+	// forces a plain serial loop. Any width produces byte-identical
+	// tables, verdicts, and merged traces — every cell's seed is a pure
+	// function of (Seed, cell index) and results are collected in cell
+	// order, so the pool width only changes wall-clock time.
+	Parallel int
 	// Trace, when non-nil, attaches this kernel trace session to every
 	// environment a traced experiment builds (Table I–III, Dromaeo), so
 	// runs can be inspected end-to-end and validated against the kernel

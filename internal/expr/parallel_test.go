@@ -1,0 +1,121 @@
+package expr
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/trace"
+)
+
+// table1Run captures everything observable about one Table I run: the
+// rendered table, the full outcome maps, and the validated merged
+// trace. The parallel runner's contract is that none of it depends on
+// the worker-pool width.
+type table1Run struct {
+	table   []byte
+	timing  map[string]map[string]attack.Outcome
+	cve     map[string]map[string]attack.Outcome
+	trace   []byte
+	metrics *trace.Metrics
+}
+
+func runTable1AtWidth(t *testing.T, width int) table1Run {
+	t.Helper()
+	cfg := QuickConfig()
+	// Two reps keep the rep-merge path honest (rep order matters in
+	// MergeSamples) while holding three full traced Table I runs inside
+	// the race-detector stage's time budget.
+	cfg.Reps = 2
+	cfg.Parallel = width
+	cfg.Trace = trace.NewSession()
+	res, err := Table1(cfg)
+	if err != nil {
+		t.Fatalf("Table1(parallel=%d): %v", width, err)
+	}
+	cfg.Trace.Close()
+	recs := cfg.Trace.Records()
+	if len(recs) == 0 {
+		t.Fatalf("parallel=%d: merged trace is empty", width)
+	}
+	if _, err := trace.Validate(recs); err != nil {
+		t.Fatalf("parallel=%d: merged trace violates kernel invariants: %v", width, err)
+	}
+	var tb, trc bytes.Buffer
+	if err := res.Table.Render(&tb); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if err := trace.WriteText(&trc, recs); err != nil {
+		t.Fatalf("trace render: %v", err)
+	}
+	return table1Run{
+		table:   tb.Bytes(),
+		timing:  res.Timing,
+		cve:     res.CVE,
+		trace:   trc.Bytes(),
+		metrics: cfg.Trace.Metrics(),
+	}
+}
+
+func assertRunsEqual(t *testing.T, label string, a, b table1Run) {
+	t.Helper()
+	if !bytes.Equal(a.table, b.table) {
+		t.Errorf("%s: rendered tables differ:\n--- a ---\n%s\n--- b ---\n%s", label, a.table, b.table)
+	}
+	if !reflect.DeepEqual(a.timing, b.timing) {
+		t.Errorf("%s: timing outcome maps differ (samples, channels, or verdicts)", label)
+	}
+	if !reflect.DeepEqual(a.cve, b.cve) {
+		t.Errorf("%s: CVE outcome maps differ", label)
+	}
+	if !bytes.Equal(a.trace, b.trace) {
+		t.Errorf("%s: merged traces differ (%d vs %d bytes)", label, len(a.trace), len(b.trace))
+	}
+	if !reflect.DeepEqual(a.metrics, b.metrics) {
+		t.Errorf("%s: trace metrics differ:\n a: %+v\n b: %+v", label, a.metrics, b.metrics)
+	}
+}
+
+// TestTable1ParallelByteIdentical is the determinism guard for the
+// worker pool: Table I evaluated serially and on an 8-wide pool must
+// agree on every byte — rendered table, per-cell outcomes including raw
+// samples, and the validated merged kernel trace — and a second 8-wide
+// run must reproduce the first exactly.
+func TestTable1ParallelByteIdentical(t *testing.T) {
+	serial := runTable1AtWidth(t, 1)
+	par := runTable1AtWidth(t, 8)
+	assertRunsEqual(t, "serial vs parallel(8)", serial, par)
+
+	again := runTable1AtWidth(t, 8)
+	assertRunsEqual(t, "parallel(8) vs parallel(8)", par, again)
+}
+
+// TestTable2Table3ParallelByteIdentical extends the width-independence
+// guard to the other cell-parallel table drivers (untraced, to keep the
+// test quick — Table I above covers trace merging).
+func TestTable2Table3ParallelByteIdentical(t *testing.T) {
+	render := func(width int) []byte {
+		cfg := QuickConfig()
+		cfg.Parallel = width
+		var buf bytes.Buffer
+		t2, err := Table2(cfg)
+		if err != nil {
+			t.Fatalf("Table2(parallel=%d): %v", width, err)
+		}
+		if err := t2.Table.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		t3, err := Table3(cfg)
+		if err != nil {
+			t.Fatalf("Table3(parallel=%d): %v", width, err)
+		}
+		if err := t3.Table.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(render(1), render(8)) {
+		t.Fatal("Table II/III output depends on the worker-pool width")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"jskernel/internal/defense"
 	"jskernel/internal/report"
 	"jskernel/internal/stats"
+	"jskernel/internal/trace"
 	"jskernel/internal/workload"
 )
 
@@ -23,16 +24,23 @@ type DromaeoReport struct {
 
 // Dromaeo runs the suite under legacy Chrome and Chrome+JSKernel and
 // reports overheads (paper: 1.99% average, 0.30% median, DOM attribute
-// worst at ~21%).
+// worst at ~21%). The two columns are a matched pair — both run the
+// suite with the same cfg.Seed, so the overhead is the kernel's alone —
+// and execute as two cells on the worker pool.
 func Dromaeo(cfg Config) (*DromaeoReport, error) {
-	base, err := workload.RunDromaeo(cfg.traced(defense.Chrome()), cfg.Seed)
+	defs := []defense.Defense{defense.Chrome(), defense.JSKernel("chrome")}
+	labels := []string{"baseline", "jskernel"}
+	cols, err := runCells(cfg, len(defs), func(i int, _ int64, tr *trace.Session) ([]workload.DromaeoResult, error) {
+		res, err := workload.RunDromaeo(tracedWith(defs[i], tr), cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("dromaeo %s: %w", labels[i], err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("dromaeo baseline: %w", err)
+		return nil, err
 	}
-	with, err := workload.RunDromaeo(cfg.traced(defense.JSKernel("chrome")), cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("dromaeo jskernel: %w", err)
-	}
+	base, with := cols[0], cols[1]
 	over := workload.DromaeoOverheads(base, with)
 	rep := &DromaeoReport{PerTest: over}
 	// Sort the test ids before accumulating: the mean is a float sum and
@@ -88,16 +96,22 @@ type WorkerBenchReport struct {
 }
 
 // WorkerBench creates 16 workers with and without JSKernel (paper: ~0.9%
-// overhead over 5 repetitions).
+// overhead over 5 repetitions). Like Dromaeo, the columns are a matched
+// pair sharing cfg.Seed and run as two untraced cells.
 func WorkerBench(cfg Config) (*WorkerBenchReport, error) {
-	base, err := workload.RunWorkerBench(defense.Chrome(), workload.WorkerBenchCount, 5, cfg.Seed)
+	defs := []defense.Defense{defense.Chrome(), defense.JSKernel("chrome")}
+	labels := []string{"baseline", "jskernel"}
+	cols, err := runCells(cfg, len(defs), func(i int, _ int64, _ *trace.Session) ([]float64, error) {
+		res, err := workload.RunWorkerBench(defs[i], workload.WorkerBenchCount, 5, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("worker bench %s: %w", labels[i], err)
+		}
+		return res, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("worker bench baseline: %w", err)
+		return nil, err
 	}
-	with, err := workload.RunWorkerBench(defense.JSKernel("chrome"), workload.WorkerBenchCount, 5, cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("worker bench jskernel: %w", err)
-	}
+	base, with := cols[0], cols[1]
 	rep := &WorkerBenchReport{
 		BaseMs:   stats.Summarize(base),
 		KernelMs: stats.Summarize(with),

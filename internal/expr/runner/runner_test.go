@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapMatchesSerial pins the core property: any pool width returns
+// exactly what the width-1 loop returns, in the same order.
+func TestMapMatchesSerial(t *testing.T) {
+	fn := func(i int) string { return fmt.Sprintf("cell-%03d", i*i) }
+	want := Map(1, 100, fn)
+	for _, width := range []int{2, 3, 8, 100, 0, -1} {
+		got := Map(width, 100, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("width %d: results differ from serial", width)
+		}
+	}
+}
+
+// TestMapOrderIndependent makes cells finish in scrambled real-time
+// order (later indices sleep less) and checks collection still lands
+// by index.
+func TestMapOrderIndependent(t *testing.T) {
+	const n = 16
+	got := Map(8, n, func(i int) int {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return i * 10
+	})
+	for i, v := range got {
+		if v != i*10 {
+			t.Fatalf("slot %d holds %d; scheduling order leaked into results", i, v)
+		}
+	}
+}
+
+// TestMapRunsEveryCellOnce counts invocations under contention.
+func TestMapRunsEveryCellOnce(t *testing.T) {
+	const n = 200
+	var counts [n]atomic.Int64
+	Map(8, n, func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("cell %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestMapPanicPropagation checks a worker panic resurfaces on the
+// calling goroutine with the lowest-index panic value, matching what a
+// serial loop would have hit first.
+func TestMapPanicPropagation(t *testing.T) {
+	for _, width := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("width %d: panic swallowed", width)
+				}
+				if r != "boom-3" {
+					t.Fatalf("width %d: got panic %v, want lowest-index boom-3", width, r)
+				}
+			}()
+			Map(width, 10, func(i int) int {
+				if i == 3 || i == 7 {
+					panic(fmt.Sprintf("boom-%d", i))
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// TestMapEmpty and small-n edge cases.
+func TestMapEdgeCases(t *testing.T) {
+	if got := Map(8, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("n=0 returned %v, want nil", got)
+	}
+	if got := Map(8, 1, func(i int) int { return 41 + i }); len(got) != 1 || got[0] != 41 {
+		t.Fatalf("n=1 returned %v", got)
+	}
+}
+
+// TestWidth pins the resolution rules Config.Parallel relies on.
+func TestWidth(t *testing.T) {
+	if w := Width(1, 100); w != 1 {
+		t.Fatalf("Width(1,100) = %d", w)
+	}
+	if w := Width(8, 3); w != 3 {
+		t.Fatalf("Width(8,3) = %d; pool must not exceed cells", w)
+	}
+	if w := Width(0, 100); w < 1 {
+		t.Fatalf("Width(0,100) = %d; GOMAXPROCS default must be >= 1", w)
+	}
+	if w := Width(-5, 0); w != 1 {
+		t.Fatalf("Width(-5,0) = %d", w)
+	}
+}

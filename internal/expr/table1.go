@@ -4,6 +4,7 @@ import (
 	"jskernel/internal/attack"
 	"jskernel/internal/defense"
 	"jskernel/internal/report"
+	"jskernel/internal/trace"
 )
 
 // Table1Result is the full defense matrix with per-cell outcomes, so
@@ -36,11 +37,67 @@ func Table1(cfg Config) (*Table1Result, error) {
 	return table1Matrix(cfg, defense.TableIDefenses())
 }
 
+// table1Cell is one unit of Table I work: a single repetition of a
+// timing attack (samples set) or a full CVE trigger (out set).
+type table1Cell struct {
+	samples attack.RepSamples
+	out     attack.Outcome
+}
+
 // table1Matrix runs the Table I attack matrix against an arbitrary
 // defense list — the chaos experiment reuses it with fault-carrying
 // defense variants.
+//
+// The matrix is flattened into cells — (timing row, defense, rep)
+// triples followed by (CVE row, defense) pairs — and executed on the
+// cfg.Parallel worker pool. Every cell seeds its environments from
+// sim.DeriveSeed(cfg.Seed, cell index), so neighbouring cells never
+// share random streams and the verdicts are identical at any pool
+// width.
 func table1Matrix(cfg Config, defenses []defense.Defense) (*Table1Result, error) {
-	defenses = cfg.tracedAll(defenses)
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = attack.Reps
+	}
+
+	// Canonical row order: the setTimeout clock group, then the
+	// requestAnimationFrame group, then the CVE rows — Table I's layout.
+	group := "setTimeout"
+	var timingRows []*attack.TimingAttack
+	for _, a := range attack.TimingAttacks() {
+		if a.ClockGroup == group {
+			timingRows = append(timingRows, a)
+		}
+	}
+	firstRAF := len(timingRows)
+	for _, a := range attack.TimingAttacks() {
+		if a.ClockGroup != group {
+			timingRows = append(timingRows, a)
+		}
+	}
+	cveRows := attack.CVEAttacks()
+
+	perDefense := reps
+	perTimingRow := len(defenses) * perDefense
+	nTiming := len(timingRows) * perTimingRow
+	nCells := nTiming + len(cveRows)*len(defenses)
+
+	cells, err := runCells(cfg, nCells, func(i int, seed int64, tr *trace.Session) (table1Cell, error) {
+		if i < nTiming {
+			a := timingRows[i/perTimingRow]
+			rem := i % perTimingRow
+			d := tracedWith(defenses[rem/perDefense], tr)
+			return table1Cell{samples: a.MeasureRep(d, seed)}, nil
+		}
+		j := i - nTiming
+		a := cveRows[j/len(defenses)]
+		d := tracedWith(defenses[j%len(defenses)], tr)
+		return table1Cell{out: attack.EvaluateCVE(a, d, seed)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Table1Result{
 		Defenses: defenses,
 		Timing:   make(map[string]map[string]attack.Outcome),
@@ -58,40 +115,41 @@ func table1Matrix(cfg Config, defenses []defense.Defense) (*Table1Result, error)
 				report.CheckVulnerable + " = the defense is vulnerable",
 		},
 	}
-
 	addGroup := func(name string) { tbl.AddRow("-- " + name + " --") }
 
 	addGroup("setTimeout as the implicit clock")
-	group := "setTimeout"
-	timing := attack.TimingAttacks()
-	emitTiming := func(a *attack.TimingAttack) {
+	for ri, a := range timingRows {
+		if ri == firstRAF {
+			addGroup("requestAnimationFrame as the implicit clock")
+		}
 		res.Timing[a.ID] = make(map[string]attack.Outcome, len(defenses))
 		row := []string{a.Label}
-		for _, d := range defenses {
-			out := a.Evaluate(d, cfg.Reps, cfg.Seed)
+		for di, d := range defenses {
+			// Merge the defense's reps in rep order and judge the merged
+			// samples — the same statistics a serial Evaluate computes.
+			base := ri*perTimingRow + di*perDefense
+			parts := make([]attack.RepSamples, reps)
+			for rep := 0; rep < reps; rep++ {
+				parts[rep] = cells[base+rep].samples
+			}
+			out := a.AssembleOutcome(d.ID, attack.MergeSamples(parts))
 			res.Timing[a.ID][d.ID] = out
 			row = append(row, report.Mark(out.Defended))
 		}
 		tbl.AddRow(row...)
 	}
-	for _, a := range timing {
-		if a.ClockGroup == group {
-			emitTiming(a)
-		}
-	}
-	addGroup("requestAnimationFrame as the implicit clock")
-	for _, a := range timing {
-		if a.ClockGroup != group {
-			emitTiming(a)
-		}
+	if firstRAF == len(timingRows) {
+		// No rAF rows registered: still emit the group header, as the
+		// serial layout always did.
+		addGroup("requestAnimationFrame as the implicit clock")
 	}
 
 	addGroup("Other web concurrency attacks")
-	for _, a := range attack.CVEAttacks() {
+	for ci, a := range cveRows {
 		res.CVE[string(a.CVE)] = make(map[string]attack.Outcome, len(defenses))
 		row := []string{a.Label}
-		for _, d := range defenses {
-			out := attack.EvaluateCVE(a, d, cfg.Seed)
+		for di, d := range defenses {
+			out := cells[nTiming+ci*len(defenses)+di].out
 			res.CVE[string(a.CVE)][d.ID] = out
 			row = append(row, report.Mark(out.Defended))
 		}

@@ -6,7 +6,9 @@ import (
 	"jskernel/internal/attack"
 	"jskernel/internal/defense"
 	"jskernel/internal/report"
+	"jskernel/internal/sim"
 	"jskernel/internal/stats"
+	"jskernel/internal/trace"
 )
 
 // Table II's workload parameters: the two SVG probe resolutions and the
@@ -35,29 +37,59 @@ type Table2Result struct {
 	Table *report.Table
 }
 
+// table2Cell is one (defense, rep) unit: both SVG resolutions and both
+// Loopscan sites measured in four fresh environments.
+type table2Cell struct {
+	svg  [2]float64
+	loop [2]float64
+}
+
 // Table2 measures the SVG filtering and Loopscan attacks under every
-// Table II defense, averaging cfg.Reps runs like the paper's 25.
+// Table II defense, averaging cfg.Reps runs like the paper's 25. The
+// (defense, rep) matrix runs as cells on the cfg.Parallel worker pool;
+// each cell's four environments take sub-seeds derived from its own
+// cell seed, so no two cells — and no two measurements — share a
+// random stream.
 func Table2(cfg Config) (*Table2Result, error) {
 	res := &Table2Result{}
-	for _, d := range cfg.tracedAll(defense.TableIIDefenses()) {
+	defs := defense.TableIIDefenses()
+	nCells := len(defs) * cfg.Reps
+
+	cells, err := runCells(cfg, nCells, func(i int, seed int64, tr *trace.Session) (table2Cell, error) {
+		d := tracedWith(defs[i/cfg.Reps], tr)
+		var c table2Cell
+		for variant, dim := range []int{table2LowRes, table2HighRes} {
+			env := d.NewEnv(defense.EnvOptions{Seed: sim.DeriveSeed(seed, int64(variant))})
+			ms, err := attack.MeasureSVGLoadMs(env, dim)
+			if err != nil {
+				return c, fmt.Errorf("table2 svg %s: %w", d.ID, err)
+			}
+			c.svg[variant] = ms
+		}
+		for variant, site := range []string{"google", "youtube"} {
+			env := d.NewEnv(defense.EnvOptions{Seed: sim.DeriveSeed(seed, int64(2+variant))})
+			ms, err := attack.MeasureLoopscanGapMs(env, site)
+			if err != nil {
+				return c, fmt.Errorf("table2 loopscan %s: %w", d.ID, err)
+			}
+			c.loop[variant] = ms
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for di, d := range defs {
 		row := Table2Row{Defense: d}
+		// Collect the defense's cells in rep order, so sample streams
+		// match a serial loop exactly.
 		for rep := 0; rep < cfg.Reps; rep++ {
-			for variant, dim := range []int{table2LowRes, table2HighRes} {
-				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(rep*4+variant)})
-				ms, err := attack.MeasureSVGLoadMs(env, dim)
-				if err != nil {
-					return nil, fmt.Errorf("table2 svg %s: %w", d.ID, err)
-				}
-				row.svgSamples[variant] = append(row.svgSamples[variant], ms)
-			}
-			for variant, site := range []string{"google", "youtube"} {
-				env := d.NewEnv(defense.EnvOptions{Seed: cfg.Seed + int64(rep*4+variant) + 1_000_000})
-				ms, err := attack.MeasureLoopscanGapMs(env, site)
-				if err != nil {
-					return nil, fmt.Errorf("table2 loopscan %s: %w", d.ID, err)
-				}
-				row.loopSamples[variant] = append(row.loopSamples[variant], ms)
-			}
+			c := cells[di*cfg.Reps+rep]
+			row.svgSamples[0] = append(row.svgSamples[0], c.svg[0])
+			row.svgSamples[1] = append(row.svgSamples[1], c.svg[1])
+			row.loopSamples[0] = append(row.loopSamples[0], c.loop[0])
+			row.loopSamples[1] = append(row.loopSamples[1], c.loop[1])
 		}
 		row.SVGLow = stats.Mean(row.svgSamples[0])
 		row.SVGHigh = stats.Mean(row.svgSamples[1])

@@ -5,6 +5,7 @@ import (
 
 	"jskernel/internal/defense"
 	"jskernel/internal/report"
+	"jskernel/internal/trace"
 	"jskernel/internal/workload"
 )
 
@@ -25,9 +26,17 @@ func table3Defenses() []defense.Defense {
 
 // Table3 runs the Raptor tp6-1 subtests under Chrome and Firefox with and
 // without JSKernel.
+//
+// Each (defense, site) pair is one cell on the cfg.Parallel worker
+// pool. Unlike Table I/II, cells deliberately ignore the derived
+// per-cell seed: Table III is a matched-pairs comparison, so every
+// defense column loads a site with the same cfg.Seed-keyed visit
+// sequence (RunRaptorSuite folds site.Rank into the env seeds) and
+// column differences isolate the defense's own overhead.
 func Table3(cfg Config) (*Table3Result, error) {
 	res := &Table3Result{Cells: make(map[string]map[string]workload.RaptorResult)}
-	defs := cfg.tracedAll(table3Defenses())
+	defs := table3Defenses()
+	sites := workload.RaptorSubtests()
 	cols := []string{"Subtest"}
 	for _, d := range defs {
 		cols = append(cols, d.Label)
@@ -39,14 +48,26 @@ func Table3(cfg Config) (*Table3Result, error) {
 			fmt.Sprintf("%d loads per subtest, first skipped (tab-open effects)", cfg.RaptorLoads),
 		},
 	}
+
+	nCells := len(defs) * len(sites)
+	cells, err := runCells(cfg, nCells, func(i int, _ int64, tr *trace.Session) (workload.RaptorResult, error) {
+		d := tracedWith(defs[i/len(sites)], tr)
+		site := sites[i%len(sites)]
+		results, err := workload.RunRaptorSuite(d, []workload.Site{site}, cfg.RaptorLoads, cfg.Seed)
+		if err != nil {
+			return workload.RaptorResult{}, fmt.Errorf("table3 %s: %w", d.ID, err)
+		}
+		return results[0], nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	bySite := make(map[string][]string)
 	var siteOrder []string
-	for _, d := range defs {
-		results, err := workload.RunRaptor(d, cfg.RaptorLoads, cfg.Seed)
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", d.ID, err)
-		}
-		for _, r := range results {
+	for di, d := range defs {
+		for si := range sites {
+			r := cells[di*len(sites)+si]
 			if res.Cells[r.Site] == nil {
 				res.Cells[r.Site] = make(map[string]workload.RaptorResult)
 				siteOrder = append(siteOrder, r.Site)

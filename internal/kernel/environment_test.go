@@ -1,0 +1,89 @@
+package kernel
+
+import (
+	"testing"
+
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+// envTestPolicy is a minimal allow-everything Policy; the internal/policy
+// package cannot be imported here (it depends on kernel).
+type envTestPolicy struct{}
+
+func (envTestPolicy) Name() string        { return "env-test" }
+func (envTestPolicy) Deterministic() bool { return true }
+func (envTestPolicy) Quantum() sim.Duration {
+	return sim.Millisecond
+}
+func (envTestPolicy) PredictDelay(api string, requested sim.Duration) sim.Duration {
+	return DefaultPredictDelay(api, requested, sim.Millisecond, 0)
+}
+func (envTestPolicy) Evaluate(ctx CallContext) Verdict { return Allow }
+
+// TestEnvironmentIsolation pins the property the parallel experiment
+// runner depends on: every Shared owns its own Environment, so
+// run-scoped mutable state — hardening knobs, journal, trace binding —
+// never leaks between concurrently-evaluated cells.
+func TestEnvironmentIsolation(t *testing.T) {
+	a := NewShared(envTestPolicy{})
+	b := NewShared(envTestPolicy{})
+	if a.Env() == b.Env() {
+		t.Fatal("two Shared instances returned the same Environment")
+	}
+
+	a.SetWatchdogDeadline(5 * sim.Second)
+	a.SetMaxQueueDepth(7)
+	if got := b.Env().WatchdogDeadline(); got != DefaultWatchdogDeadline {
+		t.Fatalf("b's watchdog deadline changed to %v when a's was set", got)
+	}
+	if got := b.Env().MaxQueueDepth(); got != DefaultMaxQueueDepth {
+		t.Fatalf("b's queue depth changed to %d when a's was set", got)
+	}
+	if got := a.Env().WatchdogDeadline(); got != 5*sim.Second {
+		t.Fatalf("a's watchdog deadline = %v, want 5s", got)
+	}
+
+	a.journalIncident(Decision{API: "isolation-test", Reason: "a-only"})
+	if n := len(b.Decisions()); n != 0 {
+		t.Fatalf("a's journal entry leaked into b (%d decisions)", n)
+	}
+	if n := len(a.Decisions()); n != 1 {
+		t.Fatalf("a's journal holds %d decisions, want 1", n)
+	}
+}
+
+// TestEnvironmentTraceRuns checks that two environments bound to one
+// session draw distinct run generations, so their records never share a
+// (run, thread) timeline in the merged stream.
+func TestEnvironmentTraceRuns(t *testing.T) {
+	s := trace.NewSession()
+	a := NewShared(envTestPolicy{})
+	b := NewShared(envTestPolicy{})
+	a.SetTracer(s)
+	b.SetTracer(s)
+	if a.TraceRun() == b.TraceRun() {
+		t.Fatalf("both environments drew trace run %d", a.TraceRun())
+	}
+	if a.Tracer() != s || b.Tracer() != s {
+		t.Fatal("tracer binding not stored on the environment")
+	}
+}
+
+// TestEnvironmentDefaults pins the NewEnvironment starting state.
+func TestEnvironmentDefaults(t *testing.T) {
+	s := NewShared(envTestPolicy{})
+	e := s.Env()
+	if e.WatchdogDeadline() != DefaultWatchdogDeadline {
+		t.Fatalf("default watchdog deadline = %v", e.WatchdogDeadline())
+	}
+	if e.MaxQueueDepth() != DefaultMaxQueueDepth {
+		t.Fatalf("default max queue depth = %d", e.MaxQueueDepth())
+	}
+	if e.Tracer() != nil || e.TraceRun() != 0 {
+		t.Fatal("fresh environment already has a trace binding")
+	}
+	if len(s.Decisions()) != 0 || s.DroppedDecisions() != 0 {
+		t.Fatal("fresh environment already has journal entries")
+	}
+}

@@ -47,20 +47,21 @@ const maxJournal = 4096
 // append records one decision, dropping (and counting) the oldest entry
 // when the journal is full.
 func (s *Shared) appendDecision(d Decision) {
-	if len(s.journal) >= maxJournal {
-		copy(s.journal, s.journal[1:])
-		s.journal[len(s.journal)-1] = d
-		s.droppedDecisions++
+	e := s.env
+	if len(e.journal) >= maxJournal {
+		copy(e.journal, e.journal[1:])
+		e.journal[len(e.journal)-1] = d
+		e.droppedDecisions++
 	} else {
-		s.journal = append(s.journal, d)
+		e.journal = append(e.journal, d)
 	}
 }
 
 // journalIncident records a kernel survival incident (panic isolation,
 // quarantine, watchdog expiry, overload shed) in the decision journal.
 func (s *Shared) journalIncident(d Decision) {
-	s.decisionSeq++
-	d.Seq = s.decisionSeq
+	s.env.decisionSeq++
+	d.Seq = s.env.decisionSeq
 	s.appendDecision(d)
 }
 
@@ -69,13 +70,13 @@ func (s *Shared) journalIncident(d Decision) {
 // intercepted call's decision, including allows that never reach the
 // journal.
 func (s *Shared) emitPolicy(ctx CallContext, a Action, reason string) {
-	t := s.tracer
-	if t == nil || s.simNow == nil {
+	t := s.env.tracer
+	if t == nil || s.env.simNow == nil {
 		return
 	}
 	t.Emit(trace.Record{
-		Run:      s.traceRun,
-		VT:       s.simNow(),
+		Run:      s.env.traceRun,
+		VT:       s.env.simNow(),
 		Thread:   ctx.ThreadID,
 		WorkerID: ctx.WorkerID,
 		Op:       trace.OpPolicy,
@@ -93,11 +94,11 @@ func (s *Shared) emitPolicy(ctx CallContext, a Action, reason string) {
 func (s *Shared) evaluate(ctx CallContext) Verdict {
 	v, panicked := s.safeEvaluate(ctx)
 	if panicked {
-		s.policyPanics++
+		s.env.policyPanics++
 		s.journalIncident(Decision{
 			API:         ctx.API,
 			Action:      ActionIsolate,
-			Reason:      fmt.Sprintf("recovered policy panic (fail closed): %v", s.lastPolicyPanic),
+			Reason:      fmt.Sprintf("recovered policy panic (fail closed): %v", s.env.lastPolicyPanic),
 			InWorker:    ctx.InWorker,
 			CrossOrigin: ctx.CrossOrigin,
 			WorkerID:    ctx.WorkerID,
@@ -111,9 +112,9 @@ func (s *Shared) evaluate(ctx CallContext) Verdict {
 		return v
 	}
 	s.emitPolicy(ctx, v.Action, v.Reason)
-	s.decisionSeq++
+	s.env.decisionSeq++
 	d := Decision{
-		Seq:         s.decisionSeq,
+		Seq:         s.env.decisionSeq,
 		API:         ctx.API,
 		Action:      v.Action,
 		Reason:      v.Reason,
@@ -132,7 +133,7 @@ func (s *Shared) safeEvaluate(ctx CallContext) (v Verdict, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
-			s.lastPolicyPanic = r
+			s.env.lastPolicyPanic = r
 		}
 	}()
 	return s.policy.Evaluate(ctx), false
@@ -140,29 +141,29 @@ func (s *Shared) safeEvaluate(ctx CallContext) (v Verdict, panicked bool) {
 
 // Decisions returns a copy of the enforcement journal.
 func (s *Shared) Decisions() []Decision {
-	out := make([]Decision, len(s.journal))
-	copy(out, s.journal)
+	out := make([]Decision, len(s.env.journal))
+	copy(out, s.env.journal)
 	return out
 }
 
 // DroppedDecisions reports how many journal entries were discarded after
 // the journal hit its size bound — a silent-truncation tell for
 // operators reading the audit trail.
-func (s *Shared) DroppedDecisions() uint64 { return s.droppedDecisions }
+func (s *Shared) DroppedDecisions() uint64 { return s.env.droppedDecisions }
 
 // PolicyPanics reports how many policy Evaluate panics the kernel
 // recovered (each one fails closed and is journaled).
-func (s *Shared) PolicyPanics() uint64 { return s.policyPanics }
+func (s *Shared) PolicyPanics() uint64 { return s.env.policyPanics }
 
 // WriteDecisions dumps the journal to w, one line per decision, with a
 // truncation notice when entries were dropped.
 func (s *Shared) WriteDecisions(w io.Writer) error {
-	if s.droppedDecisions > 0 {
-		if _, err := fmt.Fprintf(w, "(journal truncated: %d older decisions dropped)\n", s.droppedDecisions); err != nil {
+	if s.env.droppedDecisions > 0 {
+		if _, err := fmt.Fprintf(w, "(journal truncated: %d older decisions dropped)\n", s.env.droppedDecisions); err != nil {
 			return err
 		}
 	}
-	for _, d := range s.journal {
+	for _, d := range s.env.journal {
 		if _, err := fmt.Fprintln(w, d.String()); err != nil {
 			return err
 		}

@@ -2,14 +2,18 @@ package kernel
 
 import (
 	"errors"
-	"fmt"
 
 	"jskernel/internal/browser"
-	"jskernel/internal/dom"
 	"jskernel/internal/sim"
 	"jskernel/internal/trace"
-	"jskernel/internal/webnet"
 )
+
+// This file holds the kernel's structural core: the Shared storage, the
+// per-scope Kernel instance, and their accessors. The behaviour lives in
+// focused siblings — syscall.go (the mediated bindings table), sched.go
+// (two-stage scheduler and dispatcher), timers.go, messaging.go, net.go,
+// journal.go (policy evaluation and audit trail), worker.go (thread
+// manager), environment.go (run-scoped mutable state).
 
 // Errors surfaced to user space by policy verdicts.
 var (
@@ -22,7 +26,9 @@ var (
 
 // Shared is the kernel state common to every thread of one browser: the
 // paper's "storage place of kernel objects" that all kernel threads can
-// reach, plus the thread manager's registry.
+// reach, plus the thread manager's registry. All run-scoped mutable
+// state lives in the attached Environment; Shared itself holds only the
+// policy and the structural registries.
 type Shared struct {
 	policy Policy
 	// kernels holds every kernelized scope; byThread indexes each
@@ -32,37 +38,11 @@ type Shared struct {
 	byThread map[int]*Kernel
 	workers  map[int]*WorkerStub // worker ID → thread-manager entry
 
-	pendingFetch map[int]int  // worker ID → in-flight fetch count
-	transferred  map[int]bool // worker ID → transferred a buffer to parent
-	deferredTerm map[int]bool // worker ID → native terminate pending drain
+	installs int
 
-	lastBufAccess sim.Time // serialization point for shared-buffer ops
-	installs      int
-
-	journal          []Decision // enforcement audit trail
-	decisionSeq      uint64
-	droppedDecisions uint64 // entries discarded past maxJournal
-
-	// Survival hardening knobs (see SetWatchdogDeadline, SetMaxQueueDepth,
-	// SetCallbackFault) and incident counters.
-	watchdogDeadline sim.Duration
-	maxQueueDepth    int
-	callbackFault    func(api string) bool
-	policyPanics     uint64
-	lastPolicyPanic  any
-
-	// tracer is the optional lifecycle trace sink (internal/trace). Nil —
-	// the default — is the near-zero-overhead off state: every emission
-	// site bails on one nil check. simNow is captured from the first
-	// installed scope so Shared-level emissions (policy verdicts) can be
-	// virtual-time-stamped without a kernel in hand.
-	tracer *trace.Session
-	simNow func() sim.Time
-	// traceRun is this environment's session-unique run generation:
-	// sessions may span many environments, each with its own simulator
-	// (virtual time restarts at zero) and thread numbering, so records
-	// carry the run so consumers can partition per-environment.
-	traceRun int
+	// env owns the journal, hardening knobs, trace binding, and worker
+	// handshake state for this browser's run.
+	env *Environment
 }
 
 // Survival hardening defaults. The watchdog deadline comfortably exceeds
@@ -78,59 +58,53 @@ const (
 )
 
 // NewShared creates the cross-thread kernel state for one browser under
-// the given policy. Wire its Install method into browser.Options
-// InstallScope so every new JavaScript context gets a kernel — the paper's
-// bootstrap injection.
+// the given policy, with a fresh Environment. Wire its Install method
+// into browser.Options InstallScope so every new JavaScript context gets
+// a kernel — the paper's bootstrap injection.
 func NewShared(p Policy) *Shared {
 	if p == nil {
 		panic("kernel: nil policy")
 	}
 	return &Shared{
-		policy:           p,
-		kernels:          make(map[*browser.Global]*Kernel),
-		byThread:         make(map[int]*Kernel),
-		workers:          make(map[int]*WorkerStub),
-		pendingFetch:     make(map[int]int),
-		transferred:      make(map[int]bool),
-		deferredTerm:     make(map[int]bool),
-		watchdogDeadline: DefaultWatchdogDeadline,
-		maxQueueDepth:    DefaultMaxQueueDepth,
+		policy:   p,
+		kernels:  make(map[*browser.Global]*Kernel),
+		byThread: make(map[int]*Kernel),
+		workers:  make(map[int]*WorkerStub),
+		env:      NewEnvironment(),
 	}
 }
+
+// Env returns the environment owning this browser's run-scoped state.
+func (s *Shared) Env() *Environment { return s.env }
 
 // SetWatchdogDeadline tunes how long a pending queue head may wait for
 // its confirmation before the watchdog force-expires it. Zero or negative
 // disables the watchdog.
-func (s *Shared) SetWatchdogDeadline(d sim.Duration) { s.watchdogDeadline = d }
+func (s *Shared) SetWatchdogDeadline(d sim.Duration) { s.env.watchdogDeadline = d }
 
 // SetMaxQueueDepth bounds each context's event queue; registrations past
 // the bound are shed (journaled, their callbacks never run). Zero or
 // negative removes the bound.
-func (s *Shared) SetMaxQueueDepth(n int) { s.maxQueueDepth = n }
+func (s *Shared) SetMaxQueueDepth(n int) { s.env.maxQueueDepth = n }
 
 // SetCallbackFault installs a fault-injection hook consulted before every
 // user-callback dispatch; returning true makes the dispatch panic inside
 // the user callback (exercising the kernel's panic isolation). Tests and
 // internal/fault use it; nil removes the hook.
-func (s *Shared) SetCallbackFault(f func(api string) bool) { s.callbackFault = f }
+func (s *Shared) SetCallbackFault(f func(api string) bool) { s.env.callbackFault = f }
 
 // SetTracer attaches a lifecycle trace session and allocates this
 // environment's run generation from it. It must be set before scopes are
 // installed — installation is when each kernel is assigned its
 // session-unique trace scope ID. Nil detaches (tracing off).
-func (s *Shared) SetTracer(t *trace.Session) {
-	s.tracer = t
-	if t != nil {
-		s.traceRun = t.NextRun()
-	}
-}
+func (s *Shared) SetTracer(t *trace.Session) { s.env.setTracer(t) }
 
 // Tracer returns the attached trace session, or nil.
-func (s *Shared) Tracer() *trace.Session { return s.tracer }
+func (s *Shared) Tracer() *trace.Session { return s.env.tracer }
 
 // TraceRun returns this environment's trace run generation (0 when no
 // tracer is attached).
-func (s *Shared) TraceRun() int { return s.traceRun }
+func (s *Shared) TraceRun() int { return s.env.traceRun }
 
 // Policy returns the installed policy.
 func (s *Shared) Policy() Policy { return s.policy }
@@ -148,76 +122,6 @@ func (s *Shared) KernelFor(t *browser.Thread) *Kernel {
 
 // KernelOf returns the kernel guarding a specific scope, or nil.
 func (s *Shared) KernelOf(g *browser.Global) *Kernel { return s.kernels[g] }
-
-// Install kernelizes one global scope: it snapshots the native bindings,
-// replaces every entry with the kernel's mediated version, claims the
-// scope's native message handler, and freezes the table against user-space
-// redefinition.
-func (s *Shared) Install(g *browser.Global) {
-	k := &Kernel{
-		shared: s,
-		g:      g,
-		native: *g.Bindings(), // snapshot of the unmediated entry points
-		queue:  NewEventQueue(),
-		clock:  NewClock(s.policy.Quantum()),
-	}
-	s.kernels[g] = k
-	if _, ok := s.byThread[g.Thread().ID()]; !ok {
-		// The first scope installed on a thread is its primary scope.
-		s.byThread[g.Thread().ID()] = k
-	}
-	s.installs++
-	if s.simNow == nil {
-		s.simNow = g.Browser().Sim.Now
-	}
-	if s.tracer != nil {
-		k.scope = s.tracer.NextScope()
-		kind := "window"
-		if g.IsFrameScope() {
-			kind = "frame"
-		} else if g.IsWorkerScope() {
-			kind = "worker"
-		}
-		k.emit(trace.Record{Op: trace.OpInstall, API: kind})
-	}
-
-	bn := g.Bindings()
-	bn.SetTimeout = k.kSetTimeout
-	bn.ClearTimeout = k.kClearTimer
-	bn.SetInterval = k.kSetInterval
-	bn.ClearInterval = k.kClearInterval
-	bn.PerformanceNow = k.kPerformanceNow
-	bn.DateNow = k.kDateNow
-	bn.RequestAnimationFrame = k.kRequestAnimationFrame
-	bn.CancelAnimationFrame = k.kClearTimer
-	bn.NewWorker = k.kNewWorker
-	bn.PostMessage = k.kPostMessage
-	bn.SetOnMessage = k.kSetOnMessage
-	bn.Fetch = k.kFetch
-	bn.AbortFetch = k.kAbortFetch
-	bn.XHR = k.kXHR
-	bn.ImportScripts = k.kImportScripts
-	bn.IndexedDBOpen = k.kIndexedDBOpen
-	bn.WorkerLocation = k.kWorkerLocation
-	bn.LoadScript = k.kLoadScript
-	bn.LoadImage = k.kLoadImage
-	bn.StartCSSAnimation = k.kStartCSSAnimation
-	bn.StopCSSAnimation = k.kStopCSSAnimation
-	bn.PlayVideo = k.kPlayVideo
-	bn.SharedBufferRead = k.kSharedBufferRead
-	bn.SharedBufferWrite = k.kSharedBufferWrite
-	bn.TransferToParent = k.kTransferToParent
-	bn.DOMSetAttribute = k.kDOMSetAttribute
-	bn.DOMGetAttribute = k.kDOMGetAttribute
-	bn.CreateFrame = k.kCreateFrame
-
-	// The kernel owns the scope's real message handler; user handlers are
-	// registered with the kernel and invoked by the dispatcher.
-	k.native.SetOnMessage(k.onNativeMessage)
-
-	// Object.freeze analogue: user space can no longer redefine the table.
-	g.Freeze()
-}
 
 // Kernel is one thread's kernel instance: event queue, logical clock,
 // scheduler and dispatcher state.
@@ -258,11 +162,11 @@ type Kernel struct {
 // clock, thread and scope, and forwards it to the session. The nil check
 // is the tracing-off fast path.
 func (k *Kernel) emit(r trace.Record) {
-	t := k.shared.tracer
+	t := k.shared.env.tracer
 	if t == nil {
 		return
 	}
-	r.Run = k.shared.traceRun
+	r.Run = k.shared.env.traceRun
 	r.VT = k.g.Browser().Sim.Now()
 	r.LC = k.clock.Now()
 	r.Thread = k.g.Thread().ID()
@@ -304,861 +208,5 @@ const interposeCost = 50 * sim.Nanosecond
 // interpose charges one kernel-boundary crossing.
 func (k *Kernel) interpose() {
 	k.g.Busy(interposeCost)
-	k.shared.tracer.CountInterpose(interposeCost)
-}
-
-// kDOMSetAttribute mediates attribute writes. The DOM attribute test is
-// the paper's worst case (≈21% slower) because every access traverses the
-// kernel and the website JavaScript.
-func (k *Kernel) kDOMSetAttribute(el *dom.Element, name, value string) {
-	k.interpose()
-	k.native.DOMSetAttribute(el, name, value)
-}
-
-// kDOMGetAttribute mediates attribute reads.
-func (k *Kernel) kDOMGetAttribute(el *dom.Element, name string) (string, bool) {
-	k.interpose()
-	return k.native.DOMGetAttribute(el, name)
-}
-
-// predict returns the logical time to predict for a new event of an API
-// kind, based exclusively on kernel-visible state (never real time).
-func (k *Kernel) predict(api string, requested sim.Duration) sim.Time {
-	return k.clock.Now() + k.shared.policy.PredictDelay(api, requested)
-}
-
-// nextMessagePred assigns strictly increasing predicted times to incoming
-// messages with no identifiable sender, so their dispatch order and
-// apparent timing stay deterministic.
-func (k *Kernel) nextMessagePred() sim.Time {
-	base := k.clock.Now()
-	if k.lastMsgPred > base {
-		base = k.lastMsgPred
-	}
-	k.lastMsgPred = base + k.shared.policy.PredictDelay("message", 0)
-	return k.lastMsgPred
-}
-
-// nextOutgoingPred is the sender-side component of a message delivery
-// prediction: a strictly increasing chain over the SENDER's logical clock,
-// which is secret-independent. A per-thread nanosecond offset keeps
-// predictions from different senders from colliding, so tie-breaks never
-// depend on real arrival order.
-func (k *Kernel) nextOutgoingPred() sim.Time {
-	base := k.clock.Now()
-	if k.lastOutPred > base {
-		base = k.lastOutPred
-	}
-	k.lastOutPred = base + k.shared.policy.PredictDelay("message", 0)
-	return k.lastOutPred + sim.Duration(k.g.Thread().ID())*sim.Nanosecond
-}
-
-// nextInboundPred combines the sender's chained prediction with the
-// receiver's own message chain. The receiver chain guarantees at most one
-// message dispatches per logical slot — which is what pins the Listing 1
-// implicit-clock count — while the sender floor keeps cross-sender order
-// independent of real arrival order. Full cross-thread determinism would
-// require conservative lookahead synchronization (Chandy–Misra style)
-// that neither the paper's prototype nor this reproduction implements;
-// the residual channel is the coarse logical-slot position of a message
-// relative to receiver-local events, bounded to one quantum (see
-// DESIGN.md §7).
-func (k *Kernel) nextInboundPred(senderPred sim.Time) sim.Time {
-	r := k.nextMessagePred()
-	if senderPred > r {
-		k.lastMsgPred = senderPred
-		return senderPred
-	}
-	return r
-}
-
-// confirm moves a pending event to ready with its final arguments and lets
-// the dispatcher run (paper §III-D1, confirmation stage).
-func (k *Kernel) confirm(ev *Event, args any) {
-	if ev.Status != StatusPending {
-		return
-	}
-	ev.Args = args
-	ev.Status = StatusReady
-	k.emit(trace.Record{Op: trace.OpConfirm, API: ev.API, Event: uint64(ev.ID), Predicted: ev.Predicted})
-	k.drain()
-}
-
-// cancelEvent implements §III-D2's three cancellation cases: pending →
-// cancel (native side handled by caller); ready-but-undispatched → mark
-// cancelled; already dispatched → ignore.
-func (k *Kernel) cancelEvent(ev *Event) {
-	if ev == nil || ev.Status == StatusDone || ev.Status == StatusCancelled {
-		return
-	}
-	ev.Status = StatusCancelled
-	k.emit(trace.Record{Op: trace.OpCancel, API: ev.API, Event: uint64(ev.ID), Predicted: ev.Predicted, Action: "cancel"})
-}
-
-// drain is the dispatcher (§III-D3): release queue-head events in
-// predicted-time order. A pending head blocks everything behind it, which
-// is precisely what makes observable interleavings secret-independent.
-// The dispatcher survives whatever user space throws at it: a pending
-// head that never confirms is force-expired by the watchdog, and a user
-// callback that panics is isolated (and, past a threshold, its whole
-// context quarantined) without ever unwinding the dispatch loop.
-func (k *Kernel) drain() {
-	if k.dispatching {
-		return
-	}
-	k.dispatching = true
-	defer func() { k.dispatching = false }()
-	for {
-		head := k.queue.Top()
-		if head == nil {
-			return
-		}
-		if head.Status == StatusPending {
-			k.armWatchdog(head)
-			return
-		}
-		k.queue.Pop()
-		k.disarmWatchdog(head)
-		if head.Status == StatusCancelled {
-			continue
-		}
-		k.clock.TickTo(head.Predicted)
-		head.Status = StatusDone
-		k.dispatched++
-		k.emit(trace.Record{Op: trace.OpDispatch, API: head.API, Event: uint64(head.ID), Predicted: head.Predicted, Depth: k.queue.Len()})
-		if head.Callback != nil {
-			k.dispatchUser(head)
-		}
-	}
-}
-
-// dispatchUser runs one released event's user callback under panic
-// isolation. A panic is recovered and journaled; after maxCallbackPanics
-// the context is quarantined — its later callbacks are suppressed while
-// its events keep draining, so a hostile page can never wedge the
-// dispatcher or take the process down.
-func (k *Kernel) dispatchUser(ev *Event) {
-	if k.quarantined {
-		return
-	}
-	defer func() {
-		r := recover()
-		if r == nil {
-			return
-		}
-		k.panics++
-		d := Decision{
-			API:      ev.API,
-			Action:   ActionIsolate,
-			Reason:   fmt.Sprintf("recovered user-callback panic: %v", r),
-			InWorker: k.g.IsWorkerScope(),
-			WorkerID: k.workerID(),
-		}
-		if k.panics >= maxCallbackPanics {
-			k.quarantined = true
-			d.Action = ActionQuarantine
-			d.Reason = fmt.Sprintf("context quarantined after %d user-callback panics (last: %v)", k.panics, r)
-		}
-		k.shared.journalIncident(d)
-		k.emit(trace.Record{Op: trace.OpPanic, API: ev.API, Event: uint64(ev.ID), Action: string(ActionIsolate), Reason: fmt.Sprintf("recovered user-callback panic: %v", r)})
-		if d.Action == ActionQuarantine {
-			k.emit(trace.Record{Op: trace.OpQuarantine, Action: string(ActionQuarantine), Reason: d.Reason})
-		}
-	}()
-	if f := k.shared.callbackFault; f != nil && f(ev.API) {
-		panic("fault: injected user-callback panic")
-	}
-	ev.Callback(k.g, ev.Args)
-}
-
-// armWatchdog schedules a force-expiry alarm for a pending queue head.
-// If the event's confirmation never arrives before the (virtual-time)
-// deadline, the event is cancelled, the incident journaled, and the
-// queue drained past it — registered-but-never-confirmed events cannot
-// wedge the context forever. Confirmation or dispatch disarms the alarm.
-func (k *Kernel) armWatchdog(ev *Event) {
-	d := k.shared.watchdogDeadline
-	if d <= 0 || ev.watchdogArmed {
-		return
-	}
-	ev.watchdogArmed = true
-	s := k.g.Browser().Sim
-	ev.watchdogID = s.Schedule(s.Now()+d, "kernel-watchdog", func() {
-		ev.watchdogArmed = false
-		if ev.Status != StatusPending {
-			return
-		}
-		ev.Status = StatusCancelled
-		k.shared.journalIncident(Decision{
-			API:      ev.API,
-			Action:   ActionExpire,
-			Reason:   fmt.Sprintf("watchdog: confirmation never arrived within %v", d),
-			InWorker: k.g.IsWorkerScope(),
-			WorkerID: k.workerID(),
-		})
-		k.emit(trace.Record{Op: trace.OpExpire, API: ev.API, Event: uint64(ev.ID), Predicted: ev.Predicted, Action: string(ActionExpire), Reason: fmt.Sprintf("watchdog: confirmation never arrived within %v", d)})
-		k.drain()
-	})
-}
-
-// disarmWatchdog cancels a popped event's pending alarm, if any.
-func (k *Kernel) disarmWatchdog(ev *Event) {
-	if !ev.watchdogArmed {
-		return
-	}
-	ev.watchdogArmed = false
-	k.g.Browser().Sim.Cancel(ev.watchdogID)
-}
-
-// newEvent registers an event with overload shedding: once the context's
-// queue depth hits the bound, the registration is refused — the returned
-// event is born cancelled and unqueued, so confirmations for it are
-// no-ops and its callback never runs. Every shed is journaled.
-func (k *Kernel) newEvent(api string, predicted sim.Time, cb func(*browser.Global, any)) *Event {
-	if max := k.shared.maxQueueDepth; max > 0 && k.queue.Len() >= max {
-		k.shed++
-		k.shared.journalIncident(Decision{
-			API:      api,
-			Action:   ActionShed,
-			Reason:   fmt.Sprintf("overload: queue depth at bound (%d)", max),
-			InWorker: k.g.IsWorkerScope(),
-			WorkerID: k.workerID(),
-		})
-		ev := &Event{ID: k.queue.AllocID(), API: api, Status: StatusCancelled, Predicted: predicted, index: -1}
-		k.emit(trace.Record{Op: trace.OpPolicy, API: api, Event: uint64(ev.ID), Predicted: predicted, Action: "schedule"})
-		k.emit(trace.Record{Op: trace.OpEnqueue, API: api, Event: uint64(ev.ID), Predicted: predicted, Depth: k.queue.Len()})
-		k.emit(trace.Record{Op: trace.OpShed, API: api, Event: uint64(ev.ID), Predicted: predicted, Action: string(ActionShed), Reason: fmt.Sprintf("overload: queue depth at bound (%d)", max)})
-		return ev
-	}
-	ev := k.queue.NewEvent(api, predicted, cb)
-	k.emit(trace.Record{Op: trace.OpPolicy, API: api, Event: uint64(ev.ID), Predicted: predicted, Action: "schedule"})
-	k.emit(trace.Record{Op: trace.OpEnqueue, API: api, Event: uint64(ev.ID), Predicted: predicted, Depth: k.queue.Len()})
-	return ev
-}
-
-// callCtx assembles the policy evaluation context for a call from this
-// scope.
-func (k *Kernel) callCtx(api, url string) CallContext {
-	b := k.g.Browser()
-	ctx := CallContext{
-		API:         api,
-		URL:         url,
-		ThreadID:    k.g.Thread().ID(),
-		InWorker:    k.g.IsWorkerScope(),
-		PrivateMode: b.PrivateMode,
-		TornDown:    b.DocumentTornDown(),
-	}
-	if url != "" {
-		ctx.CrossOrigin = !webnet.SameOrigin(url, b.Origin)
-	}
-	if ctx.InWorker {
-		ctx.WorkerID = k.workerID()
-	}
-	return ctx
-}
-
-// --- Timers, frames, clocks ---
-
-func (k *Kernel) ensureTimerMaps() {
-	if k.timerEv == nil {
-		k.timerEv = make(map[int]*Event)
-	}
-	if k.intervals == nil {
-		k.intervals = make(map[int]*intervalState)
-	}
-}
-
-func (k *Kernel) kSetTimeout(cb func(*browser.Global), d sim.Duration) int {
-	if cb == nil {
-		return 0
-	}
-	k.interpose()
-	k.ensureTimerMaps()
-	ev := k.newEvent("setTimeout", k.predict("setTimeout", d), func(g *browser.Global, _ any) {
-		cb(g)
-	})
-	id := k.native.SetTimeout(func(*browser.Global) { k.confirm(ev, nil) }, d)
-	k.timerEv[id] = ev
-	return id
-}
-
-// kClearTimer cancels a setTimeout or requestAnimationFrame registration.
-func (k *Kernel) kClearTimer(id int) {
-	k.ensureTimerMaps()
-	ev, ok := k.timerEv[id]
-	if !ok {
-		return
-	}
-	delete(k.timerEv, id)
-	k.native.ClearTimeout(id)
-	k.native.CancelAnimationFrame(id)
-	k.cancelEvent(ev)
-}
-
-// intervalState tracks one kernelized setInterval chain.
-type intervalState struct {
-	cancelled bool
-	nativeID  int
-	ev        *Event
-	pred      sim.Time
-}
-
-func (k *Kernel) kSetInterval(cb func(*browser.Global), d sim.Duration) int {
-	if cb == nil {
-		return 0
-	}
-	k.ensureTimerMaps()
-	delta := k.shared.policy.PredictDelay("setInterval", d)
-	st := &intervalState{pred: k.clock.Now()}
-	k.nextIntervals++
-	id := k.nextIntervals
-	k.intervals[id] = st
-
-	var arm func()
-	arm = func() {
-		st.pred += delta
-		ev := k.newEvent("setInterval", st.pred, func(g *browser.Global, _ any) {
-			if st.cancelled {
-				return
-			}
-			cb(g)
-			if !st.cancelled {
-				arm()
-			}
-		})
-		st.ev = ev
-		st.nativeID = k.native.SetTimeout(func(*browser.Global) { k.confirm(ev, nil) }, d)
-	}
-	arm()
-	return id
-}
-
-func (k *Kernel) kClearInterval(id int) {
-	k.ensureTimerMaps()
-	st, ok := k.intervals[id]
-	if !ok {
-		return
-	}
-	delete(k.intervals, id)
-	st.cancelled = true
-	k.native.ClearTimeout(st.nativeID)
-	k.cancelEvent(st.ev)
-}
-
-func (k *Kernel) kPerformanceNow() float64 { return k.clock.DisplayMillis() }
-
-func (k *Kernel) kDateNow() int64 { return k.clock.DisplayUnixMillis() }
-
-func (k *Kernel) kRequestAnimationFrame(cb func(*browser.Global, float64)) int {
-	if cb == nil {
-		return 0
-	}
-	k.ensureTimerMaps()
-	frame := k.shared.policy.PredictDelay("raf", 0)
-	pred := (k.clock.Now()/frame + 1) * frame
-	ev := k.newEvent("raf", pred, func(g *browser.Global, _ any) {
-		cb(g, k.clock.DisplayMillis())
-	})
-	id := k.native.RequestAnimationFrame(func(*browser.Global, float64) { k.confirm(ev, nil) })
-	k.timerEv[id] = ev
-	return id
-}
-
-// --- Messaging ---
-
-// envelope is the kernel's overlay on the postMessage channel (§III-E2):
-// a type field distinguishes kernel-space from user-space traffic, and the
-// event ID links a delivery to its pre-registered pending event.
-type envelope struct {
-	Kind string // "user" or "sys"
-	Op   string // sys operation name
-	Data any
-	EvID EventID
-	Wid  int
-}
-
-// kPostMessage handles scope-level postMessage: worker scopes post to the
-// parent, the main scope to itself. The receiving kernel's event (already
-// registered by us) is confirmed when the native delivery lands.
-func (k *Kernel) kPostMessage(data any) {
-	k.interpose()
-	b := k.g.Browser()
-	if k.g.IsFrameScope() {
-		// Frame → embedding window: register the delivery with the
-		// window's kernel, predicted from this frame kernel's logical
-		// state, then let the native path carry the envelope.
-		mk := k.shared.byThread[b.Main().ID()]
-		if mk == nil {
-			k.native.PostMessage(data)
-			return
-		}
-		ev := mk.newEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
-			m, ok := args.(browser.MessageEvent)
-			if !ok {
-				return
-			}
-			mk.deliverUserMessage(g, m)
-		})
-		k.native.PostMessage(envelope{Kind: "user", Data: data, EvID: ev.ID})
-		return
-	}
-	if k.g.IsWorkerScope() {
-		ctx := k.callCtx("postMessage", "")
-		wid := k.workerID()
-		ctx.WorkerID = wid
-		if v := k.shared.evaluate(ctx); v.Action == ActionDrop {
-			// Policy (CVE-2010-4576): no messages into a torn-down document.
-			return
-		}
-		if k.shared.userTerminatedWorker(wid) {
-			// User space terminated this worker; the kernel keeps the
-			// thread alive but silences its outbound traffic.
-			return
-		}
-		mk := k.shared.byThread[b.Main().ID()]
-		if mk == nil {
-			k.native.PostMessage(data)
-			return
-		}
-		stub := k.shared.workers[wid]
-		ev := mk.newEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
-			m, ok := args.(browser.MessageEvent)
-			if !ok {
-				return
-			}
-			if stub != nil {
-				stub.deliver(g, m)
-				return
-			}
-			mk.deliverUserMessage(g, m)
-		})
-		k.native.PostMessage(envelope{Kind: "user", Data: data, EvID: ev.ID, Wid: wid})
-		return
-	}
-	// Main-scope self post.
-	ev := k.newEvent("onmessage", k.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
-		m, ok := args.(browser.MessageEvent)
-		if !ok {
-			return
-		}
-		k.deliverUserMessage(g, m)
-	})
-	k.native.PostMessage(envelope{Kind: "user", Data: data, EvID: ev.ID})
-}
-
-// kSetOnMessage is the onmessage trap for the scope itself (worker `self`
-// or window): user handlers are stored in the kernel and invoked by the
-// dispatcher.
-func (k *Kernel) kSetOnMessage(cb func(*browser.Global, browser.MessageEvent)) {
-	k.userOnMessage = cb
-	if cb == nil || len(k.msgInbox) == 0 {
-		return
-	}
-	queued := k.msgInbox
-	k.msgInbox = nil
-	for _, m := range queued {
-		cb(k.g, m)
-	}
-}
-
-// deliverUserMessage hands a dispatched message to the user handler, or
-// parks it until one is installed.
-func (k *Kernel) deliverUserMessage(g *browser.Global, m browser.MessageEvent) {
-	if k.userOnMessage == nil {
-		k.msgInbox = append(k.msgInbox, m)
-		return
-	}
-	k.userOnMessage(g, m)
-}
-
-// onNativeMessage is the kernel's claim on the scope's real onmessage: it
-// unwraps the overlay, routes kernel-space traffic, and confirms the
-// pending event for user-space traffic.
-func (k *Kernel) onNativeMessage(g *browser.Global, m browser.MessageEvent) {
-	env, ok := m.Data.(envelope)
-	if !ok {
-		// Raw (non-kernel) traffic: deliver through a freshly registered
-		// event to keep ordering deterministic.
-		ev := k.newEvent("onmessage", k.nextMessagePred(), func(gg *browser.Global, args any) {
-			mm, ok := args.(browser.MessageEvent)
-			if !ok {
-				return
-			}
-			k.deliverUserMessage(gg, mm)
-		})
-		k.confirm(ev, m)
-		return
-	}
-	if env.Kind == "sys" {
-		k.handleSysMessage(env)
-		return
-	}
-	ev, found := k.queue.Lookup(env.EvID)
-	if !found {
-		return
-	}
-	k.confirm(ev, browser.MessageEvent{Data: env.Data, SourceWorker: env.Wid, Transfer: m.Transfer, Origin: m.Origin})
-}
-
-// handleSysMessage processes kernel-space traffic (§III-E2: the paper's
-// two kernel-space communication types are exchanging a clock and passing
-// the thread source; plus the Listing 4 fetch handshake).
-func (k *Kernel) handleSysMessage(env envelope) {
-	switch env.Op {
-	case "clockExchange":
-		// The parent kernel shares its logical time when the thread is
-		// created, so the child's clock starts aligned with the parent's
-		// deterministic schedule rather than at zero.
-		if at, ok := env.Data.(int64); ok {
-			k.clock.TickTo(sim.Time(at))
-		}
-	case "pendingChildFetch":
-		// The worker kernel announced an in-flight fetch; the main kernel
-		// acknowledges so terminate decisions see it (Listing 4).
-		k.shared.pendingFetch[env.Wid]++
-	case "childFetchDone":
-		if k.shared.pendingFetch[env.Wid] > 0 {
-			k.shared.pendingFetch[env.Wid]--
-		}
-		k.shared.maybeFinishDeferredTerminate(env.Wid)
-	}
-}
-
-// --- Fetch and network ---
-
-// fetchResult carries a completed fetch through event dispatch.
-type fetchResult struct {
-	resp *browser.Response
-	err  error
-}
-
-func (k *Kernel) kFetch(url string, opts browser.FetchOptions, cb func(*browser.Response, error)) browser.FetchID {
-	k.interpose()
-	ctx := k.callCtx("fetch", url)
-	wid := k.workerID()
-	ctx.WorkerID = wid
-	if v := k.shared.evaluate(ctx); v.Action == ActionDeny {
-		ev := k.newEvent("fetch", k.predict("fetch", 0), func(g *browser.Global, _ any) {
-			if cb != nil {
-				cb(nil, fmt.Errorf("%w: fetch %s", ErrPolicyDenied, url))
-			}
-		})
-		k.confirm(ev, nil)
-		return 0
-	}
-	ev := k.newEvent("fetch", k.predict("fetch", 0), func(g *browser.Global, args any) {
-		r, ok := args.(fetchResult)
-		if !ok {
-			return
-		}
-		if cb != nil {
-			cb(r.resp, r.err)
-		}
-	})
-	if wid != 0 {
-		// Kernel-space bookkeeping + the Listing 4 handshake to the main
-		// kernel, so a user-level terminate can be safely deferred.
-		k.sysToMain(envelope{Kind: "sys", Op: "pendingChildFetch", Wid: wid})
-	}
-	fid := k.native.Fetch(url, opts, func(resp *browser.Response, err error) {
-		if wid != 0 {
-			k.sysToMain(envelope{Kind: "sys", Op: "childFetchDone", Wid: wid})
-		}
-		k.confirm(ev, fetchResult{resp: resp, err: err})
-	})
-	return fid
-}
-
-func (k *Kernel) kAbortFetch(id browser.FetchID) {
-	// Abort passes through: the defense against CVE-2018-5092 lives in
-	// the terminate path (the worker is never natively terminated while a
-	// fetch is pending, so the abort is always clean).
-	k.native.AbortFetch(id)
-}
-
-// sysToMain sends a kernel-space message to the main thread's kernel. In
-// this single-process reproduction the channel is synchronous: the shared
-// kernel storage is updated directly, which is the same state the paper's
-// asynchronous handshake converges to.
-func (k *Kernel) sysToMain(env envelope) {
-	b := k.g.Browser()
-	mk := k.shared.byThread[b.Main().ID()]
-	if mk == nil {
-		return
-	}
-	mk.handleSysMessage(env)
-}
-
-func (k *Kernel) kXHR(url string) (string, error) {
-	ctx := k.callCtx("xhr", url)
-	if v := k.shared.evaluate(ctx); v.Action == ActionDeny {
-		return "", fmt.Errorf("%w: cross-origin XHR from worker to %s", ErrPolicyDenied, url)
-	}
-	return k.native.XHR(url)
-}
-
-func (k *Kernel) kImportScripts(url string) error {
-	ctx := k.callCtx("importScripts", url)
-	v := k.shared.evaluate(ctx)
-	if v.Action == ActionSanitize || v.Action == ActionDeny {
-		// The kernel resolves the load itself: cross-origin failures are
-		// reported with a kernel-synthesized message that carries no
-		// cross-origin detail (CVE-2015-7215 policy).
-		b := k.g.Browser()
-		if _, err := b.Net.Lookup(url); err != nil || ctx.CrossOrigin {
-			return fmt.Errorf("%w: importScripts", ErrSanitized)
-		}
-	}
-	return k.native.ImportScripts(url)
-}
-
-func (k *Kernel) kIndexedDBOpen(name string) (*browser.IDBStore, error) {
-	ctx := k.callCtx("indexedDB.open", "")
-	if v := k.shared.evaluate(ctx); v.Action == ActionDeny {
-		return nil, fmt.Errorf("%w: IndexedDB in private browsing", ErrPolicyDenied)
-	}
-	return k.native.IndexedDBOpen(name)
-}
-
-func (k *Kernel) kWorkerLocation() string {
-	ctx := k.callCtx("workerLocation", "")
-	b := k.g.Browser()
-	wid := k.workerID()
-	if stub, ok := k.shared.workers[wid]; ok {
-		if final, redirected := b.RedirectTarget(stub.src); redirected {
-			ctx.Redirected = !webnet.SameOrigin(final, b.Origin)
-		}
-	}
-	if v := k.shared.evaluate(ctx); v.Action == ActionSanitize && ctx.Redirected {
-		// Kernel-synthesized, origin-only location (CVE-2011-1190 policy).
-		if stub, ok := k.shared.workers[wid]; ok {
-			return b.Origin + "/" + stub.src
-		}
-		return b.Origin + "/"
-	}
-	return k.native.WorkerLocation()
-}
-
-// --- Resource loads (multi-callback confirmation, §III-D1) ---
-
-func (k *Kernel) kLoadScript(url string, onload func(*browser.Global), onerror func(*browser.Global)) {
-	ev := k.newEvent("script-load", k.predict("script-load", 0), func(g *browser.Global, args any) {
-		outcome, ok := args.(string)
-		if !ok {
-			return
-		}
-		// Confirmation selected which callback survives; the other was
-		// deleted from the callback list.
-		switch outcome {
-		case "load":
-			if onload != nil {
-				onload(g)
-			}
-		case "error":
-			if onerror != nil {
-				onerror(g)
-			}
-		}
-	})
-	k.native.LoadScript(url,
-		func(*browser.Global) { k.confirm(ev, "load") },
-		func(*browser.Global) { k.confirm(ev, "error") },
-	)
-}
-
-// loadedImage carries the decoded element through dispatch.
-type loadedImage struct {
-	el *dom.Element
-}
-
-func (k *Kernel) kLoadImage(url string, onload func(*browser.Global, *dom.Element), onerror func(*browser.Global)) {
-	ev := k.newEvent("image-load", k.predict("image-load", 0), func(g *browser.Global, args any) {
-		switch v := args.(type) {
-		case loadedImage:
-			if onload != nil {
-				onload(g, v.el)
-			}
-		case string:
-			if v == "error" && onerror != nil {
-				onerror(g)
-			}
-		}
-	})
-	k.native.LoadImage(url,
-		func(_ *browser.Global, el *dom.Element) { k.confirm(ev, loadedImage{el: el}) },
-		func(*browser.Global) { k.confirm(ev, "error") },
-	)
-}
-
-// --- Frame-driven tick sources (CSS animation, video cues) ---
-
-// tickChain keeps one pending event armed ahead of a periodic native tick
-// source so every tick is registration-confirmed like any other event.
-type tickChain struct {
-	k         *Kernel
-	api       string
-	delta     sim.Duration
-	pred      sim.Time
-	ev        *Event
-	cancelled bool
-	cb        func(*browser.Global, int)
-	count     int
-}
-
-func (c *tickChain) arm() {
-	c.pred += c.delta
-	c.ev = c.k.newEvent(c.api, c.pred, func(g *browser.Global, _ any) {
-		if c.cancelled {
-			return
-		}
-		c.count++
-		cb := c.cb
-		if cb != nil {
-			cb(g, c.count)
-		}
-	})
-}
-
-// tick confirms the armed event and re-arms for the next native tick.
-func (c *tickChain) tick() {
-	if c.cancelled {
-		return
-	}
-	ev := c.ev
-	c.arm()
-	c.k.confirm(ev, nil)
-}
-
-func (c *tickChain) cancel() {
-	c.cancelled = true
-	c.k.cancelEvent(c.ev)
-}
-
-func (k *Kernel) kStartCSSAnimation(el *dom.Element, cb func(*browser.Global, int)) int {
-	if cb == nil {
-		return 0
-	}
-	if k.animChains == nil {
-		k.animChains = make(map[int]*tickChain)
-	}
-	chain := &tickChain{
-		k:     k,
-		api:   "animation",
-		delta: k.shared.policy.PredictDelay("animation", 0),
-		pred:  k.clock.Now(),
-		cb:    cb,
-	}
-	chain.arm()
-	id := k.native.StartCSSAnimation(el, func(*browser.Global, int) { chain.tick() })
-	k.animChains[id] = chain
-	return id
-}
-
-func (k *Kernel) kStopCSSAnimation(id int) {
-	if chain, ok := k.animChains[id]; ok {
-		chain.cancel()
-		delete(k.animChains, id)
-	}
-	k.native.StopCSSAnimation(id)
-}
-
-func (k *Kernel) kPlayVideo(cueCb func(*browser.Global, int)) (stop func()) {
-	if cueCb == nil {
-		return func() {}
-	}
-	chain := &tickChain{
-		k:     k,
-		api:   "cue",
-		delta: k.shared.policy.PredictDelay("cue", 0),
-		pred:  k.clock.Now(),
-		cb:    cueCb,
-	}
-	chain.arm()
-	nativeStop := k.native.PlayVideo(func(*browser.Global, int) { chain.tick() })
-	return func() {
-		chain.cancel()
-		nativeStop()
-	}
-}
-
-// --- Shared buffers ---
-
-// bufAccessSpacing is the serialization interval the kernel enforces
-// between cross-thread shared-buffer accesses under ActionSerialize; it
-// exceeds the race detector's window by half.
-const bufAccessSpacing = 150 * sim.Microsecond
-
-// serializeBufAccess spaces this access after the previous one from any
-// thread, routing all accesses through the kernel's single logical queue
-// (§III-E2) and eliminating the race of CVE-2014-3194.
-func (k *Kernel) serializeBufAccess() {
-	now := k.g.Thread().Now()
-	earliest := k.shared.lastBufAccess + bufAccessSpacing
-	if now < earliest {
-		k.g.Busy(earliest - now)
-		now = earliest
-	}
-	k.shared.lastBufAccess = now
-}
-
-func (k *Kernel) kSharedBufferRead(buf *browser.SharedBuffer, idx int) (int64, error) {
-	ctx := k.callCtx("sharedBuffer.read", "")
-	switch v := k.shared.evaluate(ctx); v.Action {
-	case ActionDeny, ActionDrop:
-		// The hardening stance real browsers took post-Spectre: shared
-		// memory is unavailable to scripts.
-		return 0, fmt.Errorf("%w: SharedArrayBuffer access", ErrPolicyDenied)
-	case ActionSerialize:
-		k.serializeBufAccess()
-	}
-	return k.native.SharedBufferRead(buf, idx)
-}
-
-func (k *Kernel) kSharedBufferWrite(buf *browser.SharedBuffer, idx int, val int64) error {
-	ctx := k.callCtx("sharedBuffer.write", "")
-	switch v := k.shared.evaluate(ctx); v.Action {
-	case ActionDeny, ActionDrop:
-		return fmt.Errorf("%w: SharedArrayBuffer access", ErrPolicyDenied)
-	case ActionSerialize:
-		k.serializeBufAccess()
-	}
-	return k.native.SharedBufferWrite(buf, idx, val)
-}
-
-func (k *Kernel) kTransferToParent(data any, buf *browser.SharedBuffer) error {
-	wid := k.workerID()
-	if wid != 0 && buf != nil {
-		k.shared.transferred[wid] = true
-	}
-	b := k.g.Browser()
-	mk := k.shared.byThread[b.Main().ID()]
-	stub := k.shared.workers[wid]
-	if mk == nil {
-		return k.native.TransferToParent(data, buf)
-	}
-	ev := mk.newEvent("onmessage", mk.nextInboundPred(k.nextOutgoingPred()), func(g *browser.Global, args any) {
-		m, ok := args.(browser.MessageEvent)
-		if !ok {
-			return
-		}
-		if stub != nil {
-			stub.deliver(g, m)
-			return
-		}
-		mk.deliverUserMessage(g, m)
-	})
-	return k.native.TransferToParent(envelope{Kind: "user", Data: data, EvID: ev.ID, Wid: wid}, buf)
-}
-
-// workerID returns the worker ID of this scope, or 0 for the main thread.
-func (k *Kernel) workerID() int {
-	if !k.g.IsWorkerScope() {
-		return 0
-	}
-	for wid, stub := range k.shared.workers {
-		if stub.native.Thread().ID() == k.g.Thread().ID() {
-			return wid
-		}
-	}
-	return 0
+	k.shared.env.tracer.CountInterpose(interposeCost)
 }

@@ -1,0 +1,17 @@
+package sim
+
+// DeriveSeed maps a base seed and a cell index to an independent child
+// seed via the splitmix64 finalizer. Experiment drivers use it to give
+// every (attack, defense, rep) cell its own seed as a pure function of
+// (Config.Seed, cell index): no shared counter, so a cell's environment
+// — and therefore its result — is identical whether the matrix runs
+// serially or fanned out across a worker pool, and neighbouring cells
+// never reuse each other's random streams.
+func DeriveSeed(base, index int64) int64 {
+	// Advance the splitmix64 state index+1 times so even (0, 0) lands on
+	// a mixed, non-identity output.
+	z := uint64(base) + (uint64(index)+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

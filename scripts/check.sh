@@ -30,8 +30,11 @@ go vet ./... || fail "go vet"
 stage "jsk-lint ./internal/... ./cmd/..."
 go run ./cmd/jsk-lint ./internal/... ./cmd/... || fail "jsk-lint"
 
+# The race stage gets an explicit timeout: the expr suite runs full
+# Table I matrices three times over for the parallel-determinism guard,
+# which on a small CI box does not fit go test's default 10m budget.
 stage "go test -race ./..."
-go test -race ./... || fail "go test -race"
+go test -race -timeout 30m ./... || fail "go test -race"
 
 # Golden traces run as part of the suite above, but re-run here without
 # -race so byte-level determinism is checked in the exact configuration
