@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check chaos bench-parallel clean
+.PHONY: all build test race vet lint check chaos bench-parallel bench-obs clean
 
 all: build
 
@@ -37,6 +37,12 @@ chaos:
 # CPU count — expect speedup ~1.0 on single-CPU machines).
 bench-parallel:
 	$(GO) run ./cmd/jsk-bench -out BENCH_parallel.json
+
+# bench-obs times Dromaeo with streaming telemetry off vs fully on
+# (trace session + obs events + profiler + detectors), checks the
+# results are byte-identical either way, and writes BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/jsk-bench -obs -out BENCH_obs.json
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 	"jskernel/internal/defense"
 	"jskernel/internal/expr"
 	"jskernel/internal/kernel"
+	"jskernel/internal/obs"
 	"jskernel/internal/policy"
 	"jskernel/internal/sim"
 	"jskernel/internal/trace"
@@ -208,6 +209,75 @@ func TestTraceNilSinkOverhead(t *testing.T) {
 	t.Logf("dromaeo: tracing off %v, tracing on %v", off, on)
 	if off > 3*on+10*time.Millisecond {
 		t.Fatalf("nil-sink path (%v) grossly slower than traced path (%v): the off state is doing real work", off, on)
+	}
+}
+
+// BenchmarkDromaeoJSKernelObs is the traced benchmark with the
+// browser's observability events on and the streaming profiler and
+// detectors attached — the full telemetry tax (BENCH_obs.json records a
+// sample via jsk-bench -obs).
+func BenchmarkDromaeoJSKernelObs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := trace.NewSession()
+		s.SetRetain(false)
+		s.Attach(obs.NewProfiler())
+		s.Attach(obs.NewDetectors(obs.DefaultDetectorConfig()))
+		d := defense.JSKernel("chrome").WithTracer(s).WithObs(true)
+		if _, err := workload.RunDromaeo(d, 1); err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() == 0 {
+			b.Fatal("obs run emitted no records")
+		}
+	}
+}
+
+// TestObsOffOverhead checks the observability-off fast path the same
+// way TestTraceNilSinkOverhead checks tracing-off: a traced environment
+// with obs disabled must do nothing at each browser emission site
+// beyond the existing bool check, so it can never be slower than the
+// obs-on run, which performs a strict superset of the work (emitting
+// the extra native events plus running the streaming consumers). The
+// generous 3x-plus-slack bound only catches the off state doing real
+// per-event work.
+func TestObsOffOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison in -short mode")
+	}
+	runOnce := func(d defense.Defense) time.Duration {
+		start := time.Now()
+		if _, err := workload.RunDromaeo(d, 1); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	traced := func(withObs bool) defense.Defense {
+		s := trace.NewSession()
+		s.SetRetain(false)
+		d := defense.JSKernel("chrome").WithTracer(s)
+		if withObs {
+			s.Attach(obs.NewProfiler())
+			s.Attach(obs.NewDetectors(obs.DefaultDetectorConfig()))
+			d = d.WithObs(true)
+		}
+		return d
+	}
+	runOnce(traced(true))
+	best := func(withObs bool) time.Duration {
+		b := time.Duration(1<<62 - 1)
+		for i := 0; i < 3; i++ {
+			if v := runOnce(traced(withObs)); v < b {
+				b = v
+			}
+		}
+		return b
+	}
+	off := best(false) // obs disabled: the bool-check fast path
+	on := best(true)
+	t.Logf("dromaeo traced: obs off %v, obs on %v", off, on)
+	if off > 3*on+10*time.Millisecond {
+		t.Fatalf("obs-off path (%v) grossly slower than obs-on path (%v): the off state is doing real work", off, on)
 	}
 }
 

@@ -3,11 +3,17 @@
 // worker pool, checks the two outputs are byte-identical, and writes
 // the timings to a JSON report.
 //
+// With -obs it instead measures the streaming observability tax: the
+// Dromaeo suite with telemetry off versus fully on (trace session,
+// browser observability events, profiler and detectors attached),
+// checking the rendered results are byte-identical either way.
+//
 // Usage:
 //
 //	jsk-bench                      # quick-scale Table I, pool width = 8
 //	jsk-bench -parallel 4 -reps 10
 //	jsk-bench -out BENCH_parallel.json
+//	jsk-bench -obs                 # Dromaeo obs-on vs obs-off -> BENCH_obs.json
 //
 // The report records the machine's CPU count: on a single-CPU host the
 // pool cannot beat the serial loop (speedup ≈ 1.0 minus scheduling
@@ -26,6 +32,8 @@ import (
 	"time"
 
 	"jskernel/internal/expr"
+	"jskernel/internal/obs"
+	"jskernel/internal/trace"
 )
 
 // Report is the JSON schema of the benchmark output.
@@ -61,7 +69,8 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", 8, "worker-pool width for the parallel run")
 		reps     = fs.Int("reps", 0, "override the repetition budget")
 		paper    = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
-		out      = fs.String("out", "BENCH_parallel.json", "report output path")
+		obsMode  = fs.Bool("obs", false, "measure the observability tax instead: Dromaeo with telemetry off vs fully on")
+		out      = fs.String("out", "", "report output path (default BENCH_parallel.json, or BENCH_obs.json with -obs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +82,16 @@ func run(args []string) error {
 	}
 	if *reps > 0 {
 		cfg.Reps = *reps
+	}
+	if *out == "" {
+		if *obsMode {
+			*out = "BENCH_obs.json"
+		} else {
+			*out = "BENCH_parallel.json"
+		}
+	}
+	if *obsMode {
+		return runObs(cfg, *out)
 	}
 
 	render := func(width int) ([]byte, time.Duration, error) {
@@ -128,6 +147,111 @@ func run(args []string) error {
 		rep.SerialMs, rep.ParallelWidth, rep.ParallelMs, rep.Speedup, rep.CPUs, rep.Identical, *out)
 	if !rep.Identical {
 		return fmt.Errorf("parallel output diverged from serial — determinism contract broken")
+	}
+	return nil
+}
+
+// ObsReport is the JSON schema of the -obs benchmark output.
+type ObsReport struct {
+	Experiment string `json:"experiment"`
+	Seed       int64  `json:"seed"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// OffMs runs Dromaeo with no telemetry; OnMs runs it with a trace
+	// session, browser observability events, profiler and detectors.
+	OffMs float64 `json:"obs_off_ms"`
+	OnMs  float64 `json:"obs_on_ms"`
+	// OverheadPct is (on - off) / off.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Records is the number of trace records the obs-on run streamed.
+	Records int `json:"records_streamed"`
+	// Identical reports that the rendered Dromaeo results were
+	// byte-identical with telemetry on and off — observability must
+	// never perturb an experiment.
+	Identical bool `json:"outputs_byte_identical"`
+}
+
+// runObs times Dromaeo with telemetry off and fully on, best of three
+// runs per side, and checks result byte-identity.
+func runObs(cfg expr.Config, out string) error {
+	render := func(obsOn bool) ([]byte, int, time.Duration, error) {
+		best := time.Duration(1<<62 - 1)
+		var outBytes []byte
+		var records int
+		for i := 0; i < 3; i++ {
+			c := cfg
+			if obsOn {
+				s := trace.NewSession()
+				s.SetRetain(false)
+				s.Attach(obs.NewProfiler())
+				s.Attach(obs.NewDetectors(obs.DefaultDetectorConfig()))
+				c.Trace = s
+				c.Obs = true
+			}
+			start := time.Now()
+			rep, err := expr.Dromaeo(c)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			var buf bytes.Buffer
+			if err := rep.Table.Render(&buf); err != nil {
+				return nil, 0, 0, err
+			}
+			outBytes = buf.Bytes()
+			if obsOn {
+				c.Trace.Close()
+				records = c.Trace.Len()
+			}
+			if elapsed < best {
+				best = elapsed
+			}
+		}
+		return outBytes, records, best, nil
+	}
+
+	// One untimed pass warms allocators and caches so the first timed
+	// side is not unfairly cold.
+	if _, err := expr.Dromaeo(cfg); err != nil {
+		return fmt.Errorf("warmup run: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "jsk-bench: Dromaeo with telemetry off...")
+	offOut, _, offDur, err := render(false)
+	if err != nil {
+		return fmt.Errorf("obs-off run: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "jsk-bench: Dromaeo with telemetry on...")
+	onOut, records, onDur, err := render(true)
+	if err != nil {
+		return fmt.Errorf("obs-on run: %w", err)
+	}
+
+	rep := ObsReport{
+		Experiment: "dromaeo",
+		Seed:       cfg.Seed,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		OffMs:      float64(offDur.Microseconds()) / 1000,
+		OnMs:       float64(onDur.Microseconds()) / 1000,
+		Records:    records,
+		Identical:  bytes.Equal(offOut, onOut),
+	}
+	if rep.OffMs > 0 {
+		rep.OverheadPct = (rep.OnMs - rep.OffMs) / rep.OffMs * 100
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("obs off %.1f ms, obs on %.1f ms (%+.1f%%, %d records streamed); outputs identical: %v -> %s\n",
+		rep.OffMs, rep.OnMs, rep.OverheadPct, rep.Records, rep.Identical, out)
+	if !rep.Identical {
+		return fmt.Errorf("telemetry changed the Dromaeo results — observability must never perturb execution")
 	}
 	return nil
 }

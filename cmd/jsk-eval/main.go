@@ -8,16 +8,26 @@
 //	jsk-eval -table 1             # one artifact
 //	jsk-eval -fig 3 -csv          # figure data as CSV-ish rows
 //	jsk-eval -all -parallel 8     # same bytes, 8 experiment workers
+//
+// Observability (all outputs byte-identical across reruns and widths):
+//
+//	jsk-eval -table 1 -profile out.folded   # virtual-time flamegraph
+//	jsk-eval -table 1 -obs-report out/      # profiler + forensics + metrics
+//	jsk-eval -table 1 -metrics out.json     # kernel metrics registry
+//	jsk-eval -forensics out.json            # forensic re-judgement of Table I
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"jskernel/internal/expr"
+	"jskernel/internal/obs"
 	"jskernel/internal/report"
 	"jskernel/internal/trace"
 )
@@ -50,6 +60,10 @@ func run(w io.Writer, args []string) error {
 		markdown  = fs.Bool("markdown", false, "emit tables as GitHub-flavored markdown")
 		traceOut  = fs.String("trace", "", "record a kernel lifecycle trace of the run to this file (Chrome trace-event JSON, Perfetto-loadable)")
 		traceText = fs.Bool("trace-text", false, "with -trace, also write the compact text rendering next to the JSON (<out>.txt)")
+		profOut   = fs.String("profile", "", "write a collapsed-stack virtual-time flamegraph of the run to this file and print the profile tree")
+		obsDir    = fs.String("obs-report", "", "write the streaming telemetry report (report.json + summary.txt) to this directory")
+		metrOut   = fs.String("metrics", "", "write the kernel metrics registry of the run to this file as JSON")
+		forOut    = fs.String("forensics", "", "re-judge the Table I matrix from the event stream alone and write the forensic findings to this file as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,11 +80,53 @@ func run(w io.Writer, args []string) error {
 		cfg.Reps = *reps
 	}
 	cfg.Parallel = *parallel
-	if *traceOut != "" {
+
+	// Any observability output needs a trace session on the experiments.
+	// The session only retains records when the full trace is being
+	// exported; the streaming consumers (profiler, detectors, validator,
+	// metrics) attach as sinks and never need the buffer.
+	if *traceOut != "" || *profOut != "" || *obsDir != "" || *metrOut != "" {
 		cfg.Trace = trace.NewSession()
+		if *traceOut == "" {
+			cfg.Trace.SetRetain(false)
+		}
+	}
+	var prof *obs.Profiler
+	var det *obs.Detectors
+	var sv *trace.StreamValidator
+	if *profOut != "" || *obsDir != "" {
+		cfg.Obs = true
+		prof = obs.NewProfiler()
+		cfg.Trace.Attach(prof)
+	}
+	if *obsDir != "" {
+		det = obs.NewDetectors(obs.DefaultDetectorConfig())
+		sv = trace.NewStreamValidator(false)
+		cfg.Trace.Attach(det)
+		cfg.Trace.Attach(sv)
+	}
+	if cfg.Trace != nil {
 		defer func() {
-			if err := writeTrace(w, cfg.Trace, *traceOut, *traceText); err != nil {
-				fmt.Fprintln(os.Stderr, "jsk-eval: trace:", err)
+			cfg.Trace.Close()
+			if *traceOut != "" {
+				if err := writeTrace(w, cfg.Trace, *traceOut, *traceText); err != nil {
+					fmt.Fprintln(os.Stderr, "jsk-eval: trace:", err)
+				}
+			}
+			if *profOut != "" {
+				if err := writeProfile(w, prof, *profOut); err != nil {
+					fmt.Fprintln(os.Stderr, "jsk-eval: profile:", err)
+				}
+			}
+			if *metrOut != "" {
+				if err := writeMetrics(w, cfg.Trace, *metrOut); err != nil {
+					fmt.Fprintln(os.Stderr, "jsk-eval: metrics:", err)
+				}
+			}
+			if *obsDir != "" {
+				if err := writeObsReport(w, cfg.Trace, prof, det, sv, *obsDir); err != nil {
+					fmt.Fprintln(os.Stderr, "jsk-eval: obs-report:", err)
+				}
 			}
 		}()
 	}
@@ -251,11 +307,109 @@ func run(w io.Writer, args []string) error {
 		}
 		fmt.Fprintf(w, "chaos: %d plans, every security verdict unchanged\n", len(res.Plans))
 	}
+	if *forOut != "" {
+		any = true
+		res, err := expr.ForensicsTable1(cfg)
+		if err != nil {
+			return fmt.Errorf("forensics: %w", err)
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return fmt.Errorf("forensics: %w", err)
+		}
+		if err := os.WriteFile(*forOut, append(b, '\n'), 0o644); err != nil {
+			return fmt.Errorf("forensics: %w", err)
+		}
+		fmt.Fprintf(w, "forensics: %d cells, %d flagged -> %s\n",
+			len(res.Cells), len(res.Findings()), *forOut)
+		if n := len(res.Mismatches); n > 0 {
+			for _, m := range res.Mismatches {
+				fmt.Fprintf(w, "forensic mismatch: %s\n", m)
+			}
+			return fmt.Errorf("forensics: %d cells disagree with the experiment verdicts", n)
+		}
+	}
 	if !any {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -all, -table N, -fig N, -chaos, or an experiment flag")
 	}
 	return nil
+}
+
+// writeProfile writes the collapsed-stack flamegraph and prints the
+// profile tree.
+func writeProfile(w io.Writer, p *obs.Profiler, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteFolded(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "profile: flamegraph -> %s\n", out)
+	return p.WriteTree(w)
+}
+
+// writeMetrics dumps the session's metrics registry as JSON.
+func writeMetrics(w io.Writer, s *trace.Session, out string) error {
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := s.Metrics().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "metrics: registry -> %s\n", out)
+	return nil
+}
+
+// writeObsReport joins profiler, detectors, metrics and validation into
+// the telemetry report directory (report.json + summary.txt).
+func writeObsReport(w io.Writer, s *trace.Session, prof *obs.Profiler, det *obs.Detectors, sv *trace.StreamValidator, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rep, verr := sv.Finish()
+	in := obs.ReportInput{
+		Title:         "jsk-eval",
+		Profiler:      prof,
+		Signatures:    det.Finish(),
+		Metrics:       s.Metrics(),
+		Validation:    rep,
+		ValidationErr: verr,
+	}
+	jf, err := os.Create(filepath.Join(dir, "report.json"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteReportJSON(jf, in); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteReportSummary(sf, in); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "obs-report: report.json + summary.txt -> %s\n", dir)
+	return obs.WriteReportSummary(w, in)
 }
 
 // writeTrace closes the session, validates it against the kernel

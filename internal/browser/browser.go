@@ -20,6 +20,12 @@ type Options struct {
 	Net         *webnet.Net
 	PrivateMode bool
 	Tracer      Tracer
+	// ObsEvents enables the observability trace kinds (timer-fired,
+	// clock-read, message-callback, frame-tick, load-done) emitted from
+	// the public binding delegates. Off by default: each site then costs
+	// exactly one boolean check, and emission itself never perturbs
+	// simulated time, so runs are identical either way.
+	ObsEvents bool
 	// InstallScope, when set, is invoked for every newly created global
 	// (main window and each worker scope) before user code runs. Defenses
 	// use it to interpose on the bindings table; it corresponds to the
@@ -41,7 +47,11 @@ type Browser struct {
 
 	visited      map[string]bool // link history for sniffing attacks
 	tracer       Tracer
+	obsEvents    bool
 	installScope func(g *Global)
+	// nextScopeToken allocates the per-global observability token; the
+	// main window always takes token 1 (New creates it first).
+	nextScopeToken int64
 
 	threads    []*Thread
 	main       *Thread
@@ -111,6 +121,7 @@ func New(s *sim.Simulator, opts Options) *Browser {
 		PrivateMode:   opts.PrivateMode,
 		visited:       make(map[string]bool),
 		tracer:        opts.Tracer,
+		obsEvents:     opts.ObsEvents,
 		installScope:  opts.InstallScope,
 		workerScripts: make(map[string]Script),
 		idb:           newIndexedDB(),
@@ -197,6 +208,8 @@ func (b *Browser) newThread(name string, isMain bool) *Thread {
 		isMain: isMain,
 	}
 	g := &Global{browser: b, thread: t}
+	b.nextScopeToken++
+	g.token = b.nextScopeToken
 	if isMain {
 		g.document = dom.NewDocument()
 	}
@@ -216,6 +229,8 @@ func (b *Browser) newThread(name string, isMain bool) *Thread {
 // bindings.
 func (b *Browser) NewScopeOnThread(t *Thread) *Global {
 	g := &Global{browser: b, thread: t}
+	b.nextScopeToken++
+	g.token = b.nextScopeToken
 	g.bindings = nativeBindings(g)
 	return g
 }

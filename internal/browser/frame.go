@@ -158,6 +158,8 @@ func (g *Global) nativeCreateFrame(origin string) (Frame, error) {
 		document: dom.NewDocument(),
 		frame:    st,
 	}
+	b.nextScopeToken++
+	scope.token = b.nextScopeToken
 	scope.bindings = nativeBindings(scope)
 	st.scope = scope
 	if b.installScope != nil {

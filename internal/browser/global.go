@@ -3,6 +3,7 @@ package browser
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"jskernel/internal/dom"
 	"jskernel/internal/sim"
@@ -87,6 +88,12 @@ type Global struct {
 	bindings *Bindings
 	frozen   bool
 
+	// token is the browser-unique observability identity of this global
+	// (main window = 1). Obs events carry the registering scope's token
+	// so the forensics layer can tell whose callback fired even though
+	// dispatched tasks always receive the thread's global.
+	token int64
+
 	timers      map[int]*timer
 	nextTimerID int
 
@@ -135,6 +142,9 @@ func (g *Global) Frozen() bool { return g.frozen }
 
 // SetTimeout schedules cb after at least d of virtual time.
 func (g *Global) SetTimeout(cb func(*Global), d sim.Duration) int {
+	if g.browser.obsEvents {
+		cb = g.obsTimerCB(cb, d, "")
+	}
 	return g.bindings.SetTimeout(cb, d)
 }
 
@@ -143,6 +153,9 @@ func (g *Global) ClearTimeout(id int) { g.bindings.ClearTimeout(id) }
 
 // SetInterval schedules cb repeatedly every d.
 func (g *Global) SetInterval(cb func(*Global), d sim.Duration) int {
+	if g.browser.obsEvents {
+		cb = g.obsTimerCB(cb, d, "interval")
+	}
 	return g.bindings.SetInterval(cb, d)
 }
 
@@ -150,13 +163,41 @@ func (g *Global) SetInterval(cb func(*Global), d sim.Duration) int {
 func (g *Global) ClearInterval(id int) { g.bindings.ClearInterval(id) }
 
 // PerformanceNow returns the high-resolution clock in milliseconds.
-func (g *Global) PerformanceNow() float64 { return g.bindings.PerformanceNow() }
+func (g *Global) PerformanceNow() float64 {
+	v := g.bindings.PerformanceNow()
+	if g.browser.obsEvents {
+		g.browser.trace(TraceEvent{
+			Kind:     TraceClockRead,
+			At:       g.thread.Now(),
+			ThreadID: g.thread.id,
+			Value:    g.token,
+			Aux:      int64(math.Float64bits(v)),
+		})
+	}
+	return v
+}
 
 // DateNow returns the wall clock in whole milliseconds.
-func (g *Global) DateNow() int64 { return g.bindings.DateNow() }
+func (g *Global) DateNow() int64 {
+	v := g.bindings.DateNow()
+	if g.browser.obsEvents {
+		g.browser.trace(TraceEvent{
+			Kind:     TraceClockRead,
+			At:       g.thread.Now(),
+			ThreadID: g.thread.id,
+			Detail:   "date",
+			Value:    g.token,
+			Aux:      v,
+		})
+	}
+	return v
+}
 
 // RequestAnimationFrame schedules cb at the next frame boundary.
 func (g *Global) RequestAnimationFrame(cb func(*Global, float64)) int {
+	if g.browser.obsEvents {
+		cb = g.obsRAFCB(cb)
+	}
 	return g.bindings.RequestAnimationFrame(cb)
 }
 
@@ -164,7 +205,13 @@ func (g *Global) RequestAnimationFrame(cb func(*Global, float64)) int {
 func (g *Global) CancelAnimationFrame(id int) { g.bindings.CancelAnimationFrame(id) }
 
 // NewWorker spawns a web worker from a registered script or URL.
-func (g *Global) NewWorker(src string) (Worker, error) { return g.bindings.NewWorker(src) }
+func (g *Global) NewWorker(src string) (Worker, error) {
+	w, err := g.bindings.NewWorker(src)
+	if g.browser.obsEvents && w != nil && err == nil {
+		w = &obsWorker{Worker: w, g: g}
+	}
+	return w, err
+}
 
 // PostMessage sends data from a worker scope to its parent. On the main
 // thread it is a self-post (window.postMessage to itself).
@@ -172,10 +219,18 @@ func (g *Global) PostMessage(data any) { g.bindings.PostMessage(data) }
 
 // SetOnMessage installs this scope's message handler. This is the paper's
 // canonical kernel-trap site (the onmessage setter).
-func (g *Global) SetOnMessage(cb func(*Global, MessageEvent)) { g.bindings.SetOnMessage(cb) }
+func (g *Global) SetOnMessage(cb func(*Global, MessageEvent)) {
+	if g.browser.obsEvents {
+		cb = g.obsMessageCB(cb)
+	}
+	g.bindings.SetOnMessage(cb)
+}
 
 // Fetch starts a network request and invokes cb on completion or error.
 func (g *Global) Fetch(url string, opts FetchOptions, cb func(*Response, error)) FetchID {
+	if g.browser.obsEvents {
+		cb = g.obsFetchCB(cb, url)
+	}
 	return g.bindings.Fetch(url, opts, cb)
 }
 

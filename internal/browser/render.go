@@ -225,16 +225,27 @@ func (g *Global) nativePlayVideo(cueCb func(*Global, int)) (stop func()) {
 
 // LoadScript loads a URL as a <script> element through the bindings table.
 func (g *Global) LoadScript(url string, onload func(*Global), onerror func(*Global)) {
+	if g.browser.obsEvents {
+		onload = g.obsLoadCB(onload, url, "script")
+		onerror = g.obsLoadCB(onerror, url, "script-error")
+	}
 	g.bindings.LoadScript(url, onload, onerror)
 }
 
 // LoadImage loads a URL as an <img> through the bindings table.
 func (g *Global) LoadImage(url string, onload func(*Global, *dom.Element), onerror func(*Global)) {
+	if g.browser.obsEvents {
+		onload = g.obsImageCB(onload, url)
+		onerror = g.obsLoadCB(onerror, url, "image-error")
+	}
 	g.bindings.LoadImage(url, onload, onerror)
 }
 
 // StartCSSAnimation begins a per-frame animation through the bindings table.
 func (g *Global) StartCSSAnimation(el *dom.Element, cb func(*Global, int)) int {
+	if g.browser.obsEvents {
+		cb = g.obsFrameCB(cb, "animation")
+	}
 	return g.bindings.StartCSSAnimation(el, cb)
 }
 
@@ -243,6 +254,9 @@ func (g *Global) StopCSSAnimation(id int) { g.bindings.StopCSSAnimation(id) }
 
 // PlayVideo starts WebVTT cue playback through the bindings table.
 func (g *Global) PlayVideo(cueCb func(*Global, int)) (stop func()) {
+	if g.browser.obsEvents {
+		cueCb = g.obsFrameCB(cueCb, "cue")
+	}
 	return g.bindings.PlayVideo(cueCb)
 }
 

@@ -31,36 +31,90 @@ const (
 	TraceSharedBufferOp
 	TraceFetchRetry
 	TraceFaultInjected
+	// Observability kinds: emitted only when Options.ObsEvents is set.
+	// They mark user-callback entries and clock readings — the raw
+	// material the forensics layer (internal/obs) reconstructs
+	// measurement harnesses from. Emission never advances simulated
+	// time, so execution is identical with obs on or off.
+	TraceTimerFired
+	TraceClockRead
+	TraceMessageCallback
+	TraceFrameTick
+	TraceLoadDone
 )
+
+// traceKindNames names each kind; KindByName inverts it. Both maps are
+// package-level literals so lookups never range over a map.
+var traceKindNames = map[TraceKind]string{
+	TraceWorkerCreated:    "worker-created",
+	TraceWorkerReady:      "worker-ready",
+	TraceWorkerTerminated: "worker-terminated",
+	TraceWorkerError:      "worker-error",
+	TracePostMessage:      "post-message",
+	TraceOnMessageSet:     "onmessage-set",
+	TraceMessageDelivered: "message-delivered",
+	TraceFetchStart:       "fetch-start",
+	TraceFetchDone:        "fetch-done",
+	TraceFetchAbort:       "fetch-abort",
+	TraceXHR:              "xhr",
+	TraceImportScripts:    "import-scripts",
+	TraceTransferable:     "transferable",
+	TraceIndexedDBOpen:    "indexeddb-open",
+	TraceIndexedDBPut:     "indexeddb-put",
+	TraceDocumentTeardown: "document-teardown",
+	TraceNavigationError:  "navigation-error",
+	TraceSharedBufferOp:   "shared-buffer-op",
+	TraceFetchRetry:       "fetch-retry",
+	TraceFaultInjected:    "fault-injected",
+	TraceTimerFired:       "timer-fired",
+	TraceClockRead:        "clock-read",
+	TraceMessageCallback:  "message-callback",
+	TraceFrameTick:        "frame-tick",
+	TraceLoadDone:         "load-done",
+}
+
+var traceKindByName = map[string]TraceKind{
+	"worker-created":    TraceWorkerCreated,
+	"worker-ready":      TraceWorkerReady,
+	"worker-terminated": TraceWorkerTerminated,
+	"worker-error":      TraceWorkerError,
+	"post-message":      TracePostMessage,
+	"onmessage-set":     TraceOnMessageSet,
+	"message-delivered": TraceMessageDelivered,
+	"fetch-start":       TraceFetchStart,
+	"fetch-done":        TraceFetchDone,
+	"fetch-abort":       TraceFetchAbort,
+	"xhr":               TraceXHR,
+	"import-scripts":    TraceImportScripts,
+	"transferable":      TraceTransferable,
+	"indexeddb-open":    TraceIndexedDBOpen,
+	"indexeddb-put":     TraceIndexedDBPut,
+	"document-teardown": TraceDocumentTeardown,
+	"navigation-error":  TraceNavigationError,
+	"shared-buffer-op":  TraceSharedBufferOp,
+	"fetch-retry":       TraceFetchRetry,
+	"fault-injected":    TraceFaultInjected,
+	"timer-fired":       TraceTimerFired,
+	"clock-read":        TraceClockRead,
+	"message-callback":  TraceMessageCallback,
+	"frame-tick":        TraceFrameTick,
+	"load-done":         TraceLoadDone,
+}
 
 // String names the trace kind for diagnostics.
 func (k TraceKind) String() string {
-	names := map[TraceKind]string{
-		TraceWorkerCreated:    "worker-created",
-		TraceWorkerReady:      "worker-ready",
-		TraceWorkerTerminated: "worker-terminated",
-		TraceWorkerError:      "worker-error",
-		TracePostMessage:      "post-message",
-		TraceOnMessageSet:     "onmessage-set",
-		TraceMessageDelivered: "message-delivered",
-		TraceFetchStart:       "fetch-start",
-		TraceFetchDone:        "fetch-done",
-		TraceFetchAbort:       "fetch-abort",
-		TraceXHR:              "xhr",
-		TraceImportScripts:    "import-scripts",
-		TraceTransferable:     "transferable",
-		TraceIndexedDBOpen:    "indexeddb-open",
-		TraceIndexedDBPut:     "indexeddb-put",
-		TraceDocumentTeardown: "document-teardown",
-		TraceNavigationError:  "navigation-error",
-		TraceSharedBufferOp:   "shared-buffer-op",
-		TraceFetchRetry:       "fetch-retry",
-		TraceFaultInjected:    "fault-injected",
-	}
-	if s, ok := names[k]; ok {
+	if s, ok := traceKindNames[k]; ok {
 		return s
 	}
 	return "unknown"
+}
+
+// KindByName inverts String: it resolves a trace-kind name back to its
+// TraceKind. The obs layer uses it to reconstruct native events from
+// kernel-trace records bridged through OpNative.
+func KindByName(name string) (TraceKind, bool) {
+	k, ok := traceKindByName[name]
+	return k, ok
 }
 
 // TraceEvent is one native-layer occurrence.
@@ -71,7 +125,8 @@ type TraceEvent struct {
 	WorkerID int    // worker involved, when applicable (0 = none)
 	URL      string // resource involved, when applicable
 	Detail   string // free-form qualifier (e.g. "pending", "private-mode")
-	Value    int64  // numeric payload (e.g. fetch ID, buffer ID)
+	Value    int64  // numeric payload (e.g. fetch ID, buffer ID, scope token)
+	Aux      int64  // second payload (requested delay, clock-read bits, frame index)
 }
 
 // Tracer observes native-layer events. Implementations must not retain the

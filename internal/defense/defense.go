@@ -57,6 +57,12 @@ type Defense struct {
 	// internally, so the session rides on the defense the same way fault
 	// plans do.
 	Tracer *trace.Session
+	// Obs enables the browser's observability trace kinds (callback
+	// entries, clock reads) in every environment this defense builds.
+	// Only meaningful with a Tracer attached: the events travel the
+	// OpNative bridge into the session, where internal/obs consumers
+	// reconstruct measurement harnesses and attack signatures from them.
+	Obs bool
 }
 
 // WithFaults returns a copy of the defense that builds every
@@ -70,6 +76,13 @@ func (d Defense) WithFaults(p *fault.Plan) Defense {
 // given trace session (nil clears it).
 func (d Defense) WithTracer(t *trace.Session) Defense {
 	d.Tracer = t
+	return d
+}
+
+// WithObs returns a copy of the defense with observability events
+// enabled or disabled.
+func (d Defense) WithObs(obs bool) Defense {
+	d.Obs = obs
 	return d
 }
 
@@ -93,6 +106,8 @@ func (tb traceBridge) Trace(ev browser.TraceEvent) {
 		API:      ev.Kind.String(),
 		Reason:   ev.Detail,
 		URL:      ev.URL,
+		Value:    ev.Value,
+		Aux:      ev.Aux,
 	})
 }
 
@@ -154,6 +169,7 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		Net:         net,
 		PrivateMode: opts.PrivateMode,
 		Tracer:      reg,
+		ObsEvents:   d.Obs && d.Tracer != nil,
 	}
 	var shared *kernel.Shared
 	switch d.Kind {

@@ -1,7 +1,6 @@
 package expr
 
 import (
-	"jskernel/internal/defense"
 	"jskernel/internal/expr/runner"
 	"jskernel/internal/sim"
 	"jskernel/internal/trace"
@@ -60,13 +59,4 @@ func runCells[T any](cfg Config, n int, fn func(i int, seed int64, tr *trace.Ses
 		}
 	}
 	return vals, nil
-}
-
-// tracedWith attaches a cell's private trace session to a defense; a
-// nil session (tracing off) leaves the defense untouched.
-func tracedWith(d defense.Defense, tr *trace.Session) defense.Defense {
-	if tr == nil {
-		return d
-	}
-	return d.WithTracer(tr)
 }

@@ -42,14 +42,16 @@ type Config struct {
 	// runs can be inspected end-to-end and validated against the kernel
 	// lifecycle invariants. Nil (the default) keeps tracing off.
 	Trace *trace.Session
+	// Obs additionally enables the browser's observability trace kinds
+	// in every traced environment, feeding the internal/obs consumers
+	// (profiler, forensics detectors). Only meaningful with Trace set;
+	// obs events never perturb execution, so results are unchanged.
+	Obs bool
 }
 
 // traced wires the config's trace session onto one defense.
 func (c Config) traced(d defense.Defense) defense.Defense {
-	if c.Trace == nil {
-		return d
-	}
-	return d.WithTracer(c.Trace)
+	return c.tracedWith(d, c.Trace)
 }
 
 // tracedAll wires the config's trace session onto a defense list.
@@ -59,9 +61,23 @@ func (c Config) tracedAll(ds []defense.Defense) []defense.Defense {
 	}
 	out := make([]defense.Defense, len(ds))
 	for i, d := range ds {
-		out[i] = d.WithTracer(c.Trace)
+		out[i] = c.traced(d)
 	}
 	return out
+}
+
+// tracedWith attaches a (usually per-cell) trace session to a defense,
+// carrying the config's obs setting along; a nil session (tracing off)
+// leaves the defense untouched.
+func (c Config) tracedWith(d defense.Defense, tr *trace.Session) defense.Defense {
+	if tr == nil {
+		return d
+	}
+	d = d.WithTracer(tr)
+	if c.Obs {
+		d = d.WithObs(true)
+	}
+	return d
 }
 
 // PaperConfig reproduces the published experiment sizes.

@@ -1,0 +1,198 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/expr/runner"
+	"jskernel/internal/obs"
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+// Online attack forensics over the Table I matrix: every cell runs with
+// observability events on, streaming its trace into the obs layer, and
+// the forensic verdict — reconstructed from the event stream alone — is
+// compared against the actual experiment verdict computed from the
+// harness's own measurements. The two must agree on every cell: an
+// undefended cell is flagged, a defended cell produces no finding.
+//
+// Cells are enumerated, seeded and assembled exactly like table1Matrix
+// (same index arithmetic, same sim.DeriveSeed stream), so the forensic
+// matrix is deterministic at any parallel width and its actual verdicts
+// are identical to Table1's. Observability events never perturb
+// execution, which is what keeps the two matrices comparable.
+
+// ForensicsCell is one (row, defense) cell of the forensic matrix.
+type ForensicsCell struct {
+	// Row is the attack ID (timing rows) or CVE (lower half).
+	Row string `json:"row"`
+	// Defense is the defense column ID.
+	Defense string `json:"defense"`
+	// Kind is "timing" or "cve".
+	Kind string `json:"kind"`
+	// ActualDefended is the experiment's own verdict for the cell.
+	ActualDefended bool `json:"actual_defended"`
+	// Flagged is the forensic verdict: the obs layer concluded from the
+	// event stream that the attack succeeded.
+	Flagged bool `json:"flagged"`
+	// Channels carries the forensic per-channel statistics (timing rows).
+	Channels []obs.ChannelVerdict `json:"channels,omitempty"`
+	// Evidence cites the record sequence numbers that triggered the CVE
+	// mirror (CVE rows of flagged cells).
+	Evidence []uint64 `json:"evidence,omitempty"`
+	// Signatures are the streaming detectors' findings for the cell's
+	// first repetition (flagged cells only): the attack-construction
+	// evidence accompanying the verdict.
+	Signatures []obs.Signature `json:"signatures,omitempty"`
+}
+
+// ForensicsResult is the full forensic matrix.
+type ForensicsResult struct {
+	Cells []ForensicsCell `json:"cells"`
+	// Mismatches lists cells where the forensic verdict disagrees with
+	// the actual verdict; empty in a healthy run.
+	Mismatches []string `json:"mismatches"`
+}
+
+// Findings returns the flagged cells — the forensic report's findings.
+// Defended cells never appear here.
+func (r *ForensicsResult) Findings() []ForensicsCell {
+	var out []ForensicsCell
+	for _, c := range r.Cells {
+		if c.Flagged {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// forensicsCellOut is one scheduled cell's raw result.
+type forensicsCellOut struct {
+	samples  attack.RepSamples
+	readings obs.CellReadings
+	out      attack.Outcome
+	flagged  bool
+	evidence []uint64
+	sigs     []obs.Signature
+}
+
+// ForensicsTable1 runs the Table I matrix with streaming forensics.
+// Every cell traces into its own retain-off session (cfg.Trace is not
+// used: the obs consumers see each cell's stream directly and nothing
+// needs to be buffered or absorbed).
+func ForensicsTable1(cfg Config) (*ForensicsResult, error) {
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = attack.Reps
+	}
+	defenses := defense.TableIDefenses()
+
+	// Canonical row order, identical to table1Matrix.
+	group := "setTimeout"
+	var timingRows []*attack.TimingAttack
+	for _, a := range attack.TimingAttacks() {
+		if a.ClockGroup == group {
+			timingRows = append(timingRows, a)
+		}
+	}
+	for _, a := range attack.TimingAttacks() {
+		if a.ClockGroup != group {
+			timingRows = append(timingRows, a)
+		}
+	}
+	cveRows := attack.CVEAttacks()
+
+	perDefense := reps
+	perTimingRow := len(defenses) * perDefense
+	nTiming := len(timingRows) * perTimingRow
+	nCells := nTiming + len(cveRows)*len(defenses)
+
+	outs := runner.Map(cfg.Parallel, nCells, func(i int) forensicsCellOut {
+		seed := sim.DeriveSeed(cfg.Seed, int64(i))
+		sess := trace.NewSession()
+		sess.SetRetain(false)
+		col := obs.NewCollector()
+		det := obs.NewDetectors(obs.DefaultDetectorConfig())
+		sess.Attach(col)
+		sess.Attach(det)
+
+		var out forensicsCellOut
+		if i < nTiming {
+			a := timingRows[i/perTimingRow]
+			rem := i % perTimingRow
+			d := defenses[rem/perDefense].WithTracer(sess).WithObs(true)
+			out.samples = a.MeasureRep(d, seed)
+			sess.Close()
+			// MeasureRep builds the variant-0 environment first, so the
+			// session's runs 1 and 2 are the two secret variants in order.
+			for v := 0; v < 2; v++ {
+				out.readings.Variants[v] = obs.ExtractReadings(a.ID, col.Run(v+1))
+			}
+		} else {
+			j := i - nTiming
+			a := cveRows[j/len(defenses)]
+			d := defenses[j%len(defenses)].WithTracer(sess).WithObs(true)
+			out.out = attack.EvaluateCVE(a, d, seed)
+			sess.Close()
+			out.flagged, out.evidence = obs.MirrorExploited(col.Run(1), a.CVE)
+		}
+		out.sigs = det.Finish()
+		return out
+	})
+
+	res := &ForensicsResult{Mismatches: []string{}}
+	addCell := func(c ForensicsCell) {
+		res.Cells = append(res.Cells, c)
+		if c.Flagged == c.ActualDefended {
+			res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+				"%s/%s: actual defended=%v, forensic flagged=%v",
+				c.Row, c.Defense, c.ActualDefended, c.Flagged))
+		}
+	}
+
+	for ri, a := range timingRows {
+		for di, d := range defenses {
+			base := ri*perTimingRow + di*perDefense
+			parts := make([]attack.RepSamples, reps)
+			repReadings := make([]obs.CellReadings, reps)
+			for rep := 0; rep < reps; rep++ {
+				parts[rep] = outs[base+rep].samples
+				repReadings[rep] = outs[base+rep].readings
+			}
+			actual := a.AssembleOutcome(d.ID, attack.MergeSamples(parts))
+			verdicts, forensicDefended := obs.JudgeTiming(repReadings)
+			cell := ForensicsCell{
+				Row:            a.ID,
+				Defense:        d.ID,
+				Kind:           "timing",
+				ActualDefended: actual.Defended,
+				Flagged:        !forensicDefended,
+				Channels:       verdicts,
+			}
+			if cell.Flagged {
+				cell.Signatures = outs[base].sigs
+			}
+			addCell(cell)
+		}
+	}
+	for ci, a := range cveRows {
+		for di, d := range defenses {
+			o := outs[nTiming+ci*len(defenses)+di]
+			cell := ForensicsCell{
+				Row:            string(a.CVE),
+				Defense:        d.ID,
+				Kind:           "cve",
+				ActualDefended: o.out.Defended,
+				Flagged:        o.flagged,
+				Evidence:       o.evidence,
+			}
+			if cell.Flagged {
+				cell.Signatures = o.sigs
+			}
+			addCell(cell)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package expr
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden forensic findings, matching the
+// golden-trace harness in internal/trace.
+var updateForensics = flag.Bool("update", false, "rewrite golden forensic findings")
+
+// forensicsConfig is the shared scaled-down matrix: quick seed, three
+// reps — enough for Cohen's d to separate the undefended cells while
+// keeping the doubled matrix (forensics + verdict cross-check) fast.
+func forensicsConfig() Config {
+	cfg := QuickConfig()
+	cfg.Reps = 3
+	return cfg
+}
+
+// TestForensicsTable1 is the golden forensics gate: every undefended
+// Table I cell is flagged from the event stream alone, defended cells
+// produce zero findings, the forensic matrix is byte-identical between
+// serial and 8-wide parallel execution, and running with observability
+// on does not perturb the experiment's own verdicts.
+func TestForensicsTable1(t *testing.T) {
+	cfg := forensicsConfig()
+	cfg.Parallel = 1
+	serial, err := ForensicsTable1(cfg)
+	if err != nil {
+		t.Fatalf("ForensicsTable1 serial: %v", err)
+	}
+
+	if len(serial.Mismatches) != 0 {
+		for _, m := range serial.Mismatches {
+			t.Errorf("forensic mismatch: %s", m)
+		}
+		t.Fatalf("%d cells disagree between forensic and actual verdicts", len(serial.Mismatches))
+	}
+	for _, c := range serial.Cells {
+		if c.ActualDefended && c.Flagged {
+			t.Errorf("defended cell %s/%s produced a finding", c.Row, c.Defense)
+		}
+		if !c.ActualDefended && !c.Flagged {
+			t.Errorf("undefended cell %s/%s not flagged", c.Row, c.Defense)
+		}
+	}
+	findings := serial.Findings()
+	if len(findings) == 0 {
+		t.Fatalf("no findings at all: legacy browsers should be undefended")
+	}
+	for _, f := range findings {
+		if !f.Flagged {
+			t.Errorf("Findings returned unflagged cell %s/%s", f.Row, f.Defense)
+		}
+	}
+
+	cfgPar := cfg
+	cfgPar.Parallel = 8
+	parallel, err := ForensicsTable1(cfgPar)
+	if err != nil {
+		t.Fatalf("ForensicsTable1 parallel: %v", err)
+	}
+	sb := mustJSON(t, serial)
+	pb := mustJSON(t, parallel)
+	if !bytes.Equal(sb, pb) {
+		t.Fatalf("forensic matrix differs between -parallel 1 and -parallel 8")
+	}
+
+	// Cross-check: the obs-on matrix reaches exactly the verdicts the
+	// plain (obs-off) Table I run reaches — observability events never
+	// perturb execution.
+	t1, err := Table1(cfgPar)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	for _, c := range serial.Cells {
+		want, ok := t1.Defended(c.Row, c.Defense)
+		if !ok {
+			t.Fatalf("Table1 has no cell %s/%s", c.Row, c.Defense)
+		}
+		if c.ActualDefended != want {
+			t.Errorf("cell %s/%s: obs-on verdict defended=%v, obs-off Table1 says %v",
+				c.Row, c.Defense, c.ActualDefended, want)
+		}
+	}
+}
+
+// TestForensicsGoldenCVE20185092 pins the forensic findings for the
+// CVE-2018-5092 row against a checked-in golden file (use -update to
+// regenerate after an intentional behaviour change).
+func TestForensicsGoldenCVE20185092(t *testing.T) {
+	cfg := forensicsConfig()
+	cfg.Parallel = 8
+	res, err := ForensicsTable1(cfg)
+	if err != nil {
+		t.Fatalf("ForensicsTable1: %v", err)
+	}
+	var row []ForensicsCell
+	for _, c := range res.Cells {
+		if c.Row == "CVE-2018-5092" {
+			row = append(row, c)
+		}
+	}
+	if len(row) == 0 {
+		t.Fatalf("no CVE-2018-5092 cells in the forensic matrix")
+	}
+	got := mustJSON(t, row)
+
+	path := filepath.Join("testdata", "forensics_cve-2018-5092.golden.json")
+	if *updateForensics {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("CVE-2018-5092 forensic findings drifted from golden %s\n got: %s\nwant: %s",
+			path, got, want)
+	}
+}
+
+// mustJSON marshals deterministically for byte comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return append(b, '\n')
+}

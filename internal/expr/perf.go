@@ -31,7 +31,7 @@ func Dromaeo(cfg Config) (*DromaeoReport, error) {
 	defs := []defense.Defense{defense.Chrome(), defense.JSKernel("chrome")}
 	labels := []string{"baseline", "jskernel"}
 	cols, err := runCells(cfg, len(defs), func(i int, _ int64, tr *trace.Session) ([]workload.DromaeoResult, error) {
-		res, err := workload.RunDromaeo(tracedWith(defs[i], tr), cfg.Seed)
+		res, err := workload.RunDromaeo(cfg.tracedWith(defs[i], tr), cfg.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("dromaeo %s: %w", labels[i], err)
 		}

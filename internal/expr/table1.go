@@ -86,12 +86,12 @@ func table1Matrix(cfg Config, defenses []defense.Defense) (*Table1Result, error)
 		if i < nTiming {
 			a := timingRows[i/perTimingRow]
 			rem := i % perTimingRow
-			d := tracedWith(defenses[rem/perDefense], tr)
+			d := cfg.tracedWith(defenses[rem/perDefense], tr)
 			return table1Cell{samples: a.MeasureRep(d, seed)}, nil
 		}
 		j := i - nTiming
 		a := cveRows[j/len(defenses)]
-		d := tracedWith(defenses[j%len(defenses)], tr)
+		d := cfg.tracedWith(defenses[j%len(defenses)], tr)
 		return table1Cell{out: attack.EvaluateCVE(a, d, seed)}, nil
 	})
 	if err != nil {

@@ -56,7 +56,7 @@ func Table2(cfg Config) (*Table2Result, error) {
 	nCells := len(defs) * cfg.Reps
 
 	cells, err := runCells(cfg, nCells, func(i int, seed int64, tr *trace.Session) (table2Cell, error) {
-		d := tracedWith(defs[i/cfg.Reps], tr)
+		d := cfg.tracedWith(defs[i/cfg.Reps], tr)
 		var c table2Cell
 		for variant, dim := range []int{table2LowRes, table2HighRes} {
 			env := d.NewEnv(defense.EnvOptions{Seed: sim.DeriveSeed(seed, int64(variant))})

@@ -51,7 +51,7 @@ func Table3(cfg Config) (*Table3Result, error) {
 
 	nCells := len(defs) * len(sites)
 	cells, err := runCells(cfg, nCells, func(i int, _ int64, tr *trace.Session) (workload.RaptorResult, error) {
-		d := tracedWith(defs[i/len(sites)], tr)
+		d := cfg.tracedWith(defs[i/len(sites)], tr)
 		site := sites[i%len(sites)]
 		results, err := workload.RunRaptorSuite(d, []workload.Site{site}, cfg.RaptorLoads, cfg.Seed)
 		if err != nil {

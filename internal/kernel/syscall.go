@@ -43,7 +43,10 @@ func (s *Shared) Install(g *browser.Global) {
 		} else if g.IsWorkerScope() {
 			kind = "worker"
 		}
-		k.emit(trace.Record{Op: trace.OpInstall, API: kind})
+		// The install record names the active policy, so trace consumers
+		// (the obs telemetry report in particular) can label a run with
+		// the rule set that governed it without out-of-band context.
+		k.emit(trace.Record{Op: trace.OpInstall, API: kind, Reason: s.policy.Name()})
 	}
 
 	bn := g.Bindings()

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"sort"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/trace"
+)
+
+// Online forensics detectors: Sinks that watch the stream for the
+// construction patterns every web concurrency attack in the paper
+// shares, independent of whether the leak ultimately succeeded.
+//
+//   - implicit-clock-timer: a zero-delay setTimeout chain (Listing 1's
+//     tick loop / "setTimeout as an implicit clock", §II-A1) — the same
+//     scope's callbacks firing with requested delay 0 above a cadence
+//     threshold.
+//   - implicit-clock-postmessage: a self-postMessage / worker-spray
+//     message loop (Listing 1's spraying worker) — message-callback
+//     entries into one scope above the threshold.
+//   - event-loop-probe: Loophole-style event-loop monitoring [11] — a
+//     scope interleaving repeated timer callbacks with repeated
+//     explicit clock reads, sampling the loop's availability.
+//   - queue-burst / queue-shed: queue-contention signatures at the
+//     kernel layer — a scope driving its event queue past the burst
+//     depth, or having registrations shed at the queue bound.
+//
+// Detection is purely incremental: counters keyed by (run, subject)
+// advance per record, and Finish renders the ones above threshold into
+// sorted, evidence-carrying signatures. Determinism: map iteration only
+// happens in Finish over collected-and-sorted keys.
+
+// Detector names.
+const (
+	DetectImplicitClockTimer = "implicit-clock-timer"
+	DetectImplicitClockPost  = "implicit-clock-postmessage"
+	DetectEventLoopProbe     = "event-loop-probe"
+	DetectQueueBurst         = "queue-burst"
+	DetectQueueShed          = "queue-shed"
+)
+
+// DetectorConfig tunes the detection thresholds.
+type DetectorConfig struct {
+	// ImplicitClockMin is the minimum callback cadence (events per run
+	// and scope) before a timer or message loop counts as an implicit
+	// clock. The harnesses' 60ms warmup alone crosses it comfortably;
+	// ordinary page scripts do not.
+	ImplicitClockMin int
+	// ProbeMinTimers and ProbeMinReads gate the event-loop-probe
+	// detector: a scope must both re-arm timers and read the explicit
+	// clock this many times.
+	ProbeMinTimers int
+	ProbeMinReads  int
+	// QueueBurstDepth is the queue depth at which an enqueue or
+	// dispatch record counts as contention.
+	QueueBurstDepth int
+	// EvidenceCap bounds the evidence chain kept per signature.
+	EvidenceCap int
+}
+
+// DefaultDetectorConfig returns the thresholds used by the CLI and the
+// golden forensics tests.
+func DefaultDetectorConfig() DetectorConfig {
+	return DetectorConfig{
+		ImplicitClockMin: 32,
+		ProbeMinTimers:   10,
+		ProbeMinReads:    10,
+		QueueBurstDepth:  48,
+		EvidenceCap:      8,
+	}
+}
+
+// Signature is one structured finding.
+type Signature struct {
+	// Detector names the signature kind (Detect* constants).
+	Detector string `json:"detector"`
+	// Run is the environment generation the signature was observed in.
+	Run int `json:"run"`
+	// Subject says what SubjectID identifies: "scope-token" for
+	// browser-layer subjects, "kernel-scope" for kernel-layer ones.
+	Subject string `json:"subject"`
+	// SubjectID is the scope token or kernel scope ID.
+	SubjectID int64 `json:"subject_id"`
+	// Count is the number of matching events observed.
+	Count int `json:"count"`
+	// Evidence lists the first observed record sequence numbers
+	// (capped at EvidenceCap).
+	Evidence []uint64 `json:"evidence"`
+}
+
+// subjKey identifies one (run, subject) counter.
+type subjKey struct {
+	run int
+	id  int64
+}
+
+// tally is one counter with its evidence chain.
+type tally struct {
+	count    int
+	evidence []uint64
+}
+
+// Detectors is the Sink running every detector over one stream.
+type Detectors struct {
+	cfg DetectorConfig
+
+	zeroTimer map[subjKey]*tally // zero-delay timer callbacks per token
+	msgCB     map[subjKey]*tally // message callbacks per token
+	anyTimer  map[subjKey]*tally // all timer callbacks per token
+	clockRead map[subjKey]*tally // explicit clock reads per token
+	burst     map[subjKey]*tally // deep-queue records per kernel scope
+	shed      map[subjKey]*tally // shed registrations per kernel scope
+}
+
+var _ trace.Sink = (*Detectors)(nil)
+
+// NewDetectors returns detectors with the given thresholds.
+func NewDetectors(cfg DetectorConfig) *Detectors {
+	if cfg.EvidenceCap <= 0 {
+		cfg.EvidenceCap = DefaultDetectorConfig().EvidenceCap
+	}
+	return &Detectors{
+		cfg:       cfg,
+		zeroTimer: make(map[subjKey]*tally),
+		msgCB:     make(map[subjKey]*tally),
+		anyTimer:  make(map[subjKey]*tally),
+		clockRead: make(map[subjKey]*tally),
+		burst:     make(map[subjKey]*tally),
+		shed:      make(map[subjKey]*tally),
+	}
+}
+
+// bump advances one counter, retaining early evidence.
+func (d *Detectors) bump(m map[subjKey]*tally, k subjKey, seq uint64) {
+	t := m[k]
+	if t == nil {
+		t = &tally{}
+		m[k] = t
+	}
+	t.count++
+	if len(t.evidence) < d.cfg.EvidenceCap {
+		t.evidence = append(t.evidence, seq)
+	}
+}
+
+// Observe folds one stamped record into the detectors.
+func (d *Detectors) Observe(r trace.Record) {
+	switch r.Op {
+	case trace.OpNative:
+		kind, ok := browser.KindByName(r.API)
+		if !ok {
+			return
+		}
+		k := subjKey{run: r.Run, id: r.Value}
+		switch kind {
+		case browser.TraceTimerFired:
+			d.bump(d.anyTimer, k, r.Seq)
+			if r.Aux == 0 {
+				d.bump(d.zeroTimer, k, r.Seq)
+			}
+		case browser.TraceMessageCallback:
+			d.bump(d.msgCB, k, r.Seq)
+		case browser.TraceClockRead:
+			d.bump(d.clockRead, k, r.Seq)
+		}
+	case trace.OpShed:
+		d.bump(d.shed, subjKey{run: r.Run, id: int64(r.Scope)}, r.Seq)
+	case trace.OpEnqueue, trace.OpDispatch:
+		if r.Depth >= d.cfg.QueueBurstDepth && r.Scope != 0 {
+			d.bump(d.burst, subjKey{run: r.Run, id: int64(r.Scope)}, r.Seq)
+		}
+	}
+}
+
+// sortedKeys renders a counter map's keys in (run, id) order.
+func sortedKeys(m map[subjKey]*tally) []subjKey {
+	keys := make([]subjKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].run != keys[j].run {
+			return keys[i].run < keys[j].run
+		}
+		return keys[i].id < keys[j].id
+	})
+	return keys
+}
+
+// Finish renders every over-threshold counter into a signature, sorted
+// by (run, detector, subject).
+func (d *Detectors) Finish() []Signature {
+	var sigs []Signature
+	emit := func(detector, subject string, m map[subjKey]*tally, min int) {
+		for _, k := range sortedKeys(m) {
+			t := m[k]
+			if t.count < min {
+				continue
+			}
+			sigs = append(sigs, Signature{
+				Detector:  detector,
+				Run:       k.run,
+				Subject:   subject,
+				SubjectID: k.id,
+				Count:     t.count,
+				Evidence:  append([]uint64(nil), t.evidence...),
+			})
+		}
+	}
+	emit(DetectImplicitClockTimer, "scope-token", d.zeroTimer, d.cfg.ImplicitClockMin)
+	emit(DetectImplicitClockPost, "scope-token", d.msgCB, d.cfg.ImplicitClockMin)
+	for _, k := range sortedKeys(d.anyTimer) {
+		timers := d.anyTimer[k]
+		reads := d.clockRead[k]
+		if timers.count < d.cfg.ProbeMinTimers || reads == nil || reads.count < d.cfg.ProbeMinReads {
+			continue
+		}
+		sigs = append(sigs, Signature{
+			Detector:  DetectEventLoopProbe,
+			Run:       k.run,
+			Subject:   "scope-token",
+			SubjectID: k.id,
+			Count:     reads.count,
+			Evidence:  append([]uint64(nil), reads.evidence...),
+		})
+	}
+	emit(DetectQueueBurst, "kernel-scope", d.burst, 1)
+	emit(DetectQueueShed, "kernel-scope", d.shed, 1)
+	sort.Slice(sigs, func(i, j int) bool {
+		a, b := sigs[i], sigs[j]
+		if a.Run != b.Run {
+			return a.Run < b.Run
+		}
+		if a.Detector != b.Detector {
+			return a.Detector < b.Detector
+		}
+		return a.SubjectID < b.SubjectID
+	})
+	return sigs
+}

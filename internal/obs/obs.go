@@ -1,0 +1,151 @@
+// Package obs is the kernel's streaming observability layer: the
+// consumers that watch the deterministic trace stream while it is being
+// emitted, instead of post-processing a buffered session.
+//
+// Three engines attach to a trace.Session through the fan-out Sink seam:
+//
+//   - the virtual-time Profiler (profiler.go) attributes dispatch
+//     latency and simulated time to (run, scope, API, policy rule),
+//     emitting a pprof-style tree and collapsed-stack flamegraph text;
+//   - the online forensics Detectors (detect.go) flag web-concurrency
+//     attack signatures — implicit-clock loops, event-loop probing,
+//     queue-contention bursts — as structured findings with event-ID
+//     evidence chains;
+//   - the telemetry report (report.go) joins profiler, detectors and the
+//     session's metrics registry into machine-readable JSON plus a
+//     compact text summary.
+//
+// Everything here consumes only the stamped record stream, so outputs
+// are byte-identical across reruns and across parallel widths: parallel
+// cells trace into private sessions that are absorbed into the parent in
+// cell-index order, and Absorb re-emits through the parent's sinks.
+//
+// The forensics layer additionally reconstructs the paper's attack
+// measurements from the browser's observability events (extract.go):
+// given only the native event stream of a run, it re-derives the exact
+// per-channel readings the attack harness reported and re-judges the
+// leak with the same statistics — which is what lets the golden
+// forensics test demand bit-exact agreement with Table I's verdicts.
+package obs
+
+import (
+	"sort"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+	"jskernel/internal/vuln"
+)
+
+// NativeEvent is one browser-layer observability event reconstructed
+// from an OpNative trace record. It carries everything the native
+// TraceEvent carried, plus the session-wide sequence number that
+// forensic findings cite as evidence.
+type NativeEvent struct {
+	// Seq is the session-wide record sequence number.
+	Seq uint64
+	// Run is the environment generation the event belongs to.
+	Run int
+	// Kind is the native event kind (resolved from the record's API name).
+	Kind browser.TraceKind
+	// At is the event's virtual timestamp (in-task cursor time for
+	// callback-entry events).
+	At sim.Time
+	// Thread is the simulated thread the event occurred on.
+	Thread int
+	// WorkerID is the worker involved, when applicable (0 = main).
+	WorkerID int
+	// URL is the resource involved, when applicable.
+	URL string
+	// Detail qualifies the event ("interval", "fetch", "image", ...).
+	Detail string
+	// Value is the event's numeric payload (scope tokens, fetch IDs).
+	Value int64
+	// Aux is the secondary payload (requested delays, clock-read bits).
+	Aux int64
+}
+
+// Collector is a Sink that gathers the native observability events of a
+// session, grouped by run, in emission order. The forensics extractors
+// replay these per-run streams to reconstruct attack measurements.
+type Collector struct {
+	byRun map[int][]NativeEvent
+}
+
+var _ trace.Sink = (*Collector)(nil)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{byRun: make(map[int][]NativeEvent)}
+}
+
+// Observe ingests one record, keeping only native events whose kind
+// resolves (unknown kinds are silently dropped, mirroring how the vuln
+// registry ignores events it has no state machine for).
+func (c *Collector) Observe(r trace.Record) {
+	if r.Op != trace.OpNative {
+		return
+	}
+	kind, ok := browser.KindByName(r.API)
+	if !ok {
+		return
+	}
+	c.byRun[r.Run] = append(c.byRun[r.Run], NativeEvent{
+		Seq:      r.Seq,
+		Run:      r.Run,
+		Kind:     kind,
+		At:       r.VT,
+		Thread:   r.Thread,
+		WorkerID: r.WorkerID,
+		URL:      r.URL,
+		Detail:   r.Reason,
+		Value:    r.Value,
+		Aux:      r.Aux,
+	})
+}
+
+// Runs lists the runs that produced native events, sorted.
+func (c *Collector) Runs() []int {
+	runs := make([]int, 0, len(c.byRun))
+	for run := range c.byRun {
+		runs = append(runs, run)
+	}
+	sort.Ints(runs)
+	return runs
+}
+
+// Run returns one run's native events in emission order.
+func (c *Collector) Run(run int) []NativeEvent {
+	return c.byRun[run]
+}
+
+// MirrorExploited replays a run's native events into a fresh
+// vulnerability registry and reports whether the CVE's triggering
+// sequence appears, along with the sequence numbers of the events that
+// advanced the exploit to its trigger (the evidence chain: the flipping
+// event, preceded by the state-machine feeders the registry consumed).
+//
+// Because the defense layer bridges every native trace event into the
+// session before any other consumer sees it, and the registry's
+// detectors read only fields the bridge preserves, this mirror reaches
+// exactly the same verdict as the registry that was attached to the
+// live environment.
+func MirrorExploited(events []NativeEvent, cve vuln.CVE) (bool, []uint64) {
+	reg := vuln.NewRegistry(cve)
+	for _, ev := range events {
+		reg.Trace(browser.TraceEvent{
+			Kind:     ev.Kind,
+			At:       ev.At,
+			ThreadID: ev.Thread,
+			WorkerID: ev.WorkerID,
+			URL:      ev.URL,
+			Detail:   ev.Detail,
+			Value:    ev.Value,
+			Aux:      ev.Aux,
+		})
+		if reg.Exploited(cve) {
+			return true, []uint64{ev.Seq}
+		}
+	}
+	return false, nil
+}

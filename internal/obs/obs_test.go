@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"jskernel/internal/browser"
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+	"jskernel/internal/vuln"
+)
+
+// nat builds one native-event record the way the defense bridge emits
+// them: OpNative with the trace-kind name as the API.
+func nat(seq uint64, run int, kind, detail string, value, aux int64) trace.Record {
+	return trace.Record{
+		Seq:    seq,
+		Run:    run,
+		Op:     trace.OpNative,
+		API:    kind,
+		Reason: detail,
+		Value:  value,
+		Aux:    aux,
+	}
+}
+
+func TestCollectorGroupsByRun(t *testing.T) {
+	c := NewCollector()
+	c.Observe(nat(1, 1, "timer-fired", "", 1, 0))
+	c.Observe(nat(2, 2, "clock-read", "", 1, 42))
+	c.Observe(nat(3, 1, "message-callback", "", 1, 0))
+	// Non-native and unknown-kind records are dropped.
+	c.Observe(trace.Record{Seq: 4, Run: 1, Op: trace.OpEnqueue, API: "setTimeout"})
+	c.Observe(nat(5, 1, "no-such-kind", "", 1, 0))
+
+	if got := c.Runs(); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("Runs() = %v, want [1 2]", got)
+	}
+	r1 := c.Run(1)
+	if len(r1) != 2 || r1[0].Seq != 1 || r1[1].Seq != 3 {
+		t.Fatalf("run 1 events = %+v, want seqs 1, 3 in order", r1)
+	}
+	if r1[0].Kind != browser.TraceTimerFired {
+		t.Fatalf("kind not resolved: %v", r1[0].Kind)
+	}
+	r2 := c.Run(2)
+	if len(r2) != 1 || r2[0].Aux != 42 {
+		t.Fatalf("run 2 events = %+v, want one event with Aux 42", r2)
+	}
+}
+
+func TestProfilerAttribution(t *testing.T) {
+	p := NewProfiler()
+	p.Observe(trace.Record{Seq: 1, Run: 1, Op: trace.OpInstall, API: "setTimeout", Reason: "chrome-extension"})
+	// Call-level verdict names the rule, then the event enqueues and
+	// dispatches 200ns later.
+	p.Observe(trace.Record{Seq: 2, Run: 1, Op: trace.OpPolicy, API: "setTimeout", Action: "delay"})
+	p.Observe(trace.Record{Seq: 3, Run: 1, Op: trace.OpEnqueue, API: "setTimeout", Scope: 5, Event: 1, VT: 100})
+	p.Observe(trace.Record{Seq: 4, Run: 1, Op: trace.OpDispatch, API: "setTimeout", Scope: 5, Event: 1, VT: 300})
+	// An event with no preceding call-level verdict falls back to
+	// "scheduled".
+	p.Observe(trace.Record{Seq: 5, Run: 1, Op: trace.OpEnqueue, API: "postMessage", Scope: 5, Event: 2, VT: 300})
+	p.Observe(trace.Record{Seq: 6, Run: 1, Op: trace.OpDispatch, API: "postMessage", Scope: 5, Event: 2, VT: 1300})
+	// A shed event never dispatches and is charged nowhere.
+	p.Observe(trace.Record{Seq: 7, Run: 1, Op: trace.OpEnqueue, API: "setTimeout", Scope: 5, Event: 3, VT: 400})
+	p.Observe(trace.Record{Seq: 8, Run: 1, Op: trace.OpShed, API: "setTimeout", Scope: 5, Event: 3, VT: 400})
+
+	nodes := p.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("got %d nodes, want 2: %+v", len(nodes), nodes)
+	}
+	// Sorted by (run, scope, api, rule): postMessage before setTimeout.
+	if nodes[0].API != "postMessage" || nodes[0].Rule != "scheduled" || nodes[0].WaitTotal != 1000 {
+		t.Fatalf("node 0 = %+v, want postMessage/scheduled wait 1000", nodes[0])
+	}
+	if nodes[1].API != "setTimeout" || nodes[1].Rule != "delay" ||
+		nodes[1].Count != 1 || nodes[1].WaitTotal != 200 || nodes[1].WaitMax != 200 {
+		t.Fatalf("node 1 = %+v, want setTimeout/delay count 1 wait 200", nodes[1])
+	}
+
+	rps := p.RunProfiles()
+	if len(rps) != 1 {
+		t.Fatalf("got %d run profiles, want 1", len(rps))
+	}
+	rp := rps[0]
+	if rp.Policy != "chrome-extension" || rp.Dispatches != 2 || rp.WaitTotal != 1200 || rp.VirtualEnd != sim.Time(1300) {
+		t.Fatalf("run profile = %+v", rp)
+	}
+
+	var folded strings.Builder
+	if err := p.WriteFolded(&folded); err != nil {
+		t.Fatal(err)
+	}
+	want := "run1;scope5;postMessage;scheduled 1000\nrun1;scope5;setTimeout;delay 200\n"
+	if folded.String() != want {
+		t.Fatalf("folded output:\n%q\nwant:\n%q", folded.String(), want)
+	}
+
+	var tree strings.Builder
+	if err := p.WriteTree(&tree); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"2 dispatches", "policy=chrome-extension", "scope 5", "setTimeout", "delay"} {
+		if !strings.Contains(tree.String(), frag) {
+			t.Errorf("tree output missing %q:\n%s", frag, tree.String())
+		}
+	}
+}
+
+func TestDetectorsThresholdsAndOrdering(t *testing.T) {
+	cfg := DefaultDetectorConfig()
+	d := NewDetectors(cfg)
+	seq := uint64(0)
+	next := func() uint64 { seq++; return seq }
+
+	// A zero-delay timer chain on token 7 crosses the implicit-clock
+	// threshold; the same chain's timers plus explicit clock reads cross
+	// the event-loop-probe thresholds too.
+	for i := 0; i < cfg.ImplicitClockMin; i++ {
+		d.Observe(nat(next(), 1, "timer-fired", "", 7, 0))
+	}
+	for i := 0; i < cfg.ProbeMinReads; i++ {
+		d.Observe(nat(next(), 1, "clock-read", "", 7, 0))
+	}
+	// One lone message callback stays under every threshold.
+	d.Observe(nat(next(), 1, "message-callback", "", 9, 0))
+	// A shed registration always signifies.
+	d.Observe(trace.Record{Seq: next(), Run: 1, Op: trace.OpShed, Scope: 3, Event: 1})
+
+	sigs := d.Finish()
+	if len(sigs) != 3 {
+		t.Fatalf("got %d signatures, want 3: %+v", len(sigs), sigs)
+	}
+	// Sorted by (run, detector, subject id).
+	if sigs[0].Detector != DetectEventLoopProbe || sigs[0].SubjectID != 7 || sigs[0].Count != cfg.ProbeMinReads {
+		t.Fatalf("sig 0 = %+v", sigs[0])
+	}
+	if sigs[1].Detector != DetectImplicitClockTimer || sigs[1].SubjectID != 7 || sigs[1].Count != cfg.ImplicitClockMin {
+		t.Fatalf("sig 1 = %+v", sigs[1])
+	}
+	if len(sigs[1].Evidence) != cfg.EvidenceCap || sigs[1].Evidence[0] != 1 {
+		t.Fatalf("evidence = %v, want first %d seqs", sigs[1].Evidence, cfg.EvidenceCap)
+	}
+	if sigs[2].Detector != DetectQueueShed || sigs[2].Subject != "kernel-scope" || sigs[2].SubjectID != 3 {
+		t.Fatalf("sig 2 = %+v", sigs[2])
+	}
+}
+
+func TestMirrorExploited(t *testing.T) {
+	events := []NativeEvent{
+		{Seq: 10, Kind: browser.TraceWorkerTerminated, WorkerID: 1, Detail: "pending-fetch"},
+		{Seq: 11, Kind: browser.TraceFetchAbort, Detail: "orphaned"},
+	}
+	hit, evidence := MirrorExploited(events, vuln.CVE20185092)
+	if !hit {
+		t.Fatal("orphaned abort after termination should mirror CVE-2018-5092")
+	}
+	if !reflect.DeepEqual(evidence, []uint64{11}) {
+		t.Fatalf("evidence = %v, want [11]", evidence)
+	}
+	// A clean abort never flips the mirror.
+	hit, evidence = MirrorExploited(events[:1], vuln.CVE20185092)
+	if hit || evidence != nil {
+		t.Fatalf("termination alone mirrored exploited (evidence %v)", evidence)
+	}
+}
+
+// clockBits encodes a performance.now value the way the browser's
+// observability wrapper stores it in Aux.
+func clockBits(v float64) int64 { return int64(math.Float64bits(v)) }
+
+func TestExtractSync(t *testing.T) {
+	events := []NativeEvent{
+		// Pre-warmup noise: a worker-side message (token 2) and an
+		// interval fire are filtered out.
+		{Seq: 1, Kind: browser.TraceMessageCallback, Value: 2},
+		{Seq: 2, Kind: browser.TraceTimerFired, Value: 1, Detail: "interval"},
+		// Warmup timer, then the measurement: start read, op, end read,
+		// three worker ticks, closing zero-delay timer.
+		{Seq: 3, Kind: browser.TraceTimerFired, Value: 1, Aux: int64(60 * sim.Millisecond)},
+		{Seq: 4, Kind: browser.TraceClockRead, Value: 1, Aux: clockBits(100)},
+		{Seq: 5, Kind: browser.TraceClockRead, Value: 1, Aux: clockBits(103.5)},
+		{Seq: 6, Kind: browser.TraceMessageCallback, Value: 1},
+		{Seq: 7, Kind: browser.TraceMessageCallback, Value: 1},
+		{Seq: 8, Kind: browser.TraceMessageCallback, Value: 1},
+		{Seq: 9, Kind: browser.TraceTimerFired, Value: 1, Aux: 0},
+	}
+	got := ExtractReadings("history-sniffing", events)
+	want := map[string]float64{"worker-ticks": 3, "perf-now": 3.5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExtractReadings = %v, want %v", got, want)
+	}
+	// Without the closing timer the measurement never completed.
+	if got := ExtractReadings("history-sniffing", events[:8]); got != nil {
+		t.Fatalf("incomplete run extracted %v, want nil", got)
+	}
+	// Unknown attacks have no shape.
+	if got := ExtractReadings("no-such-attack", events); got != nil {
+		t.Fatalf("unknown attack extracted %v, want nil", got)
+	}
+}
+
+func TestExtractEdgeReplaysEveryRead(t *testing.T) {
+	mk := func(vals ...float64) []NativeEvent {
+		evs := make([]NativeEvent, len(vals))
+		for i, v := range vals {
+			evs[i] = NativeEvent{Seq: uint64(i + 1), Kind: browser.TraceClockRead, Value: 1, Aux: clockBits(v)}
+		}
+		return evs
+	}
+	// start=5, two aligned reads, then the edge: the first 6 breaks the
+	// align loop, the second becomes cur, the third is one pad iteration,
+	// and 7 exits — every read consumed.
+	got := ExtractReadings("clock-edge", mk(5, 5, 5, 6, 6, 6, 7))
+	want := map[string]float64{"edge-pad": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("edge-pad = %v, want %v", got, want)
+	}
+	// Leftover reads mean the stream is not a clock-edge measurement.
+	if got := ExtractReadings("clock-edge", mk(5, 5, 6, 6, 7, 7)); got != nil {
+		t.Fatalf("stream with leftover reads extracted %v, want nil", got)
+	}
+}
+
+func TestJudgeTiming(t *testing.T) {
+	mkRep := func(a, b float64) CellReadings {
+		return CellReadings{Variants: [2]map[string]float64{
+			{"worker-ticks": a, "_tick-total": 999},
+			{"worker-ticks": b},
+		}}
+	}
+	// Widely separated variants: the channel leaks, the defense failed.
+	leakReps := []CellReadings{mkRep(10, 100), mkRep(11, 101), mkRep(10, 99)}
+	verdicts, defended := JudgeTiming(leakReps)
+	if defended {
+		t.Fatal("separated variants judged defended")
+	}
+	if len(verdicts) != 1 || verdicts[0].Channel != "worker-ticks" || !verdicts[0].Leaks {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	// "_"-prefixed channels are diagnostic-only and never judged.
+	for _, v := range verdicts {
+		if strings.HasPrefix(v.Channel, "_") {
+			t.Fatalf("underscore channel judged: %+v", v)
+		}
+	}
+	// Identical variants: no distinguishable channel, defense held.
+	sameReps := []CellReadings{mkRep(10, 10), mkRep(11, 11), mkRep(10, 10)}
+	if _, defended := JudgeTiming(sameReps); !defended {
+		t.Fatal("identical variants judged undefended")
+	}
+	// A rep whose reconstruction failed (nil variant) contributes nothing.
+	failed := append(leakReps, CellReadings{})
+	if _, defended := JudgeTiming(failed); defended {
+		t.Fatal("nil-variant rep flipped the verdict")
+	}
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+// The virtual-time profiler: a Sink that attributes dispatch latency
+// (enqueue → dispatch in virtual time) to (run, scope, API, policy
+// rule) as the records stream past. The rule attributed to an event is
+// the action of the last call-level policy verdict the kernel emitted
+// for that (run, API) before the registration — the kernel always emits
+// the call verdict immediately before the event's enqueue — falling
+// back to "scheduled" for events that never crossed a call-level
+// verdict (native-bridged registrations, kernel-internal timers).
+
+// ProfileNode is one leaf of the profile: every dispatch charged to the
+// same (run, scope, API, rule) tuple.
+type ProfileNode struct {
+	Run   int    `json:"run"`
+	Scope int    `json:"scope"`
+	API   string `json:"api"`
+	Rule  string `json:"rule"`
+	// Count is the number of dispatches charged to this node.
+	Count int64 `json:"count"`
+	// WaitTotal is the summed enqueue→dispatch virtual latency.
+	WaitTotal sim.Duration `json:"wait_total_ns"`
+	// WaitMax is the largest single enqueue→dispatch latency.
+	WaitMax sim.Duration `json:"wait_max_ns"`
+}
+
+// RunProfile is the per-run header of the profile.
+type RunProfile struct {
+	Run int `json:"run"`
+	// Policy names the kernel policy that governed the run, taken from
+	// the run's first install record ("" for kernel-less runs).
+	Policy string `json:"policy,omitempty"`
+	// VirtualEnd is the largest virtual timestamp seen in the run: the
+	// simulated time the run consumed.
+	VirtualEnd sim.Time `json:"virtual_end_ns"`
+	// Dispatches and WaitTotal aggregate the run's nodes.
+	Dispatches int64        `json:"dispatches"`
+	WaitTotal  sim.Duration `json:"wait_total_ns"`
+}
+
+// runAPI keys the call-level verdict memory.
+type runAPI struct {
+	run int
+	api string
+}
+
+// profKey keys one profile leaf.
+type profKey struct {
+	run   int
+	scope int
+	api   string
+	rule  string
+}
+
+// pendingEv is an enqueued-but-undispatched event awaiting attribution.
+type pendingEv struct {
+	enqVT sim.Time
+	rule  string
+}
+
+// Profiler accumulates the virtual-time profile from a record stream.
+type Profiler struct {
+	lastRule  map[runAPI]string
+	pending   map[uint64]pendingEv
+	nodes     map[profKey]*ProfileNode
+	runPolicy map[int]string
+	runMaxVT  map[int]sim.Time
+}
+
+var _ trace.Sink = (*Profiler)(nil)
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		lastRule:  make(map[runAPI]string),
+		pending:   make(map[uint64]pendingEv),
+		nodes:     make(map[profKey]*ProfileNode),
+		runPolicy: make(map[int]string),
+		runMaxVT:  make(map[int]sim.Time),
+	}
+}
+
+// eventKey mirrors trace.Record.key: scope IDs are session-unique and
+// event IDs are unique within a scope.
+func eventKey(r trace.Record) uint64 { return uint64(r.Scope)<<32 | r.Event }
+
+// Observe folds one stamped record into the profile.
+func (p *Profiler) Observe(r trace.Record) {
+	if r.VT > p.runMaxVT[r.Run] {
+		p.runMaxVT[r.Run] = r.VT
+	}
+	switch r.Op {
+	case trace.OpInstall:
+		if _, ok := p.runPolicy[r.Run]; !ok && r.Reason != "" {
+			p.runPolicy[r.Run] = r.Reason
+		}
+	case trace.OpPolicy:
+		// Only call-level verdicts (Event 0) name the rule that admitted
+		// the next registration; the per-event "schedule" echo carries no
+		// extra attribution.
+		if r.Event == 0 {
+			p.lastRule[runAPI{r.Run, r.API}] = r.Action
+		}
+	case trace.OpEnqueue:
+		if r.Event == 0 || r.Scope == 0 {
+			return
+		}
+		rule, ok := p.lastRule[runAPI{r.Run, r.API}]
+		if !ok {
+			rule = "scheduled"
+		}
+		p.pending[eventKey(r)] = pendingEv{enqVT: r.VT, rule: rule}
+	case trace.OpDispatch:
+		if r.Event == 0 || r.Scope == 0 {
+			return
+		}
+		k := eventKey(r)
+		pe, ok := p.pending[k]
+		if !ok {
+			return
+		}
+		delete(p.pending, k)
+		nk := profKey{run: r.Run, scope: r.Scope, api: r.API, rule: pe.rule}
+		node := p.nodes[nk]
+		if node == nil {
+			node = &ProfileNode{Run: r.Run, Scope: r.Scope, API: r.API, Rule: pe.rule}
+			p.nodes[nk] = node
+		}
+		wait := r.VT - pe.enqVT
+		node.Count++
+		node.WaitTotal += sim.Duration(wait)
+		if sim.Duration(wait) > node.WaitMax {
+			node.WaitMax = sim.Duration(wait)
+		}
+	case trace.OpShed, trace.OpCancel, trace.OpExpire:
+		if r.Event != 0 && r.Scope != 0 {
+			delete(p.pending, eventKey(r))
+		}
+	}
+}
+
+// Nodes returns the profile leaves sorted by (run, scope, API, rule).
+func (p *Profiler) Nodes() []ProfileNode {
+	keys := make([]profKey, 0, len(p.nodes))
+	for k := range p.nodes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.run != b.run {
+			return a.run < b.run
+		}
+		if a.scope != b.scope {
+			return a.scope < b.scope
+		}
+		if a.api != b.api {
+			return a.api < b.api
+		}
+		return a.rule < b.rule
+	})
+	out := make([]ProfileNode, len(keys))
+	for i, k := range keys {
+		out[i] = *p.nodes[k]
+	}
+	return out
+}
+
+// RunProfiles returns the per-run headers sorted by run.
+func (p *Profiler) RunProfiles() []RunProfile {
+	runs := make([]int, 0, len(p.runMaxVT))
+	for run := range p.runMaxVT {
+		runs = append(runs, run)
+	}
+	sort.Ints(runs)
+	out := make([]RunProfile, 0, len(runs))
+	for _, run := range runs {
+		rp := RunProfile{Run: run, Policy: p.runPolicy[run], VirtualEnd: p.runMaxVT[run]}
+		out = append(out, rp)
+	}
+	// Aggregate node totals into their runs (nodes are few; a second
+	// pass keeps the hot Observe path allocation-free).
+	for _, n := range p.Nodes() {
+		for i := range out {
+			if out[i].Run == n.Run {
+				out[i].Dispatches += n.Count
+				out[i].WaitTotal += n.WaitTotal
+				break
+			}
+		}
+	}
+	return out
+}
+
+// WriteFolded emits the profile as collapsed-stack flamegraph text: one
+// line per leaf, semicolon-separated frames, the sample value being the
+// total dispatch wait in virtual nanoseconds.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	for _, n := range p.Nodes() {
+		if _, err := fmt.Fprintf(w, "run%d;scope%d;%s;%s %d\n",
+			n.Run, n.Scope, n.API, n.Rule, int64(n.WaitTotal)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTree emits a pprof-style text tree: runs, their scopes, their
+// APIs, and the per-rule dispatch-wait aggregates underneath.
+func (p *Profiler) WriteTree(w io.Writer) error {
+	nodes := p.Nodes()
+	var total int64
+	var wait sim.Duration
+	for _, n := range nodes {
+		total += n.Count
+		wait += n.WaitTotal
+	}
+	if _, err := fmt.Fprintf(w, "virtual-time profile: %d dispatches, %.3fms total wait\n",
+		total, wait.Milliseconds()); err != nil {
+		return err
+	}
+	for _, rp := range p.RunProfiles() {
+		policy := rp.Policy
+		if policy == "" {
+			policy = "(no kernel)"
+		}
+		if _, err := fmt.Fprintf(w, "run %d  policy=%s  virtual-end=%.3fms  dispatches=%d  wait=%.3fms\n",
+			rp.Run, policy, rp.VirtualEnd.Milliseconds(), rp.Dispatches, rp.WaitTotal.Milliseconds()); err != nil {
+			return err
+		}
+		lastScope, lastAPI := -1, ""
+		for _, n := range nodes {
+			if n.Run != rp.Run {
+				continue
+			}
+			if n.Scope != lastScope {
+				if _, err := fmt.Fprintf(w, "  scope %d\n", n.Scope); err != nil {
+					return err
+				}
+				lastScope, lastAPI = n.Scope, ""
+			}
+			if n.API != lastAPI {
+				if _, err := fmt.Fprintf(w, "    %s\n", n.API); err != nil {
+					return err
+				}
+				lastAPI = n.API
+			}
+			avg := 0.0
+			if n.Count > 0 {
+				avg = n.WaitTotal.Milliseconds() / float64(n.Count)
+			}
+			if _, err := fmt.Fprintf(w, "      %-12s %6d dispatches  wait total=%.3fms avg=%.3fms max=%.3fms\n",
+				n.Rule, n.Count, n.WaitTotal.Milliseconds(), avg, n.WaitMax.Milliseconds()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

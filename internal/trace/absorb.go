@@ -36,6 +36,9 @@ func (s *Session) Absorb(part *Session) error {
 	if !part.closed {
 		return fmt.Errorf("trace: absorb of unclosed part (%d events still open)", part.Open())
 	}
+	if part.seq != uint64(len(part.records)) {
+		return fmt.Errorf("trace: absorb of retain-off part (%d of %d records retained)", len(part.records), part.seq)
+	}
 	runBase, scopeBase := s.runs, s.scopes
 	for _, r := range part.records {
 		if r.Run != 0 {

@@ -1,0 +1,53 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"jskernel/internal/expr"
+	"jskernel/internal/trace"
+)
+
+// metricsBytes runs the traced Table I matrix at the given pool width
+// and renders the merged session's metrics registry, JSON and summary.
+func metricsBytes(t *testing.T, parallel int) ([]byte, []byte) {
+	t.Helper()
+	cfg := expr.QuickConfig()
+	cfg.Reps = 1
+	cfg.Parallel = parallel
+	cfg.Trace = trace.NewSession()
+	if _, err := expr.Table1(cfg); err != nil {
+		t.Fatalf("Table1 (parallel %d): %v", parallel, err)
+	}
+	cfg.Trace.Close()
+	m := cfg.Trace.Metrics()
+	var js, sum bytes.Buffer
+	if err := m.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := m.WriteSummary(&sum); err != nil {
+		t.Fatalf("WriteSummary: %v", err)
+	}
+	return js.Bytes(), sum.Bytes()
+}
+
+// TestAbsorbRebuildsMetricsAtAnyWidth pins the metrics registry's
+// parallel determinism: a session assembled by absorbing 8-wide
+// parallel cell traces carries byte-identical metrics to a serial run —
+// Absorb re-emits every part record through the parent's Emit, so the
+// registry observes the same stream either way.
+func TestAbsorbRebuildsMetricsAtAnyWidth(t *testing.T) {
+	serialJSON, serialSum := metricsBytes(t, 1)
+	parJSON, parSum := metricsBytes(t, 8)
+	if len(serialJSON) == 0 || bytes.Equal(serialJSON, []byte("null\n")) {
+		t.Fatalf("serial metrics empty: %q", serialJSON)
+	}
+	if !bytes.Equal(serialJSON, parJSON) {
+		t.Errorf("metrics JSON differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+			serialJSON, parJSON)
+	}
+	if !bytes.Equal(serialSum, parSum) {
+		t.Errorf("metrics summary differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+			serialSum, parSum)
+	}
+}

@@ -76,6 +76,12 @@ func chromeArgs(r Record) map[string]any {
 	if r.Depth != 0 {
 		args["depth"] = r.Depth
 	}
+	if r.Value != 0 {
+		args["value"] = r.Value
+	}
+	if r.Aux != 0 {
+		args["aux"] = r.Aux
+	}
 	return args
 }
 

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/bits"
@@ -157,8 +158,8 @@ func (m *Metrics) observeLatency(d sim.Duration) { m.DispatchLatency.Observe(d) 
 
 // Count is one (name, count) pair of a sorted counter dump.
 type Count struct {
-	Name  string
-	Count uint64
+	Name  string `json:"name"`
+	Count uint64 `json:"count"`
 }
 
 func sortedCounts(in map[string]uint64) []Count {
@@ -182,9 +183,9 @@ func (m *Metrics) ActionCounts() []Count { return sortedCounts(m.perAction) }
 
 // ScopeDepth is one scope's queue-depth high-water mark.
 type ScopeDepth struct {
-	Scope     int
-	Thread    int
-	HighWater int
+	Scope     int `json:"scope"`
+	Thread    int `json:"thread"`
+	HighWater int `json:"high_water"`
 }
 
 // QueueHighWater returns per-scope queue-depth high-water marks sorted
@@ -200,6 +201,100 @@ func (m *Metrics) QueueHighWater() []ScopeDepth {
 		out = append(out, ScopeDepth{Scope: s, Thread: m.scopeThreads[s], HighWater: m.depthHWM[s]})
 	}
 	return out
+}
+
+// histogramBucketJSON is one occupied power-of-two bucket of the
+// dispatch-latency histogram; LoNs is the bucket's lower edge in
+// virtual nanoseconds.
+type histogramBucketJSON struct {
+	LoNs  uint64 `json:"lo_ns"`
+	Count uint64 `json:"count"`
+}
+
+// histogramJSON is the machine-readable dispatch-latency histogram.
+type histogramJSON struct {
+	Total   uint64                `json:"total"`
+	MeanMs  float64               `json:"mean_ms"`
+	P50Ms   float64               `json:"p50_ms"`
+	P99Ms   float64               `json:"p99_ms"`
+	MaxMs   float64               `json:"max_ms"`
+	Buckets []histogramBucketJSON `json:"buckets,omitempty"`
+}
+
+// metricsJSON is the machine-readable registry dump; maps are exported
+// through the sorted accessors so the encoding is deterministic.
+type metricsJSON struct {
+	Installs           uint64         `json:"installs"`
+	Enqueued           uint64         `json:"enqueued"`
+	Confirmed          uint64         `json:"confirmed"`
+	Dispatched         uint64         `json:"dispatched"`
+	Shed               uint64         `json:"shed"`
+	Cancelled          uint64         `json:"cancelled"`
+	Expired            uint64         `json:"expired"`
+	Panics             uint64         `json:"panics"`
+	Quarantines        uint64         `json:"quarantines"`
+	Native             uint64         `json:"native"`
+	PolicyDecisions    uint64         `json:"policy_decisions"`
+	InterposeCrossings uint64         `json:"interpose_crossings"`
+	InterposeVirtualMs float64        `json:"interpose_virtual_ms"`
+	DispatchLatency    histogramJSON  `json:"dispatch_latency"`
+	APICounts          []Count        `json:"api_counts,omitempty"`
+	ActionCounts       []Count        `json:"action_counts,omitempty"`
+	QueueHighWater     []ScopeDepth   `json:"queue_high_water,omitempty"`
+}
+
+// WriteJSON renders the registry as deterministic indented JSON: all
+// map-backed sections go through the sorted accessors and the histogram
+// dumps only its occupied buckets.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	if m == nil {
+		_, err := io.WriteString(w, "null\n")
+		return err
+	}
+	lat := &m.DispatchLatency
+	hist := histogramJSON{
+		Total:  lat.Total,
+		MeanMs: lat.Mean().Milliseconds(),
+		P50Ms:  lat.Quantile(0.50).Milliseconds(),
+		P99Ms:  lat.Quantile(0.99).Milliseconds(),
+		MaxMs:  lat.Max.Milliseconds(),
+	}
+	for i, c := range lat.Counts {
+		if c == 0 {
+			continue
+		}
+		lo := uint64(0)
+		if i > 0 {
+			lo = uint64(1) << uint(i)
+		}
+		hist.Buckets = append(hist.Buckets, histogramBucketJSON{LoNs: lo, Count: c})
+	}
+	out := metricsJSON{
+		Installs:           m.Installs,
+		Enqueued:           m.Enqueued,
+		Confirmed:          m.Confirmed,
+		Dispatched:         m.Dispatched,
+		Shed:               m.Shed,
+		Cancelled:          m.Cancelled,
+		Expired:            m.Expired,
+		Panics:             m.Panics,
+		Quarantines:        m.Quarantines,
+		Native:             m.Native,
+		PolicyDecisions:    m.PolicyDecisions,
+		InterposeCrossings: m.InterposeCrossings,
+		InterposeVirtualMs: m.InterposeVirtual.Milliseconds(),
+		DispatchLatency:    hist,
+		APICounts:          m.APICounts(),
+		ActionCounts:       m.ActionCounts(),
+		QueueHighWater:     m.QueueHighWater(),
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
 }
 
 // WriteSummary renders a deterministic human-readable metrics summary.

@@ -38,6 +38,12 @@ func FormatRecord(r Record) string {
 	if r.WorkerID != 0 {
 		fmt.Fprintf(&b, " worker=%d", r.WorkerID)
 	}
+	if r.Value != 0 {
+		fmt.Fprintf(&b, " value=%d", r.Value)
+	}
+	if r.Aux != 0 {
+		fmt.Fprintf(&b, " aux=%d", r.Aux)
+	}
 	return strings.TrimRight(b.String(), " ")
 }
 

@@ -152,11 +152,27 @@ type Record struct {
 	// Depth is the emitting scope's queue depth after the transition
 	// (enqueue/dispatch records).
 	Depth int
+	// Value is the record's numeric payload. Native records bridge the
+	// browser event's value through it (fetch IDs, buffer IDs, scope
+	// tokens); kernel records leave it zero.
+	Value int64
+	// Aux is a second numeric payload qualifying Value (native records:
+	// requested timer delays, clock-read bit patterns, frame indices).
+	Aux int64
 }
 
 // key identifies one event uniquely within a session: scope IDs are
 // session-unique and event IDs are unique within a scope.
 func (r Record) key() uint64 { return uint64(r.Scope)<<32 | r.Event }
+
+// Sink observes every record a Session emits, in emission order, after
+// the session has stamped it (Seq assigned, VT/LC high-waters folded).
+// Sinks let several consumers — exporters, validators, the obs layer —
+// watch one stream simultaneously without each buffering its own copy.
+// Implementations must be cheap and must not re-enter the session.
+type Sink interface {
+	Observe(Record)
+}
 
 // openEvent is the bookkeeping a Session keeps for every event that has
 // been enqueued but not yet retired.
@@ -177,6 +193,8 @@ type Session struct {
 	seq     uint64
 	records []Record
 	metrics *Metrics
+	sinks   []Sink
+	retain  bool // append records to the in-memory buffer
 
 	scopes int // session-unique scope ID allocator
 	runs   int // session-unique environment-generation allocator
@@ -187,13 +205,37 @@ type Session struct {
 	closed  bool
 }
 
-// NewSession returns an empty tracing session.
+// NewSession returns an empty tracing session that retains records
+// in memory (see SetRetain for streaming-only sessions).
 func NewSession() *Session {
 	return &Session{
+		retain:  true,
 		metrics: newMetrics(),
 		open:    make(map[uint64]openEvent),
 		scopeLC: make(map[int]sim.Time),
 	}
+}
+
+// Attach subscribes a sink to the session's record stream. Records
+// already emitted are not replayed; attach sinks before the run starts.
+func (s *Session) Attach(sink Sink) {
+	if s == nil || sink == nil {
+		return
+	}
+	s.sinks = append(s.sinks, sink)
+}
+
+// SetRetain controls whether emitted records are also appended to the
+// in-memory buffer behind Records. Sessions that exist only to feed
+// attached sinks (streaming profiles, forensics over huge matrices) can
+// switch retention off and run in constant memory; metrics and the
+// open-event ledger keep working either way. Retain-off sessions cannot
+// be absorbed into a parent (Absorb replays the record buffer).
+func (s *Session) SetRetain(retain bool) {
+	if s == nil {
+		return
+	}
+	s.retain = retain
 }
 
 // NextScope allocates a session-unique scope ID. Kernels call it at
@@ -213,8 +255,10 @@ func (s *Session) NextRun() int {
 	return s.runs
 }
 
-// Emit appends one record, stamping its sequence number and folding it
-// into the metrics registry. Safe on a nil session.
+// Emit streams one record: stamps its sequence number, folds it into
+// the metrics registry, fans it out to attached sinks, and (when the
+// session retains) appends it to the in-memory buffer. Safe on a nil
+// session.
 func (s *Session) Emit(r Record) {
 	if s == nil {
 		return
@@ -227,9 +271,14 @@ func (s *Session) Emit(r Record) {
 	if r.Scope != 0 && r.Op != OpNative && r.LC > s.scopeLC[r.Scope] {
 		s.scopeLC[r.Scope] = r.LC
 	}
-	s.records = append(s.records, r)
+	if s.retain {
+		s.records = append(s.records, r)
+	}
 	s.track(r)
 	s.metrics.observe(r)
+	for _, sink := range s.sinks {
+		sink.Observe(r)
+	}
 }
 
 // track maintains the open-event set used by Close and the
@@ -309,12 +358,12 @@ func (s *Session) Close() {
 // Closed reports whether Close has run.
 func (s *Session) Closed() bool { return s != nil && s.closed }
 
-// Len reports the number of records emitted so far.
+// Len reports the number of records emitted so far (retained or not).
 func (s *Session) Len() int {
 	if s == nil {
 		return 0
 	}
-	return len(s.records)
+	return int(s.seq)
 }
 
 // Records returns a copy of the session's records.
@@ -344,9 +393,10 @@ func (s *Session) Open() int {
 	return len(s.open)
 }
 
-// Reset clears records, metrics and open-event state, keeping the scope
-// allocator (scope IDs must never be reused within a session's
-// lifetime).
+// Reset clears records, metrics, sinks and open-event state, keeping
+// the scope allocator (scope IDs must never be reused within a
+// session's lifetime) and the retention setting. Sinks are detached
+// because their accumulated state would straddle the reset.
 func (s *Session) Reset() {
 	if s == nil {
 		return
@@ -354,6 +404,7 @@ func (s *Session) Reset() {
 	s.seq = 0
 	s.records = nil
 	s.metrics = newMetrics()
+	s.sinks = nil
 	s.open = make(map[uint64]openEvent)
 	s.scopeLC = make(map[int]sim.Time)
 	s.maxVT = 0

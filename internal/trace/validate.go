@@ -35,24 +35,24 @@ type Validator struct {
 
 // Report summarizes a validated trace.
 type Report struct {
-	Records  int
-	Enqueued int
+	Records  int `json:"records"`
+	Enqueued int `json:"enqueued"`
 	// Terminal-state accounting; when the trace is closed,
 	// Dispatched+Shed+Cancelled+Expired == Enqueued.
-	Dispatched int
-	Shed       int
-	Cancelled  int
-	Expired    int
+	Dispatched int `json:"dispatched"`
+	Shed       int `json:"shed"`
+	Cancelled  int `json:"cancelled"`
+	Expired    int `json:"expired"`
 	// Open counts enqueued events with no terminal record (always 0 for
 	// closed traces).
-	Open int
+	Open int `json:"open"`
 	// PolicyDecisions counts OpPolicy records (both per-event scheduling
 	// decisions and per-call verdicts).
-	PolicyDecisions int
+	PolicyDecisions int `json:"policy_decisions"`
 	// Scopes and Threads count the distinct kernelized scopes and
 	// threads observed.
-	Scopes  int
-	Threads int
+	Scopes  int `json:"scopes"`
+	Threads int `json:"threads"`
 }
 
 // evState tracks one event's lifecycle during replay.
@@ -63,134 +63,178 @@ type evState struct {
 	terminal  Op
 }
 
-// Validate replays records (in the given order) against the invariants,
-// returning a summary report. The first violation aborts with an error
-// naming the offending record.
-func (v Validator) Validate(recs []Record) (*Report, error) {
-	rep := &Report{Records: len(recs)}
-	events := make(map[uint64]*evState)
-	lastVT := make(map[uint64]sim.Time) // per-(run, thread) kernel-record VT
-	lastLC := make(map[int]sim.Time)    // per-scope logical clock
-	scopes := make(map[int]bool)
-	threads := make(map[uint64]bool)
-	var lastSeq uint64
+// StreamValidator checks the lifecycle invariants record-by-record as a
+// streaming Sink, so a session that retains nothing can still be
+// validated. Observe is sticky on the first violation; Finish runs the
+// end-of-trace accounting checks and returns the report.
+type StreamValidator struct {
+	allowOpen bool
 
-	threadKey := func(r Record) uint64 {
-		return uint64(r.Run)<<32 | uint64(uint32(r.Thread))
+	rep     Report
+	events  map[uint64]*evState
+	lastVT  map[uint64]sim.Time // per-(run, thread) kernel-record VT
+	lastLC  map[int]sim.Time    // per-scope logical clock
+	scopes  map[int]bool
+	threads map[uint64]bool
+	lastSeq uint64
+	err     error
+}
+
+// NewStreamValidator returns a streaming validator; allowOpen accepts
+// traces whose tail leaves events enqueued but unretired.
+func NewStreamValidator(allowOpen bool) *StreamValidator {
+	return &StreamValidator{
+		allowOpen: allowOpen,
+		events:    make(map[uint64]*evState),
+		lastVT:    make(map[uint64]sim.Time),
+		lastLC:    make(map[int]sim.Time),
+		scopes:    make(map[int]bool),
+		threads:   make(map[uint64]bool),
 	}
+}
 
-	fail := func(r Record, format string, args ...any) (*Report, error) {
-		return nil, fmt.Errorf("trace: invalid record #%d (%s %s ev=%d scope=%d): %s",
+// Observe folds one record into the replay. Violations latch: once a
+// record fails, later records are ignored and Finish reports the first
+// error.
+func (v *StreamValidator) Observe(r Record) {
+	if v.err != nil {
+		return
+	}
+	v.err = v.observe(r)
+}
+
+func (v *StreamValidator) observe(r Record) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("trace: invalid record #%d (%s %s ev=%d scope=%d): %s",
 			r.Seq, r.Op, r.API, r.Event, r.Scope, fmt.Sprintf(format, args...))
 	}
 
-	for _, r := range recs {
-		if r.Seq <= lastSeq {
-			return fail(r, "sequence not strictly increasing (prev %d)", lastSeq)
+	v.rep.Records++
+	if r.Seq <= v.lastSeq {
+		return fail("sequence not strictly increasing (prev %d)", v.lastSeq)
+	}
+	v.lastSeq = r.Seq
+	tk := uint64(r.Run)<<32 | uint64(uint32(r.Thread))
+	v.threads[tk] = true
+	if r.Scope != 0 {
+		v.scopes[r.Scope] = true
+	}
+
+	if r.Op != OpNative {
+		if vt, ok := v.lastVT[tk]; ok && r.VT < vt {
+			return fail("virtual time moved backwards on run %d thread %d (%s < %s)",
+				r.Run, r.Thread, fmtVT(r.VT), fmtVT(vt))
 		}
-		lastSeq = r.Seq
-		tk := threadKey(r)
-		threads[tk] = true
+		v.lastVT[tk] = r.VT
 		if r.Scope != 0 {
-			scopes[r.Scope] = true
-		}
-
-		if r.Op != OpNative {
-			if vt, ok := lastVT[tk]; ok && r.VT < vt {
-				return fail(r, "virtual time moved backwards on run %d thread %d (%s < %s)",
-					r.Run, r.Thread, fmtVT(r.VT), fmtVT(vt))
+			if lc, ok := v.lastLC[r.Scope]; ok && r.LC < lc {
+				return fail("logical clock moved backwards on scope %d (%s < %s)",
+					r.Scope, fmtVT(r.LC), fmtVT(lc))
 			}
-			lastVT[tk] = r.VT
-			if r.Scope != 0 {
-				if lc, ok := lastLC[r.Scope]; ok && r.LC < lc {
-					return fail(r, "logical clock moved backwards on scope %d (%s < %s)",
-						r.Scope, fmtVT(r.LC), fmtVT(lc))
-				}
-				lastLC[r.Scope] = r.LC
-			}
-		}
-
-		switch r.Op {
-		case OpPolicy:
-			rep.PolicyDecisions++
-		case OpInstall, OpNative, OpQuarantine:
-			// Not event-scoped.
-			continue
-		}
-		if r.Event == 0 || r.Scope == 0 {
-			continue
-		}
-
-		k := r.key()
-		st := events[k]
-		if st == nil {
-			st = &evState{}
-			events[k] = st
-		}
-		if st.terminal != 0 && r.Op != OpPolicy {
-			return fail(r, "lifecycle record after terminal %s", st.terminal)
-		}
-		switch r.Op {
-		case OpPolicy:
-			st.policied = true
-		case OpEnqueue:
-			if st.enqueued {
-				return fail(r, "event enqueued twice")
-			}
-			st.enqueued = true
-			rep.Enqueued++
-		case OpConfirm:
-			if !st.enqueued {
-				return fail(r, "confirmation for an event never enqueued")
-			}
-			st.confirmed = true
-		case OpDispatch:
-			if !st.enqueued {
-				return fail(r, "dispatch of an event never enqueued")
-			}
-			if !st.policied {
-				return fail(r, "dispatch without a prior policy decision")
-			}
-			if !st.confirmed {
-				return fail(r, "dispatch without a prior confirmation")
-			}
-			st.terminal = OpDispatch
-			rep.Dispatched++
-		case OpShed, OpCancel, OpExpire:
-			if !st.enqueued {
-				return fail(r, "terminal %s for an event never enqueued", r.Op)
-			}
-			st.terminal = r.Op
-			switch r.Op {
-			case OpShed:
-				rep.Shed++
-			case OpCancel:
-				rep.Cancelled++
-			case OpExpire:
-				rep.Expired++
-			}
-		case OpPanic:
-			if st.terminal != OpDispatch {
-				return fail(r, "panic recovery outside a dispatch")
-			}
+			v.lastLC[r.Scope] = r.LC
 		}
 	}
 
-	for _, st := range events {
+	switch r.Op {
+	case OpPolicy:
+		v.rep.PolicyDecisions++
+	case OpInstall, OpNative, OpQuarantine:
+		// Not event-scoped.
+		return nil
+	}
+	if r.Event == 0 || r.Scope == 0 {
+		return nil
+	}
+
+	k := r.key()
+	st := v.events[k]
+	if st == nil {
+		st = &evState{}
+		v.events[k] = st
+	}
+	if st.terminal != 0 && r.Op != OpPolicy {
+		return fail("lifecycle record after terminal %s", st.terminal)
+	}
+	switch r.Op {
+	case OpPolicy:
+		st.policied = true
+	case OpEnqueue:
+		if st.enqueued {
+			return fail("event enqueued twice")
+		}
+		st.enqueued = true
+		v.rep.Enqueued++
+	case OpConfirm:
+		if !st.enqueued {
+			return fail("confirmation for an event never enqueued")
+		}
+		st.confirmed = true
+	case OpDispatch:
+		if !st.enqueued {
+			return fail("dispatch of an event never enqueued")
+		}
+		if !st.policied {
+			return fail("dispatch without a prior policy decision")
+		}
+		if !st.confirmed {
+			return fail("dispatch without a prior confirmation")
+		}
+		st.terminal = OpDispatch
+		v.rep.Dispatched++
+	case OpShed, OpCancel, OpExpire:
+		if !st.enqueued {
+			return fail("terminal %s for an event never enqueued", r.Op)
+		}
+		st.terminal = r.Op
+		switch r.Op {
+		case OpShed:
+			v.rep.Shed++
+		case OpCancel:
+			v.rep.Cancelled++
+		case OpExpire:
+			v.rep.Expired++
+		}
+	case OpPanic:
+		if st.terminal != OpDispatch {
+			return fail("panic recovery outside a dispatch")
+		}
+	}
+	return nil
+}
+
+// Finish runs the end-of-trace accounting checks and returns the
+// report, or the first violation observed.
+func (v *StreamValidator) Finish() (*Report, error) {
+	if v.err != nil {
+		return nil, v.err
+	}
+	rep := v.rep
+	for _, st := range v.events {
 		if st.enqueued && st.terminal == 0 {
 			rep.Open++
 		}
 	}
-	rep.Scopes = len(scopes)
-	rep.Threads = len(threads)
+	rep.Scopes = len(v.scopes)
+	rep.Threads = len(v.threads)
 
-	if rep.Open > 0 && !v.AllowOpen {
+	if rep.Open > 0 && !v.allowOpen {
 		return nil, fmt.Errorf("trace: %d enqueued events never reached a terminal state (close the session, or set AllowOpen for raw traces)", rep.Open)
 	}
 	if got := rep.Dispatched + rep.Shed + rep.Cancelled + rep.Expired + rep.Open; got != rep.Enqueued {
 		return nil, fmt.Errorf("trace: terminal accounting broken: dispatched+shed+cancelled+expired+open = %d, enqueued = %d", got, rep.Enqueued)
 	}
-	return rep, nil
+	return &rep, nil
+}
+
+// Validate replays records (in the given order) against the invariants,
+// returning a summary report. The first violation aborts with an error
+// naming the offending record.
+func (v Validator) Validate(recs []Record) (*Report, error) {
+	sv := NewStreamValidator(v.AllowOpen)
+	for _, r := range recs {
+		sv.Observe(r)
+	}
+	return sv.Finish()
 }
 
 // Validate checks a trace against the strict invariants (no open

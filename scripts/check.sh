@@ -31,10 +31,11 @@ stage "jsk-lint ./internal/... ./cmd/..."
 go run ./cmd/jsk-lint ./internal/... ./cmd/... || fail "jsk-lint"
 
 # The race stage gets an explicit timeout: the expr suite runs full
-# Table I matrices three times over for the parallel-determinism guard,
-# which on a small CI box does not fit go test's default 10m budget.
+# Table I matrices several times over for the parallel-determinism and
+# forensic-agreement guards, which on a small CI box does not fit
+# go test's default 10m budget.
 stage "go test -race ./..."
-go test -race -timeout 30m ./... || fail "go test -race"
+go test -race -timeout 45m ./... || fail "go test -race"
 
 # Golden traces run as part of the suite above, but re-run here without
 # -race so byte-level determinism is checked in the exact configuration
@@ -47,6 +48,19 @@ trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT
 go run ./cmd/jsk-eval -dromaeo -trace "$trace_tmp/dromaeo-trace.json" >/dev/null || fail "trace export smoke"
 test -s "$trace_tmp/dromaeo-trace.json" || fail "trace export smoke (empty output)"
+
+# Observability smoke: the streaming consumers must attach, profile and
+# report without perturbing the run — flamegraph, telemetry report and
+# metrics registry all non-empty from one traced Dromaeo pass.
+stage "obs smoke (profile + obs-report + metrics)"
+go run ./cmd/jsk-eval -dromaeo \
+	-profile "$trace_tmp/dromaeo.folded" \
+	-obs-report "$trace_tmp/obs" \
+	-metrics "$trace_tmp/metrics.json" >/dev/null || fail "obs smoke"
+test -s "$trace_tmp/dromaeo.folded" || fail "obs smoke (empty flamegraph)"
+test -s "$trace_tmp/obs/report.json" || fail "obs smoke (empty report.json)"
+test -s "$trace_tmp/obs/summary.txt" || fail "obs smoke (empty summary.txt)"
+test -s "$trace_tmp/metrics.json" || fail "obs smoke (empty metrics.json)"
 
 echo ""
 echo "== OK: all stages passed"
