@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check chaos bench-parallel bench-obs clean
+.PHONY: all build test race vet lint check chaos bench-parallel bench-obs bench-serve clean
 
 all: build
 
@@ -43,6 +43,13 @@ bench-parallel:
 # results are byte-identical either way, and writes BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/jsk-bench -obs -out BENCH_obs.json
+
+# bench-serve load-tests the jsk-serve daemon: sustained throughput and
+# p50/p95/p99 latency, then an overload run on a pool-1 queue-1 server
+# that must shed load (429s) while every served response stays
+# byte-identical to the unloaded reference. Writes BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/jsk-bench -serve -out BENCH_serve.json
 
 clean:
 	$(GO) clean ./...

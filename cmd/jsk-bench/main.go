@@ -8,12 +8,19 @@
 // browser observability events, profiler and detectors attached),
 // checking the rendered results are byte-identical either way.
 //
+// With -serve it benchmarks the jsk-serve daemon: sustained-load
+// throughput and client-observed latency percentiles, plus a
+// deliberate overload run against a pool-1 queue-1 server showing the
+// shed rate rise while every served response stays byte-identical to
+// the unloaded reference.
+//
 // Usage:
 //
 //	jsk-bench                      # quick-scale Table I, pool width = 8
 //	jsk-bench -parallel 4 -reps 10
 //	jsk-bench -out BENCH_parallel.json
 //	jsk-bench -obs                 # Dromaeo obs-on vs obs-off -> BENCH_obs.json
+//	jsk-bench -serve               # jsk-serve load + overload -> BENCH_serve.json
 //
 // The report records the machine's CPU count: on a single-CPU host the
 // pool cannot beat the serial loop (speedup ≈ 1.0 minus scheduling
@@ -70,7 +77,9 @@ func run(args []string) error {
 		reps     = fs.Int("reps", 0, "override the repetition budget")
 		paper    = fs.Bool("paper", false, "paper-scale parameters (slow); default is quick scale")
 		obsMode  = fs.Bool("obs", false, "measure the observability tax instead: Dromaeo with telemetry off vs fully on")
-		out      = fs.String("out", "", "report output path (default BENCH_parallel.json, or BENCH_obs.json with -obs)")
+		srvMode  = fs.Bool("serve", false, "measure jsk-serve instead: sustained throughput/latency plus an overload run")
+		srvReqs  = fs.Int("serve-requests", 200, "requests per serve benchmark phase (with -serve)")
+		out      = fs.String("out", "", "report output path (default BENCH_parallel.json; BENCH_obs.json with -obs; BENCH_serve.json with -serve)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,14 +93,20 @@ func run(args []string) error {
 		cfg.Reps = *reps
 	}
 	if *out == "" {
-		if *obsMode {
+		switch {
+		case *obsMode:
 			*out = "BENCH_obs.json"
-		} else {
+		case *srvMode:
+			*out = "BENCH_serve.json"
+		default:
 			*out = "BENCH_parallel.json"
 		}
 	}
 	if *obsMode {
 		return runObs(cfg, *out)
+	}
+	if *srvMode {
+		return runServe(*srvReqs, *out)
 	}
 
 	render := func(width int) ([]byte, time.Duration, error) {

@@ -1,0 +1,82 @@
+// Command jsk-serve runs the kernel as a service: an HTTP daemon that
+// evaluates Table I cells — (attack, defense, seed) coordinates — on a
+// bounded pool of warm, reset-instead-of-rebuilt kernel environments.
+//
+// Usage:
+//
+//	jsk-serve                         # serve on 127.0.0.1:8571
+//	jsk-serve -addr :9000 -pool 8     # wider pool on another port
+//	jsk-serve -telemetry              # aggregate kernel metrics in /statsz
+//	jsk-serve -smoke                  # run the CI smoke suite and exit
+//
+// Endpoints: POST /v1/eval, GET /healthz, /readyz, /statsz. A request:
+//
+//	curl -s localhost:8571/v1/eval -d '{"attack":"loopscan","defense":"jskernel-chrome","seed":42}'
+//
+// Overload sheds explicitly (429 + Retry-After), SIGTERM/SIGINT drains
+// gracefully, and the same body+seed always returns byte-identical
+// responses regardless of pool width or environment reuse.
+//
+// This command contains no goroutines: serving, draining and signal
+// handling all live in internal/serve's audited functions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jskernel/internal/serve"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("jsk-serve", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8571", "listen address")
+		pool      = fs.Int("pool", 0, "evaluation workers, each owning one warm kernel environment (0 = one per CPU)")
+		queue     = fs.Int("queue", 0, "admission queue depth before 429s (0 = 4x pool)")
+		deadline  = fs.Duration("deadline", 30*time.Second, "default per-request completion budget")
+		reps      = fs.Int("reps", 0, "default repetition budget for timing rows (0 = 5)")
+		maxReps   = fs.Int("max-reps", 0, "repetition budget cap (0 = 25)")
+		drain     = fs.Duration("drain-timeout", 60*time.Second, "graceful drain bound after SIGTERM/SIGINT")
+		telemetry = fs.Bool("telemetry", false, "trace every evaluation and aggregate kernel metrics in /statsz")
+		smoke     = fs.Bool("smoke", false, "run the service smoke suite (determinism, overload shedding, drain) and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *smoke {
+		return serve.Smoke(w)
+	}
+
+	cfg := serve.Config{
+		Pool:            *pool,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		DefaultReps:     *reps,
+		MaxReps:         *maxReps,
+		Telemetry:       *telemetry,
+		Log:             w,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(stop)
+	return serve.New(cfg).Run(ln, stop, *drain)
+}

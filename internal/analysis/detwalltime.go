@@ -31,6 +31,13 @@ var wallClockAllowedPkgs = []string{
 	// experiment runner — the one number in the repo that is *about*
 	// real time. The experiments it times remain fully virtual-clocked.
 	"cmd/jsk-bench",
+	// The service layer's deadlines, Retry-After hints, circuit-breaker
+	// cooldowns and drain timeouts are promises to real HTTP clients, so
+	// they must live on the real clock. The simulations it runs stay on
+	// virtual time, and nothing wall-clock-derived may appear in a
+	// response body (pinned by the serve determinism tests).
+	"internal/serve",
+	"cmd/jsk-serve",
 }
 
 // DetWallTime rejects wall-clock observation outside the allowlist.

@@ -107,6 +107,17 @@ var clock = time.Now
 `)
 		wantFindings(t, diags, [2]any{"detwalltime", 5})
 	})
+	t.Run("service layer is allowlisted", func(t *testing.T) {
+		// internal/serve lives on the wall clock by design: deadlines and
+		// Retry-After hints are promises to real clients.
+		diags := fixtures.run(t, "jskernel/internal/serve", `package serve
+
+import "time"
+
+func deadline(budget time.Duration) time.Time { return time.Now().Add(budget) }
+`)
+		wantFindings(t, diags)
+	})
 }
 
 func TestDetRand(t *testing.T) {
@@ -277,6 +288,55 @@ func sup(f func()) {
 }
 `)
 		wantFindings(t, diags)
+	})
+	t.Run("sanctioned serve function passes", func(t *testing.T) {
+		// startWorkers is on the audited per-function allowlist for
+		// internal/serve: a go statement inside it is sanctioned.
+		diags := fixtures.run(t, "jskernel/internal/serve", `package serve
+
+func startWorkers(f func()) {
+	go f()
+}
+`)
+		wantFindings(t, diags)
+	})
+	t.Run("unsanctioned serve goroutine still flags", func(t *testing.T) {
+		// The sanction table is per-function, not a package waiver: the
+		// same go statement in a function that is not on the list flags,
+		// even though startWorkers in the same package is sanctioned.
+		diags := fixtures.run(t, "jskernel/internal/serve", `package serve
+
+func startWorkers(f func()) {
+	go f()
+}
+
+func handleEval(f func()) {
+	go f()
+}
+`)
+		wantFindings(t, diags, [2]any{"goroutinescope", 8})
+	})
+	t.Run("sanctioned name in another package still flags", func(t *testing.T) {
+		// The sanction is keyed by (package, function), so reusing the
+		// name elsewhere buys nothing.
+		diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+func startWorkers(f func()) {
+	go f()
+}
+`)
+		wantFindings(t, diags, [2]any{"goroutinescope", 4})
+	})
+	t.Run("goroutine in var initializer flags", func(t *testing.T) {
+		// go statements outside any declared function (function literals
+		// in var initializers) are never sanctioned.
+		diags := fixtures.run(t, "jskernel/internal/serve", `package serve
+
+var spawn = func(f func()) {
+	go f()
+}
+`)
+		wantFindings(t, diags, [2]any{"goroutinescope", 4})
 	})
 }
 

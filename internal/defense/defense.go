@@ -63,6 +63,30 @@ type Defense struct {
 	// OpNative bridge into the session, where internal/obs consumers
 	// reconstruct measurement harnesses and attack signatures from them.
 	Obs bool
+	// Runtime, when non-nil, binds per-request service-layer machinery
+	// (a pooled kernel.Environment, a cooperative-cancellation hook) into
+	// every environment this defense builds. Attack evaluators construct
+	// environments internally, so — like FaultPlan and Tracer — the
+	// binding rides on the defense value.
+	Runtime *Runtime
+}
+
+// Runtime is the service layer's per-request binding into environment
+// construction. jsk-serve sets one per admitted request; batch
+// experiments leave it nil.
+type Runtime struct {
+	// Env, when non-nil, is reused (reset, not rebuilt) as the kernel
+	// Environment of every kernel-based environment this defense builds.
+	// The Reset contract keeps runs byte-identical to fresh-environment
+	// runs; non-kernel defenses ignore it. The owner must build
+	// environments sequentially — a pooled Environment serves one
+	// simulation at a time.
+	Env *kernel.Environment
+	// Canceled, when non-nil, is polled by the simulator between event
+	// dispatches; returning true abandons the run with sim.ErrCanceled.
+	// Callers must then surface a typed cancellation error, never any
+	// partial verdict.
+	Canceled func() bool
 }
 
 // WithFaults returns a copy of the defense that builds every
@@ -83,6 +107,13 @@ func (d Defense) WithTracer(t *trace.Session) Defense {
 // enabled or disabled.
 func (d Defense) WithObs(obs bool) Defense {
 	d.Obs = obs
+	return d
+}
+
+// WithRuntime returns a copy of the defense carrying a service-layer
+// runtime binding (nil clears it).
+func (d Defense) WithRuntime(rt *Runtime) Defense {
+	d.Runtime = rt
 	return d
 }
 
@@ -143,6 +174,9 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		opts.MaxSteps = 20_000_000
 	}
 	s.MaxSteps = opts.MaxSteps
+	if d.Runtime != nil && d.Runtime.Canceled != nil {
+		s.SetCanceled(d.Runtime.Canceled)
+	}
 
 	cfg := webnet.DefaultConfig()
 	if opts.NetConfig != nil {
@@ -172,6 +206,14 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		ObsEvents:   d.Obs && d.Tracer != nil,
 	}
 	var shared *kernel.Shared
+	// newShared takes the warm-pool path when the service layer bound a
+	// reusable Environment to this defense.
+	newShared := func(p kernel.Policy) *kernel.Shared {
+		if d.Runtime != nil && d.Runtime.Env != nil {
+			return kernel.NewSharedReusing(p, d.Runtime.Env)
+		}
+		return kernel.NewShared(p)
+	}
 	switch d.Kind {
 	case KindLegacy:
 		// Unmodified browser.
@@ -183,7 +225,7 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		if inj != nil {
 			p = inj.WrapPolicy(p)
 		}
-		shared = kernel.NewShared(p)
+		shared = newShared(p)
 		shared.SetTracer(d.Tracer)
 		bopts.InstallScope = shared.Install
 	case KindDeterFox:
@@ -194,7 +236,7 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 		p := policy.Deterministic()
 		p.PolicyName = "deterfox-determinism"
 		p.QuantumMicros = 4000
-		shared = kernel.NewShared(p)
+		shared = newShared(p)
 		shared.SetTracer(d.Tracer)
 		bopts.InstallScope = shared.Install
 	case KindFuzzyfox:

@@ -1,0 +1,139 @@
+package defense_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/kernel"
+	"jskernel/internal/report"
+	"jskernel/internal/trace"
+)
+
+// cellOutput is everything one Table I cell produces: the verdict, the
+// rendered table row, the per-channel statistics, and the full
+// validated lifecycle trace.
+type cellOutput struct {
+	defended bool
+	channels []attack.ChannelResult
+	table    []byte
+	records  []trace.Record
+	report   trace.Report
+}
+
+// runCell evaluates one timing cell with a trace session attached,
+// optionally on a pooled environment (nil = fresh construction, the
+// pre-pooling behavior).
+func runCell(t *testing.T, env *kernel.Environment) cellOutput {
+	t.Helper()
+	d, err := defense.ByID("jskernel-chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := trace.NewSession()
+	d = d.WithTracer(sess)
+	if env != nil {
+		d = d.WithRuntime(&defense.Runtime{Env: env})
+	}
+	var a *attack.TimingAttack
+	for _, ta := range attack.TimingAttacks() {
+		if ta.ID == "loopscan" {
+			a = ta
+		}
+	}
+	out := a.Evaluate(d, 2, 42)
+	sess.Close()
+	recs := sess.Records()
+	rep, err := trace.Validate(recs)
+	if err != nil {
+		t.Fatalf("trace validation: %v", err)
+	}
+	tbl := &report.Table{Title: "Table I cell", Columns: []string{"Attack", d.Label}}
+	tbl.AddRow(a.Label, report.Mark(out.Defended))
+	var buf bytes.Buffer
+	if err := tbl.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return cellOutput{
+		defended: out.Defended,
+		channels: out.Channels,
+		table:    buf.Bytes(),
+		records:  recs,
+		report:   *rep,
+	}
+}
+
+// TestResetEnvironmentByteIdentical is the environment-reuse pin: a
+// Table I cell evaluated on a pooled, Reset environment produces output
+// byte-identical to a fresh environment — verdict, channel statistics,
+// rendered table, and the complete validated trace — across at least
+// three reuse generations. This is the property that lets jsk-serve
+// reset-instead-of-rebuild without shedding accuracy.
+func TestResetEnvironmentByteIdentical(t *testing.T) {
+	fresh := runCell(t, nil)
+	if !fresh.defended {
+		t.Fatal("baseline cell must be defended (jskernel-chrome vs loopscan)")
+	}
+
+	pooled := kernel.NewEnvironment()
+	for gen := 1; gen <= 4; gen++ {
+		got := runCell(t, pooled)
+		if got.defended != fresh.defended {
+			t.Fatalf("generation %d: verdict flipped on reused environment", gen)
+		}
+		if !reflect.DeepEqual(got.channels, fresh.channels) {
+			t.Errorf("generation %d: channel statistics diverged:\nfresh: %+v\nreuse: %+v", gen, fresh.channels, got.channels)
+		}
+		if !bytes.Equal(got.table, fresh.table) {
+			t.Errorf("generation %d: rendered table diverged:\nfresh:\n%s\nreuse:\n%s", gen, fresh.table, got.table)
+		}
+		if !reflect.DeepEqual(got.records, fresh.records) {
+			t.Errorf("generation %d: lifecycle trace diverged (%d vs %d records)", gen, len(fresh.records), len(got.records))
+		}
+		if !reflect.DeepEqual(got.report, fresh.report) {
+			t.Errorf("generation %d: trace validation report diverged", gen)
+		}
+	}
+}
+
+// TestResetEnvironmentAcrossCells reuses one environment across
+// *different* cells and checks each against its fresh reference —
+// leakage from cell A into cell B would show up as divergence in B.
+func TestResetEnvironmentAcrossCells(t *testing.T) {
+	run := func(env *kernel.Environment, attackID string, defID string, seed int64) attack.Outcome {
+		d, err := defense.ByID(defID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env != nil {
+			d = d.WithRuntime(&defense.Runtime{Env: env})
+		}
+		for _, ta := range attack.TimingAttacks() {
+			if ta.ID == attackID {
+				return ta.Evaluate(d, 2, seed)
+			}
+		}
+		t.Fatalf("unknown attack %s", attackID)
+		return attack.Outcome{}
+	}
+	cells := []struct {
+		attack string
+		def    string
+		seed   int64
+	}{
+		{"loopscan", "jskernel-chrome", 42},
+		{"cache-attack", "jskernel-chrome", 7},
+		{"clock-edge", "deterfox", 11},
+		{"loopscan", "jskernel-chrome", 42}, // repeat of cell 0 after pollution
+	}
+	env := kernel.NewEnvironment()
+	for i, c := range cells {
+		fresh := run(nil, c.attack, c.def, c.seed)
+		reused := run(env, c.attack, c.def, c.seed)
+		if fresh.Defended != reused.Defended || !reflect.DeepEqual(fresh.Channels, reused.Channels) {
+			t.Errorf("cell %d (%s/%s): reused environment diverged from fresh", i, c.attack, c.def)
+		}
+	}
+}

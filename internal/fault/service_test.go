@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestServiceDecideDeterministic pins the property the chaos harness
+// leans on: fault placement is a pure function of (plan, run seed,
+// request index), independent of call order or concurrency.
+func TestServiceDecideDeterministic(t *testing.T) {
+	plan, err := ServicePlanByName("svc-mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	a := NewServiceInjector(plan, 7)
+	b := NewServiceInjector(plan, 7)
+
+	want := make([]ServiceFault, n)
+	for i := 0; i < n; i++ {
+		want[i] = a.Decide(i)
+	}
+	// Same inputs, reversed order and concurrent callers: same placement.
+	got := make([]ServiceFault, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := n - 1 - w; i >= 0; i -= 4 {
+				got[i] = b.Decide(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d: fault %v under concurrency, %v serially", i, got[i], want[i])
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Fatalf("counts diverge: %v vs %v", a.Counts(), b.Counts())
+	}
+}
+
+// TestServiceSeedsDecorrelate checks that run seeds and plan seeds both
+// move the placement — the same request index must not be doomed to the
+// same fate across every chaos run.
+func TestServiceSeedsDecorrelate(t *testing.T) {
+	plan, _ := ServicePlanByName("svc-mixed")
+	const n = 256
+	base := NewServiceInjector(plan, 1)
+	other := NewServiceInjector(plan, 2)
+	diff := 0
+	for i := 0; i < n; i++ {
+		if base.Peek(i) != other.Peek(i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("changing the run seed moved no fault decisions")
+	}
+}
+
+// TestServicePlansFire checks every standard plan actually delivers its
+// fault family at roughly the configured rate, and that counts add up.
+func TestServicePlansFire(t *testing.T) {
+	const n = 1000
+	for _, plan := range ServicePlans() {
+		in := NewServiceInjector(plan, 42)
+		perKind := map[ServiceFault]int{}
+		for i := 0; i < n; i++ {
+			perKind[in.Decide(i)]++
+		}
+		c := in.Counts()
+		if got := c.Total(); got != uint64(n-perKind[ServiceNone]) {
+			t.Errorf("%s: counted %d faults, delivered %d", plan.Name, got, n-perKind[ServiceNone])
+		}
+		total := plan.Service.DisconnectRate + plan.Service.StallRate +
+			plan.Service.MalformedRate + plan.Service.EnvPanicRate
+		want := total * n
+		got := float64(c.Total())
+		if got < want*0.7 || got > want*1.3 {
+			t.Errorf("%s: delivered %0.f faults, configured rate predicts ~%0.f", plan.Name, got, want)
+		}
+		// Each configured family fired; each unconfigured family did not.
+		checks := []struct {
+			rate  float64
+			kind  ServiceFault
+			fired uint64
+		}{
+			{plan.Service.DisconnectRate, ServiceDisconnect, c.Disconnects},
+			{plan.Service.StallRate, ServiceStall, c.Stalls},
+			{plan.Service.MalformedRate, ServiceMalformed, c.Malformed},
+			{plan.Service.EnvPanicRate, ServiceEnvPanic, c.EnvPanics},
+		}
+		for _, ch := range checks {
+			if ch.rate > 0 && ch.fired == 0 {
+				t.Errorf("%s: %v configured at %v but never fired in %d requests", plan.Name, ch.kind, ch.rate, n)
+			}
+			if ch.rate == 0 && ch.fired != 0 {
+				t.Errorf("%s: %v not configured but fired %d times", plan.Name, ch.kind, ch.fired)
+			}
+		}
+	}
+}

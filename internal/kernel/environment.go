@@ -66,6 +66,32 @@ func NewEnvironment() *Environment {
 	}
 }
 
+// Reset returns the environment to the state NewEnvironment builds,
+// keeping its allocated maps and journal backing array so a warm pool
+// can reuse environments without rebuilding them. The contract is
+// strict: a run on a reset environment must be byte-identical to the
+// same run on a fresh one, at any reuse depth — nothing observable may
+// survive a reset. jsk-serve's worker pool calls this between requests;
+// the pin tests in internal/kernel and internal/expr enforce the
+// contract across multiple reuse generations.
+func (e *Environment) Reset() {
+	e.simNow = nil
+	e.journal = e.journal[:0]
+	e.decisionSeq = 0
+	e.droppedDecisions = 0
+	e.watchdogDeadline = DefaultWatchdogDeadline
+	e.maxQueueDepth = DefaultMaxQueueDepth
+	e.callbackFault = nil
+	e.policyPanics = 0
+	e.lastPolicyPanic = nil
+	e.tracer = nil
+	e.traceRun = 0
+	e.lastBufAccess = 0
+	clear(e.pendingFetch)
+	clear(e.transferred)
+	clear(e.deferredTerm)
+}
+
 // setTracer attaches a lifecycle trace session and allocates this
 // environment's run generation from it. Nil detaches.
 func (e *Environment) setTracer(t *trace.Session) {

@@ -74,6 +74,23 @@ func NewShared(p Policy) *Shared {
 	}
 }
 
+// NewSharedReusing is NewShared built around a caller-owned Environment
+// instead of a fresh one, resetting it first. It is the zero-rebuild
+// path for warm environment pools (jsk-serve): the pooled Environment
+// keeps its allocated maps across runs while the Reset contract
+// guarantees the run itself is indistinguishable from one on a fresh
+// environment. The caller must not share env with any other live
+// Shared.
+func NewSharedReusing(p Policy, env *Environment) *Shared {
+	if env == nil {
+		return NewShared(p)
+	}
+	s := NewShared(p)
+	env.Reset()
+	s.env = env
+	return s
+}
+
 // Env returns the environment owning this browser's run-scoped state.
 func (s *Shared) Env() *Environment { return s.env }
 

@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// breaker is the circuit breaker around environment poisonings. A
+// single panicking evaluation is absorbed locally — the worker discards
+// and replaces its environment, neighbors never notice — but threshold
+// consecutive poisonings suggest the *input stream* is hostile or a
+// systemic bug is loose, so the breaker opens: admissions are refused
+// with a typed, retryable error until the cooldown elapses. The first
+// traffic after the cooldown probes the pool (half-open); one success
+// closes the breaker, one more poisoning reopens it for a fresh
+// cooldown.
+//
+// State transitions ride on evaluation outcomes, never on timers of
+// their own, so the breaker adds no goroutines.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	log       io.Writer
+
+	mu          sync.Mutex
+	consecutive int
+	openUntil   time.Time
+}
+
+// failure records one environment poisoning; crossing the threshold
+// opens (or re-opens) the breaker.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		wasOpen := now.Before(b.openUntil)
+		b.openUntil = now.Add(b.cooldown)
+		if !wasOpen && b.log != nil {
+			fmt.Fprintf(b.log, "jsk-serve: breaker open (%d consecutive poisonings, cooldown %v)\n",
+				b.consecutive, b.cooldown)
+		}
+	}
+}
+
+// success records a completed evaluation, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consecutive >= b.threshold && b.log != nil {
+		fmt.Fprintf(b.log, "jsk-serve: breaker closed (probe succeeded)\n")
+	}
+	b.consecutive = 0
+	b.openUntil = time.Time{}
+}
+
+// rejects reports whether admissions are currently refused, and if so
+// how long until the next probe window.
+func (b *breaker) rejects(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.Before(b.openUntil) {
+		return true, b.openUntil.Sub(now)
+	}
+	return false, 0
+}

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is the retrying evaluation client. Its retry loop is driven
+// entirely by the typed-error contract: a failure retries iff its
+// RetryableError classification says retrying can help, and the wait
+// honors the server's Retry-After hint when one is present. Backoff is
+// deterministic exponential doubling with no jitter — this repo's
+// clients are benchmark harnesses and tests, where reproducible
+// schedules are worth more than thundering-herd dispersion.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8571".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxAttempts bounds tries per Eval, counting the first. Default: 4.
+	MaxAttempts int
+	// BaseBackoff is the first retry wait, doubling each attempt up to
+	// MaxBackoff. Defaults: 100ms / 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Sleep replaces time.Sleep between attempts (tests virtualize the
+	// schedule through this hook). Default: time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (c *Client) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+func (c *Client) baseBackoff() time.Duration {
+	if c.BaseBackoff > 0 {
+		return c.BaseBackoff
+	}
+	return 100 * time.Millisecond
+}
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return 5 * time.Second
+}
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// transportError wraps a failure below the HTTP layer (dial refused,
+// connection reset mid-response). These are transient by contract: the
+// request may never have reached admission, and admitted-but-abandoned
+// work is discarded server-side, so a retry is always safe and often
+// useful.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string   { return fmt.Sprintf("serve: transport: %v", e.err) }
+func (e *transportError) Unwrap() error   { return e.err }
+func (e *transportError) Retryable() bool { return true }
+
+// backoffWait computes the wait before retry attempt (1-based), taking
+// the larger of the exponential schedule and the server's hint.
+func (c *Client) backoffWait(attempt int, hintMs int64) time.Duration {
+	wait := c.baseBackoff()
+	for i := 1; i < attempt; i++ {
+		wait *= 2
+		if wait >= c.maxBackoff() {
+			wait = c.maxBackoff()
+			break
+		}
+	}
+	if hint := time.Duration(hintMs) * time.Millisecond; hint > wait {
+		wait = hint
+	}
+	if wait > c.maxBackoff() {
+		wait = c.maxBackoff()
+	}
+	return wait
+}
+
+// Eval runs one evaluation request, retrying transient failures up to
+// MaxAttempts. The returned error, when non-nil, is always a
+// RetryableError (*Error from the server, *transportError below it) —
+// callers branch on the classification, never on text.
+func (c *Client) Eval(ctx context.Context, req Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	var last error
+	for attempt := 1; ; attempt++ {
+		resp, err := c.once(ctx, body)
+		if err == nil {
+			return resp, nil
+		}
+		last = err
+		if attempt >= c.maxAttempts() {
+			break
+		}
+		re, ok := err.(RetryableError)
+		if !ok || !re.Retryable() {
+			break
+		}
+		var hint int64
+		if e, ok := err.(*Error); ok {
+			hint = e.RetryAfterMs
+		}
+		c.sleep(c.backoffWait(attempt, hint))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, last
+}
+
+// once performs a single attempt.
+func (c *Client) once(ctx context.Context, body []byte) (*Response, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var env errEnvelope
+		if jerr := json.Unmarshal(data, &env); jerr != nil || env.Error == nil {
+			return nil, &transportError{err: fmt.Errorf("status %d with undecodable error body", httpResp.StatusCode)}
+		}
+		return nil, env.Error
+	}
+	var resp Response
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, &transportError{err: fmt.Errorf("decoding response: %w", err)}
+	}
+	return &resp, nil
+}
+
+// EvalBytes is Eval without response decoding: it returns the exact
+// response body bytes on success. The determinism suites compare these
+// byte-for-byte across pool widths and reuse depths.
+func (c *Client) EvalBytes(ctx context.Context, req Request) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encoding request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/eval", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: building request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var env errEnvelope
+		if jerr := json.Unmarshal(data, &env); jerr != nil || env.Error == nil {
+			return nil, &transportError{err: fmt.Errorf("status %d with undecodable error body", httpResp.StatusCode)}
+		}
+		return nil, env.Error
+	}
+	return data, nil
+}

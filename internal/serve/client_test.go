@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedHandler answers each attempt from a fixed script of typed
+// responses, then succeeds.
+func scriptedServer(t *testing.T, script []*Error) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var attempts atomic.Int64
+	srv := &Server{cfg: Config{}} // only for writeJSON/writeError helpers
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(attempts.Add(1)) - 1
+		if n < len(script) {
+			srv.writeError(w, script[n])
+			return
+		}
+		srv.writeJSON(w, http.StatusOK, &Response{Attack: "loopscan", Defense: "chrome", Kind: "timing", Defended: true})
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, &attempts
+}
+
+// TestClientRetriesTransient: transient rejections are retried on the
+// deterministic exponential schedule, honoring the server's larger
+// Retry-After hint when present.
+func TestClientRetriesTransient(t *testing.T) {
+	overloaded := errf(CodeOverloaded, "queue full")
+	overloaded.RetryAfterMs = 250 // larger than the 100ms base backoff
+	ts, attempts := scriptedServer(t, []*Error{
+		overloaded,
+		errf(CodeDraining, "draining"), // no hint: pure exponential
+	})
+	var waits []time.Duration
+	c := &Client{
+		BaseURL:     ts.URL,
+		MaxAttempts: 4,
+		Sleep:       func(d time.Duration) { waits = append(waits, d) },
+	}
+	resp, err := c.Eval(context.Background(), Request{Attack: "loopscan", Defense: "chrome"})
+	if err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	if !resp.Defended {
+		t.Error("lost the response payload across retries")
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts=%d, want 3", got)
+	}
+	want := []time.Duration{250 * time.Millisecond, 200 * time.Millisecond}
+	if len(waits) != len(want) {
+		t.Fatalf("waits=%v, want %v", waits, want)
+	}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Errorf("wait %d = %v, want %v (hint-aware exponential)", i, waits[i], want[i])
+		}
+	}
+}
+
+// TestClientStopsOnPermanent: a permanent failure is surfaced
+// immediately — no retry, no sleep.
+func TestClientStopsOnPermanent(t *testing.T) {
+	ts, attempts := scriptedServer(t, []*Error{errf(CodeUnknownAttack, "nope")})
+	c := &Client{
+		BaseURL: ts.URL,
+		Sleep:   func(time.Duration) { t.Error("slept before a permanent failure") },
+	}
+	_, err := c.Eval(context.Background(), Request{Attack: "nope", Defense: "chrome"})
+	e, ok := err.(*Error)
+	if !ok || e.Code != CodeUnknownAttack {
+		t.Fatalf("want typed unknown_attack, got %v", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("attempts=%d, want 1 (no retry of permanent failures)", got)
+	}
+}
+
+// TestClientRetriesTransport: failures below HTTP (dead listener) are
+// transient; the client retries and succeeds once the server exists.
+func TestClientRetriesTransport(t *testing.T) {
+	c := &Client{
+		BaseURL:     "http://127.0.0.1:1", // nothing listens on port 1
+		MaxAttempts: 2,
+		Sleep:       func(time.Duration) {},
+	}
+	_, err := c.Eval(context.Background(), Request{Attack: "loopscan", Defense: "chrome"})
+	if err == nil {
+		t.Fatal("expected transport failure")
+	}
+	re, ok := err.(RetryableError)
+	if !ok || !re.Retryable() {
+		t.Fatalf("transport failure must be typed retryable, got %T: %v", err, err)
+	}
+}
+
+// TestClientBackoffSchedule pins the full deterministic schedule: pure
+// doubling from the base, capped at the max, hint taken when larger.
+func TestClientBackoffSchedule(t *testing.T) {
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: 1 * time.Second}
+	cases := []struct {
+		attempt int
+		hintMs  int64
+		want    time.Duration
+	}{
+		{1, 0, 100 * time.Millisecond},
+		{2, 0, 200 * time.Millisecond},
+		{3, 0, 400 * time.Millisecond},
+		{4, 0, 800 * time.Millisecond},
+		{5, 0, 1 * time.Second},  // capped
+		{10, 0, 1 * time.Second}, // stays capped
+		{1, 300, 300 * time.Millisecond},  // hint dominates
+		{3, 300, 400 * time.Millisecond},  // schedule dominates
+		{1, 5000, 1 * time.Second},        // hint capped too
+	}
+	for _, tc := range cases {
+		if got := c.backoffWait(tc.attempt, tc.hintMs); got != tc.want {
+			t.Errorf("backoffWait(%d, %d) = %v, want %v", tc.attempt, tc.hintMs, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"jskernel/internal/webnet"
+)
+
+// TestErrorClassificationTable is the typed-error audit: every failure
+// class the service can emit, its HTTP status, and its transient-vs-
+// permanent classification, pinned in one table. A new code that is not
+// added here fails the exhaustiveness check below.
+func TestErrorClassificationTable(t *testing.T) {
+	cases := []struct {
+		code      Code
+		status    int
+		retryable bool
+	}{
+		{CodeBadRequest, http.StatusBadRequest, false},
+		{CodeUnknownAttack, http.StatusNotFound, false},
+		{CodeUnknownDefense, http.StatusNotFound, false},
+		{CodeOverloaded, http.StatusTooManyRequests, true},
+		{CodeDraining, http.StatusServiceUnavailable, true},
+		{CodeBreakerOpen, http.StatusServiceUnavailable, true},
+		{CodeEnvPoisoned, http.StatusInternalServerError, true},
+		{CodeDeadline, http.StatusGatewayTimeout, false},
+		{CodeCanceled, http.StatusRequestTimeout, false},
+		{CodeInternal, http.StatusInternalServerError, false},
+	}
+	if len(cases) != len(codeInfo) {
+		t.Fatalf("audit table covers %d codes, server defines %d — extend the audit", len(cases), len(codeInfo))
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.code), func(t *testing.T) {
+			if _, ok := codeInfo[tc.code]; !ok {
+				t.Fatalf("code %s missing from codeInfo", tc.code)
+			}
+			e := errf(tc.code, "x")
+			if got := e.HTTPStatus(); got != tc.status {
+				t.Errorf("status %d, want %d", got, tc.status)
+			}
+			if got := e.Retryable(); got != tc.retryable {
+				t.Errorf("retryable %v, want %v", got, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestRetryableErrorContract checks every error type in the repo that
+// participates in retry decisions satisfies the RetryableError
+// interface with the documented classification.
+func TestRetryableErrorContract(t *testing.T) {
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+	}{
+		{"serve transient", errf(CodeOverloaded, "x"), true},
+		{"serve permanent", errf(CodeBadRequest, "x"), false},
+		{"transport failure", &transportError{err: errors.New("connection refused")}, true},
+		{"webnet transient", &webnet.TransientError{URL: "https://a/", Status: 503, Reason: "injected-5xx"}, true},
+		{"webnet not-found", &webnet.NotFoundError{URL: "https://a/"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			re, ok := tc.err.(RetryableError)
+			if !ok {
+				t.Fatalf("%T does not implement RetryableError", tc.err)
+			}
+			if got := re.Retryable(); got != tc.retryable {
+				t.Errorf("Retryable()=%v, want %v", got, tc.retryable)
+			}
+		})
+	}
+}
+
+// TestUnknownCodeFailsClosed: an unclassified code must map to a
+// permanent 500, never a silent retry invitation.
+func TestUnknownCodeFailsClosed(t *testing.T) {
+	e := errf(Code("no-such-code"), "x")
+	if e.HTTPStatus() != http.StatusInternalServerError {
+		t.Errorf("unknown code status %d, want 500", e.HTTPStatus())
+	}
+	if e.Retryable() {
+		t.Error("unknown code must classify permanent")
+	}
+}

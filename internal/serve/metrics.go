@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jskernel/internal/trace"
+)
+
+// stats is the server's operational counter set. Service-layer counters
+// are lock-free atomics updated on hot paths; the kernel aggregate is a
+// mutex-guarded fold of per-request trace metrics (telemetry mode only).
+// None of this feeds back into evaluation — /statsz observes the server,
+// it never steers it, which keeps responses independent of history.
+type stats struct {
+	admitted           atomic.Uint64
+	completed          atomic.Uint64
+	rejectedOverload   atomic.Uint64
+	rejectedDraining   atomic.Uint64
+	rejectedBreaker    atomic.Uint64
+	rejectedBadRequest atomic.Uint64
+	deadlineExceeded   atomic.Uint64
+	canceled           atomic.Uint64
+	internalErrors     atomic.Uint64
+	envReplaced        atomic.Uint64
+
+	kernelMu sync.Mutex
+	kernel   KernelTotals
+}
+
+// KernelTotals aggregates the kernel metrics registries of every traced
+// evaluation (Config.Telemetry). Virtual-time totals accumulate across
+// requests; they share no clock with the service layer's wall time.
+type KernelTotals struct {
+	Runs               uint64 `json:"runs"`
+	Installs           uint64 `json:"installs"`
+	Enqueued           uint64 `json:"enqueued"`
+	Dispatched         uint64 `json:"dispatched"`
+	Shed               uint64 `json:"shed"`
+	Cancelled          uint64 `json:"cancelled"`
+	Expired            uint64 `json:"expired"`
+	Panics             uint64 `json:"panics"`
+	Quarantines        uint64 `json:"quarantines"`
+	PolicyDecisions    uint64 `json:"policy_decisions"`
+	InterposeCrossings uint64 `json:"interpose_crossings"`
+	InterposeVirtual   uint64 `json:"interpose_virtual"`
+}
+
+// absorbKernel folds one request's kernel metrics into the totals.
+func (st *stats) absorbKernel(m *trace.Metrics) {
+	if m == nil {
+		return
+	}
+	st.kernelMu.Lock()
+	defer st.kernelMu.Unlock()
+	k := &st.kernel
+	k.Runs++
+	k.Installs += m.Installs
+	k.Enqueued += m.Enqueued
+	k.Dispatched += m.Dispatched
+	k.Shed += m.Shed
+	k.Cancelled += m.Cancelled
+	k.Expired += m.Expired
+	k.Panics += m.Panics
+	k.Quarantines += m.Quarantines
+	k.PolicyDecisions += m.PolicyDecisions
+	k.InterposeCrossings += m.InterposeCrossings
+	k.InterposeVirtual += uint64(m.InterposeVirtual)
+}
+
+// Stats is the /statsz wire format (and the programmatic snapshot used
+// by jsk-bench -serve and the chaos tests).
+type Stats struct {
+	Admitted           uint64 `json:"admitted"`
+	Completed          uint64 `json:"completed"`
+	RejectedOverload   uint64 `json:"rejected_overload"`
+	RejectedDraining   uint64 `json:"rejected_draining"`
+	RejectedBreaker    uint64 `json:"rejected_breaker"`
+	RejectedBadRequest uint64 `json:"rejected_bad_request"`
+	DeadlineExceeded   uint64 `json:"deadline_exceeded"`
+	Canceled           uint64 `json:"canceled"`
+	InternalErrors     uint64 `json:"internal_errors"`
+	EnvReplaced        uint64 `json:"env_replaced"`
+
+	QueueDepth int  `json:"queue_depth"`
+	Pool       int  `json:"pool"`
+	Draining   bool `json:"draining"`
+	// EwmaServiceMs is the admission controller's smoothed service-time
+	// estimate (0 until the first completion).
+	EwmaServiceMs int64 `json:"ewma_service_ms"`
+
+	// Kernel is present only in telemetry mode.
+	Kernel *KernelTotals `json:"kernel,omitempty"`
+}
+
+// Snapshot captures the server's counters at this instant.
+func (s *Server) Snapshot() Stats {
+	snap := Stats{
+		Admitted:           s.stats.admitted.Load(),
+		Completed:          s.stats.completed.Load(),
+		RejectedOverload:   s.stats.rejectedOverload.Load(),
+		RejectedDraining:   s.stats.rejectedDraining.Load(),
+		RejectedBreaker:    s.stats.rejectedBreaker.Load(),
+		RejectedBadRequest: s.stats.rejectedBadRequest.Load(),
+		DeadlineExceeded:   s.stats.deadlineExceeded.Load(),
+		Canceled:           s.stats.canceled.Load(),
+		InternalErrors:     s.stats.internalErrors.Load(),
+		EnvReplaced:        s.stats.envReplaced.Load(),
+		QueueDepth:         len(s.queue),
+		Pool:               s.cfg.pool(),
+		Draining:           s.Draining(),
+		EwmaServiceMs:      time.Duration(s.ewmaNs.Load()).Milliseconds(),
+	}
+	if s.cfg.Telemetry {
+		s.stats.kernelMu.Lock()
+		k := s.stats.kernel
+		s.stats.kernelMu.Unlock()
+		snap.Kernel = &k
+	}
+	return snap
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyState is the /readyz wire format.
+type readyState struct {
+	Status       string `json:"status"`
+	QueueDepth   int    `json:"queue_depth"`
+	Pool         int    `json:"pool"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// handleReadyz is readiness: 503 while draining or while the circuit
+// breaker is open, 200 otherwise. Load balancers steer on this; the
+// admission path enforces the same conditions with typed errors.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := readyState{QueueDepth: len(s.queue), Pool: s.cfg.pool()}
+	if s.Draining() {
+		st.Status = "draining"
+		s.writeJSON(w, http.StatusServiceUnavailable, st)
+		return
+	}
+	if open, wait := s.breaker.rejects(time.Now()); open {
+		st.Status = "breaker_open"
+		st.RetryAfterMs = wait.Milliseconds() + 1
+		s.writeJSON(w, http.StatusServiceUnavailable, st)
+		return
+	}
+	st.Status = "ready"
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+// handleStatsz serves the counter snapshot.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Snapshot())
+}

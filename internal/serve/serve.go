@@ -1,0 +1,525 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jskernel/internal/defense"
+	"jskernel/internal/kernel"
+	"jskernel/internal/trace"
+)
+
+// The service layer deliberately lives on the wall clock — deadlines,
+// Retry-After hints and drain timeouts are promises to real clients —
+// while every simulation it runs stays on virtual time. jsk-lint's
+// detwalltime allowlist sanctions exactly this package for that reason;
+// nothing wall-clock-derived may leak into a Response (see eval.go).
+
+// Config tunes the server. The zero value is usable: every field has a
+// production-shaped default applied by New.
+type Config struct {
+	// Pool is the number of evaluation workers, each owning one warm
+	// kernel.Environment that is reset — not rebuilt — between requests.
+	// Default: GOMAXPROCS.
+	Pool int
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// 429 + Retry-After, never blocks and never drops silently.
+	// Default: 4 × Pool.
+	QueueDepth int
+	// DefaultDeadline is the per-request completion budget when the
+	// request does not carry deadline_ms. Default: 30s.
+	DefaultDeadline time.Duration
+	// DefaultReps / MaxReps bound the timing-row repetition budget.
+	// Defaults: 5 / 25 (the paper's budget).
+	DefaultReps int
+	MaxReps     int
+	// MaxBodyBytes bounds request bodies. Default: 1 MiB.
+	MaxBodyBytes int64
+	// ReadTimeout bounds how long a client may take to deliver its
+	// request (the slow-loris bound). Default: 15s.
+	ReadTimeout time.Duration
+	// BreakerThreshold consecutive environment poisonings open the
+	// circuit breaker for BreakerCooldown; traffic after the cooldown
+	// probes the pool and a success closes it again.
+	// Defaults: 3 / 2s.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Telemetry attaches a retain-off trace session to every evaluation
+	// and aggregates its kernel metrics registry into /statsz. Tracing
+	// never perturbs a run, so responses are byte-identical either way.
+	Telemetry bool
+	// FaultHook, when non-nil, is called from every cancellation poll of
+	// a running evaluation (chaos harness only). It may panic to model a
+	// poisoned environment mid-request; the worker's recover path then
+	// discards and replaces the pooled environment.
+	FaultHook func(req *Request, polls int)
+	// Log receives operational lines (startup, drain, breaker
+	// transitions). Default: io.Discard.
+	Log io.Writer
+}
+
+func (c *Config) pool() int {
+	if c.Pool > 0 {
+		return c.Pool
+	}
+	return runtime.GOMAXPROCS(0)
+}
+func (c *Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4 * c.pool()
+}
+func (c *Config) defaultDeadline() time.Duration {
+	if c.DefaultDeadline > 0 {
+		return c.DefaultDeadline
+	}
+	return 30 * time.Second
+}
+func (c *Config) defaultReps() int {
+	if c.DefaultReps > 0 {
+		return c.DefaultReps
+	}
+	return 5
+}
+func (c *Config) maxReps() int {
+	if c.MaxReps > 0 {
+		return c.MaxReps
+	}
+	return 25
+}
+func (c *Config) maxBodyBytes() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return 1 << 20
+}
+func (c *Config) readTimeout() time.Duration {
+	if c.ReadTimeout > 0 {
+		return c.ReadTimeout
+	}
+	return 15 * time.Second
+}
+func (c *Config) breakerThreshold() int {
+	if c.BreakerThreshold > 0 {
+		return c.BreakerThreshold
+	}
+	return 3
+}
+func (c *Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 2 * time.Second
+}
+func (c *Config) log() io.Writer {
+	if c.Log != nil {
+		return c.Log
+	}
+	return io.Discard
+}
+
+// job is one admitted request travelling from handler to worker.
+type job struct {
+	cl   *cell
+	ctx  context.Context
+	done chan jobOutcome // buffered: the worker never blocks on an abandoned handler
+}
+
+type jobOutcome struct {
+	resp *Response
+	err  *Error
+}
+
+func (j *job) finish(resp *Response, err *Error) {
+	j.done <- jobOutcome{resp: resp, err: err}
+}
+
+// Server is the kernel service: admission control in front of a bounded
+// queue, a pool of workers each owning a warm reusable environment, a
+// circuit breaker around poisonings, and a graceful drain.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	mux   *http.ServeMux
+
+	admitMu  sync.Mutex
+	draining bool
+
+	jobs    sync.WaitGroup // admitted but unfinished requests
+	workers sync.WaitGroup
+
+	breaker breaker
+	stats   stats
+	// ewmaNs is the smoothed per-request service time feeding the
+	// deadline-aware admission estimate and Retry-After hints.
+	ewmaNs atomic.Int64
+
+	httpSrv *http.Server
+	lnAddr  atomic.Value // string; set by Start
+}
+
+// New builds a server and starts its worker pool. The caller serves
+// HTTP via Handler (tests) or Start/Run (daemon), and must eventually
+// call Shutdown to stop the workers.
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg}
+	s.queue = make(chan *job, s.cfg.queueDepth())
+	s.breaker.threshold = s.cfg.breakerThreshold()
+	s.breaker.cooldown = s.cfg.breakerCooldown()
+	s.breaker.log = s.cfg.log()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.startWorkers()
+	return s
+}
+
+// Handler exposes the server's HTTP surface without a listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// startWorkers launches the evaluation pool. Each worker goroutine owns
+// one warm kernel.Environment, reset between requests and discarded
+// only when poisoned; workers exit when the queue closes during drain.
+// These goroutines — and the ones in Start and awaitDrain — are the
+// audited entries in jsk-lint's goroutinescope allowlist for this
+// package: each runs simulations that share nothing with its siblings
+// (the same argument that sanctions runner.Map), and none outlives
+// Shutdown.
+func (s *Server) startWorkers() {
+	for w := 0; w < s.cfg.pool(); w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			env := kernel.NewEnvironment()
+			for j := range s.queue {
+				env = s.serveJob(j, env)
+			}
+		}()
+	}
+}
+
+// serveJob runs one admitted request on this worker's environment and
+// returns the environment to reuse for the next request — a fresh one
+// if this request poisoned the current one.
+func (s *Server) serveJob(j *job, env *kernel.Environment) (next *kernel.Environment) {
+	next = env
+	start := time.Now()
+	defer s.jobs.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// Poisoned environment: quarantine by replacement. The
+			// discarded Environment is never reused, so neighboring
+			// in-flight requests (each on their own worker and
+			// environment) are untouched; the breaker counts the strike.
+			next = kernel.NewEnvironment()
+			s.stats.envReplaced.Add(1)
+			s.breaker.failure(time.Now())
+			fmt.Fprintf(s.cfg.log(), "jsk-serve: evaluation panic (%v); environment discarded\n", r)
+			j.finish(nil, errf(CodeEnvPoisoned, "evaluation panicked: %v; environment discarded and replaced", r))
+		}
+	}()
+
+	if j.ctx.Err() != nil {
+		// Spent its whole budget queued. Typed rejection, never silent.
+		j.finish(nil, ctxError(j.ctx))
+		return env
+	}
+
+	polls := 0
+	rt := &defense.Runtime{
+		Env: env,
+		Canceled: func() bool {
+			polls++
+			if h := s.cfg.FaultHook; h != nil {
+				h(&j.cl.req, polls)
+			}
+			return j.ctx.Err() != nil
+		},
+	}
+	var tel func(*trace.Metrics)
+	if s.cfg.Telemetry {
+		tel = s.stats.absorbKernel
+	}
+	resp, eerr := evaluate(j.cl, rt, tel)
+	if j.ctx.Err() != nil {
+		// Canceled mid-run: the simulation was abandoned and whatever
+		// evaluate assembled is not trustworthy. Shed the work, keep the
+		// accuracy.
+		j.finish(nil, ctxError(j.ctx))
+		return env
+	}
+	s.breaker.success()
+	s.observeService(time.Since(start))
+	if eerr != nil {
+		j.finish(nil, eerr)
+		return env
+	}
+	s.stats.completed.Add(1)
+	j.finish(resp, nil)
+	return env
+}
+
+// ctxError maps a done context to the typed error contract.
+func ctxError(ctx context.Context) *Error {
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return errf(CodeCanceled, "client went away before completion")
+	}
+	return errf(CodeDeadline, "request deadline expired before completion")
+}
+
+// observeService folds one service time into the admission EWMA.
+func (s *Server) observeService(d time.Duration) {
+	old := s.ewmaNs.Load()
+	if old == 0 {
+		s.ewmaNs.Store(int64(d))
+		return
+	}
+	s.ewmaNs.Store((3*old + int64(d)) / 4)
+}
+
+// estimateWait predicts how long a newly admitted request would sit
+// behind the current queue. It deliberately over-admits when the EWMA
+// is still cold (zero): shedding is for measured pressure, not guesses.
+func (s *Server) estimateWait(queued int) time.Duration {
+	ewma := time.Duration(s.ewmaNs.Load())
+	if ewma <= 0 {
+		return 0
+	}
+	return ewma * time.Duration(queued) / time.Duration(s.cfg.pool())
+}
+
+// handleEval is the admission path: parse, resolve, admit (or reject
+// explicitly), then wait for the worker or the deadline — whichever
+// comes first.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes()))
+	if err != nil {
+		s.stats.rejectedBadRequest.Add(1)
+		s.writeError(w, errf(CodeBadRequest, "reading body: %v", err))
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.stats.rejectedBadRequest.Add(1)
+		s.writeError(w, errf(CodeBadRequest, "parsing request: %v", err))
+		return
+	}
+	cl, rerr := s.cfg.resolve(req)
+	if rerr != nil {
+		s.stats.rejectedBadRequest.Add(1)
+		s.writeError(w, rerr)
+		return
+	}
+
+	budget := s.cfg.defaultDeadline()
+	if req.DeadlineMs > 0 {
+		budget = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), budget)
+	defer cancel()
+	j := &job{cl: cl, ctx: ctx, done: make(chan jobOutcome, 1)}
+
+	if aerr := s.admit(j, budget); aerr != nil {
+		s.writeError(w, aerr)
+		return
+	}
+
+	select {
+	case out := <-j.done:
+		if out.err != nil {
+			s.countError(out.err)
+			s.writeError(w, out.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, out.resp)
+	case <-ctx.Done():
+		// The worker will notice the same cancellation and discard the
+		// run; respond with the typed error now rather than holding the
+		// connection for a result that must not be used.
+		cerr := ctxError(ctx)
+		s.countError(cerr)
+		s.writeError(w, cerr)
+	}
+}
+
+// admit applies admission control: draining and breaker checks, then
+// queue-depth and deadline-aware rejection. Rejections are always
+// explicit and typed; admission increments the drain group before the
+// job becomes visible to workers.
+func (s *Server) admit(j *job, budget time.Duration) *Error {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining {
+		s.stats.rejectedDraining.Add(1)
+		e := errf(CodeDraining, "server is draining")
+		e.RetryAfterMs = 1000
+		return e
+	}
+	if open, wait := s.breaker.rejects(time.Now()); open {
+		s.stats.rejectedBreaker.Add(1)
+		e := errf(CodeBreakerOpen, "circuit breaker open after repeated environment poisonings")
+		e.RetryAfterMs = wait.Milliseconds() + 1
+		return e
+	}
+	queued := len(s.queue)
+	if est := s.estimateWait(queued); est > budget {
+		s.stats.rejectedOverload.Add(1)
+		e := errf(CodeOverloaded, "estimated queue wait %v exceeds request budget %v", est, budget)
+		e.RetryAfterMs = est.Milliseconds() + 1
+		return e
+	}
+	s.jobs.Add(1)
+	select {
+	case s.queue <- j:
+		s.stats.admitted.Add(1)
+		return nil
+	default:
+		s.jobs.Done()
+		s.stats.rejectedOverload.Add(1)
+		est := s.estimateWait(queued)
+		if est <= 0 {
+			est = 500 * time.Millisecond
+		}
+		e := errf(CodeOverloaded, "admission queue full (%d deep)", queued)
+		e.RetryAfterMs = est.Milliseconds() + 1
+		return e
+	}
+}
+
+// countError attributes a typed failure to its stats counter.
+func (s *Server) countError(e *Error) {
+	switch e.Code {
+	case CodeDeadline:
+		s.stats.deadlineExceeded.Add(1)
+	case CodeCanceled:
+		s.stats.canceled.Add(1)
+	case CodeInternal:
+		s.stats.internalErrors.Add(1)
+	}
+}
+
+// Start serves HTTP on ln in the background with the slow-loris read
+// bound applied; use Shutdown (or Run, which wraps both) to stop.
+func (s *Server) Start(ln net.Listener) {
+	s.httpSrv = &http.Server{
+		Handler:           s.mux,
+		ReadTimeout:       s.cfg.readTimeout(),
+		ReadHeaderTimeout: s.cfg.readTimeout(),
+	}
+	s.lnAddr.Store(ln.Addr().String())
+	fmt.Fprintf(s.cfg.log(), "jsk-serve: listening on %s (pool %d, queue %d)\n",
+		ln.Addr(), s.cfg.pool(), s.cfg.queueDepth())
+	srv := s.httpSrv
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(s.cfg.log(), "jsk-serve: serve error: %v\n", err)
+		}
+	}()
+}
+
+// Addr reports the listening address once Start has run ("" before).
+func (s *Server) Addr() string {
+	if v := s.lnAddr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// Run serves on ln until a signal arrives on stop, then drains
+// gracefully within drainTimeout. It is the daemon main loop of
+// cmd/jsk-serve, kept here so the command stays goroutine-free.
+func (s *Server) Run(ln net.Listener, stop <-chan os.Signal, drainTimeout time.Duration) error {
+	s.Start(ln)
+	sig := <-stop
+	fmt.Fprintf(s.cfg.log(), "jsk-serve: received %v, draining (timeout %v)\n", sig, drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown drains gracefully: new requests are rejected with a typed
+// draining error, every in-flight request runs to completion (bounded
+// by its own deadline), then the workers and listener stop. Returns
+// ctx's error if the drain outruns it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.admitMu.Unlock()
+	if already {
+		return nil
+	}
+	if err := s.awaitDrain(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	close(s.queue)
+	s.workers.Wait()
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(s.cfg.log(), "jsk-serve: drained cleanly\n")
+	return nil
+}
+
+// awaitDrain waits for every admitted request to finish, bounded by ctx.
+func (s *Server) awaitDrain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether a graceful shutdown has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	return s.draining
+}
+
+// writeJSON writes a deterministic JSON body: compact encoding plus a
+// trailing newline, no wall-clock-derived fields.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":{"code":"internal","message":"encoding response"}}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes the typed error envelope, carrying the Retry-After
+// hint both as a header (seconds, ceiling) and in the body (exact ms).
+func (s *Server) writeError(w http.ResponseWriter, e *Error) {
+	if e.RetryAfterMs > 0 {
+		secs := (e.RetryAfterMs + 999) / 1000
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	s.writeJSON(w, e.HTTPStatus(), errEnvelope{Error: e})
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// schedule n self-rescheduling-free events spaced 1ns apart.
+func scheduleN(s *Simulator, n int, fired *int) {
+	for i := 0; i < n; i++ {
+		s.Schedule(Time(i+1), "tick", func() { *fired++ })
+	}
+}
+
+func TestCancellationStopsRun(t *testing.T) {
+	s := New(1)
+	var fired int
+	scheduleN(s, 1000, &fired)
+	polls := 0
+	s.SetCanceled(func() bool {
+		polls++
+		return polls >= 3
+	})
+	err := s.Run()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Run = %v, want ErrCanceled", err)
+	}
+	if fired >= 1000 {
+		t.Error("run completed despite cancellation")
+	}
+	// Cancellation is polled on a stride, not per event: three polls
+	// must have consumed no more than three strides of dispatches.
+	if fired > 3*cancelPollStride {
+		t.Errorf("fired %d events before honoring cancellation (stride %d, 3 polls)", fired, cancelPollStride)
+	}
+}
+
+func TestCancellationPollStride(t *testing.T) {
+	s := New(1)
+	var fired int
+	scheduleN(s, 1000, &fired)
+	polls := 0
+	s.SetCanceled(func() bool {
+		polls++
+		return false
+	})
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v, want clean completion", err)
+	}
+	if fired != 1000 {
+		t.Fatalf("fired %d, want 1000", fired)
+	}
+	if max := 1000/cancelPollStride + 2; polls > max {
+		t.Errorf("polled %d times for 1000 events, want <= %d (stride %d)", polls, max, cancelPollStride)
+	}
+	if polls == 0 {
+		t.Error("hook installed but never polled")
+	}
+}
+
+func TestNoHookMeansNoCancellation(t *testing.T) {
+	s := New(1)
+	var fired int
+	scheduleN(s, 100, &fired)
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if fired != 100 {
+		t.Fatalf("fired %d, want 100", fired)
+	}
+}
+
+func TestCancellationInRunUntil(t *testing.T) {
+	s := New(1)
+	var fired int
+	scheduleN(s, 1000, &fired)
+	s.SetCanceled(func() bool { return true })
+	err := s.RunUntil(Time(5000))
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("RunUntil = %v, want ErrCanceled", err)
+	}
+}

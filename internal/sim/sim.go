@@ -48,6 +48,20 @@ type EventID uint64
 // rather than by queue exhaustion or deadline.
 var ErrStopped = errors.New("sim: stopped")
 
+// ErrCanceled is returned by Run/RunUntil when the cooperative
+// cancellation hook (SetCanceled) reports true. A canceled run is
+// abandoned mid-simulation: its partial state must never be read as a
+// result — callers surface a typed cancellation error instead of any
+// verdict computed so far.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// cancelPollStride is how many dispatches pass between polls of the
+// cancellation hook. Hot runs dispatch tens of millions of events, so
+// polling every step would make the hook (often a context check behind
+// a mutex) a measurable tax; a stride of 64 keeps the overhead
+// unmeasurable while bounding cancellation latency to 64 events.
+const cancelPollStride = 64
+
 // event is one pending entry in the simulator's priority queue.
 type event struct {
 	at    Time
@@ -108,6 +122,14 @@ type Simulator struct {
 	rng     *rand.Rand
 	stopped bool
 	steps   uint64
+
+	// canceled, when non-nil, is polled between dispatches (every
+	// cancelPollStride steps); returning true aborts Run/RunUntil with
+	// ErrCanceled. It is the service layer's bridge for propagating
+	// request deadlines and client disconnects into a simulation without
+	// giving the simulated program any new observable channel: the hook
+	// either lets the run finish untouched or abandons it entirely.
+	canceled func() bool
 
 	// MaxSteps bounds Run as a runaway-loop backstop; zero means no bound.
 	MaxSteps uint64
@@ -201,6 +223,17 @@ func (s *Simulator) Step() bool {
 // Stop halts a Run in progress after the current event returns.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// SetCanceled installs a cooperative-cancellation hook polled between
+// event dispatches; returning true aborts Run/RunUntil with ErrCanceled.
+// Nil removes the hook. The hook must be cheap and must not touch
+// simulator state.
+func (s *Simulator) SetCanceled(f func() bool) { s.canceled = f }
+
+// cancelDue polls the cancellation hook on the stride boundary.
+func (s *Simulator) cancelDue() bool {
+	return s.canceled != nil && s.steps%cancelPollStride == 0 && s.canceled()
+}
+
 // Run dispatches events until the queue drains, Stop is called, or MaxSteps
 // is exceeded. It returns ErrStopped if halted by Stop and an error when the
 // step bound trips (which always indicates a scheduling loop bug).
@@ -212,6 +245,9 @@ func (s *Simulator) Run() error {
 		}
 		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
 			return fmt.Errorf("sim: exceeded %d steps at %v", s.MaxSteps, s.now)
+		}
+		if s.cancelDue() {
+			return ErrCanceled
 		}
 		if !s.Step() {
 			return nil
@@ -229,6 +265,9 @@ func (s *Simulator) RunUntil(deadline Time) error {
 		}
 		if s.MaxSteps > 0 && s.steps >= s.MaxSteps {
 			return fmt.Errorf("sim: exceeded %d steps at %v", s.MaxSteps, s.now)
+		}
+		if s.cancelDue() {
+			return ErrCanceled
 		}
 		at, ok := s.NextAt()
 		if !ok || at > deadline {

@@ -68,6 +68,12 @@ type NotFoundError struct {
 
 func (e *NotFoundError) Error() string { return fmt.Sprintf("webnet: no resource at %q", e.URL) }
 
+// Retryable reports false: a missing resource stays missing, so retrying
+// is pure waste. Implements the repo-wide retryable-error contract
+// (serve.RetryableError): retry decisions are made from this method,
+// never by string-matching error text.
+func (e *NotFoundError) Retryable() bool { return false }
+
 // TransientError reports a retryable network-level failure — a simulated
 // 5xx response, a truncated transfer, or a congestion drop. Callers that
 // can afford the latency (see browser.FetchOptions.MaxRetries) may retry;
@@ -81,6 +87,11 @@ type TransientError struct {
 func (e *TransientError) Error() string {
 	return fmt.Sprintf("webnet: transient failure for %q (status %d, %s)", e.URL, e.Status, e.Reason)
 }
+
+// Retryable reports true: transient failures are exactly the retryable
+// class. Implements the repo-wide retryable-error contract
+// (serve.RetryableError).
+func (e *TransientError) Retryable() bool { return true }
 
 // IsTransient reports whether err is (or wraps) a retryable network
 // failure.

@@ -62,5 +62,14 @@ test -s "$trace_tmp/obs/report.json" || fail "obs smoke (empty report.json)"
 test -s "$trace_tmp/obs/summary.txt" || fail "obs smoke (empty summary.txt)"
 test -s "$trace_tmp/metrics.json" || fail "obs smoke (empty metrics.json)"
 
+# Service smoke: boot the jsk-serve daemon on a loopback port and hold
+# its load-shedding-never-accuracy-shedding contract end to end —
+# concurrent requests return byte-identical responses across pool
+# widths and reuse generations, a saturated pool sheds with typed 429s
+# and Retry-After (never silently), and SIGTERM drains in-flight work
+# before the process exits.
+stage "jsk-serve smoke (determinism + overload + drain)"
+go run ./cmd/jsk-serve -smoke || fail "jsk-serve smoke"
+
 echo ""
 echo "== OK: all stages passed"
