@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check chaos bench-parallel bench-obs bench-serve clean
+.PHONY: all build test race vet lint check chaos races bench-parallel bench-obs bench-serve clean
 
 all: build
 
@@ -31,6 +31,12 @@ check:
 # plan and fails if any verdict flips.
 chaos:
 	$(GO) run ./cmd/jsk-eval -chaos
+
+# races re-judges Table I's CVE half with the happens-before race
+# detector (internal/hb); nonzero if any cell's race verdict disagrees
+# with the experiment's own exploited/defended verdict.
+races:
+	$(GO) run ./cmd/jsk-race
 
 # bench-parallel times Table I serially vs. on the worker pool, checks
 # byte-identity, and writes BENCH_parallel.json (includes the host's

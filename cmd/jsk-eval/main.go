@@ -15,6 +15,7 @@
 //	jsk-eval -table 1 -obs-report out/      # profiler + forensics + metrics
 //	jsk-eval -table 1 -metrics out.json     # kernel metrics registry
 //	jsk-eval -forensics out.json            # forensic re-judgement of Table I
+//	jsk-eval -race                          # happens-before race re-judgement of Table I's CVE half
 package main
 
 import (
@@ -64,6 +65,8 @@ func run(w io.Writer, args []string) error {
 		obsDir    = fs.String("obs-report", "", "write the streaming telemetry report (report.json + summary.txt) to this directory")
 		metrOut   = fs.String("metrics", "", "write the kernel metrics registry of the run to this file as JSON")
 		forOut    = fs.String("forensics", "", "re-judge the Table I matrix from the event stream alone and write the forensic findings to this file as JSON")
+		race      = fs.Bool("race", false, "re-judge Table I's CVE half with the happens-before race detector and fail on any disagreement")
+		raceOut   = fs.String("race-out", "", "with -race, write the full race matrix (findings, vector clocks) to this file as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -327,6 +330,34 @@ func run(w io.Writer, args []string) error {
 				fmt.Fprintf(w, "forensic mismatch: %s\n", m)
 			}
 			return fmt.Errorf("forensics: %d cells disagree with the experiment verdicts", n)
+		}
+	}
+	if *race {
+		any = true
+		res, err := expr.RaceTable1(cfg)
+		if err != nil {
+			return fmt.Errorf("race: %w", err)
+		}
+		if *raceOut != "" {
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return fmt.Errorf("race: %w", err)
+			}
+			if err := os.WriteFile(*raceOut, append(b, '\n'), 0o644); err != nil {
+				return fmt.Errorf("race: %w", err)
+			}
+			fmt.Fprintf(w, "race matrix -> %s\n", *raceOut)
+		}
+		fmt.Fprintf(w, "race: %d cells, %d flagged\n", len(res.Cells), len(res.Findings()))
+		for _, c := range res.Cells {
+			fmt.Fprintf(w, "  %-14s %-16s defended=%-5v races(%s)=%d total=%d\n",
+				c.Row, c.Defense, c.ActualDefended, c.Channel, c.ChannelRaces, c.TotalRaces)
+		}
+		if n := len(res.Mismatches); n > 0 {
+			for _, m := range res.Mismatches {
+				fmt.Fprintf(w, "race mismatch: %s\n", m)
+			}
+			return fmt.Errorf("race: %d cells disagree with the experiment verdicts", n)
 		}
 	}
 	if !any {

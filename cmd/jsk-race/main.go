@@ -1,0 +1,292 @@
+// Command jsk-race surfaces the happens-before race analysis
+// (internal/hb) over the kernel event stream.
+//
+// Matrix mode re-runs Table I's CVE half with a streaming detector on
+// every (CVE, defense) cell and compares the race verdict — at least
+// one data race on the CVE's channel target class — against the
+// experiment's own exploited/defended verdict:
+//
+//	jsk-race                               # full matrix, fail on disagreement
+//	jsk-race -json                         # same, as JSON
+//
+// Cell mode runs one (CVE, defense) pair, prints every finding with
+// its vector-clock evidence, and can export the raw record stream or
+// write the joined obs report:
+//
+//	jsk-race -cve CVE-2018-5092 -defense chrome
+//	jsk-race -cve CVE-2018-5092 -defense chrome -export trace.jsonl
+//	jsk-race -cve CVE-2018-5092 -defense chrome -report out/
+//
+// Replay mode re-runs the detector offline over an exported stream —
+// the same records, the same findings, no simulation:
+//
+//	jsk-race -replay trace.jsonl
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/expr"
+	"jskernel/internal/hb"
+	"jskernel/internal/obs"
+	"jskernel/internal/trace"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-race:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("jsk-race", flag.ContinueOnError)
+	var (
+		cve      = fs.String("cve", "", "run one CVE row (e.g. CVE-2018-5092)")
+		def      = fs.String("defense", "", "with -cve, run one defense column (default: all)")
+		seed     = fs.Int64("seed", 0, "override the experiment seed")
+		parallel = fs.Int("parallel", 0, "worker-pool width for the matrix (0 = one per CPU); output is byte-identical at any width")
+		asJSON   = fs.Bool("json", false, "emit results as JSON")
+		export   = fs.String("export", "", "with -cve and -defense, export the cell's raw record stream to this file (JSONL, replayable)")
+		replay   = fs.String("replay", "", "replay an exported record stream through the detector instead of simulating")
+		report   = fs.String("report", "", "with -cve and -defense, write the joined obs report (report.json + summary.txt) to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := expr.QuickConfig()
+	cfg.Reps = 3
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Parallel = *parallel
+
+	if *replay != "" {
+		return replayFile(w, *replay, *asJSON)
+	}
+	if *cve != "" {
+		return runCells(w, cfg, *cve, *def, *export, *report, *asJSON)
+	}
+	if *export != "" || *report != "" {
+		return fmt.Errorf("-export and -report need a single cell: pass -cve and -defense")
+	}
+	return runMatrix(w, cfg, *asJSON)
+}
+
+// runMatrix re-judges the full CVE half and fails on any disagreement.
+func runMatrix(w io.Writer, cfg expr.Config, asJSON bool) error {
+	res, err := expr.RaceTable1(cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := writeJSON(w, res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(w, "race matrix: %d cells, %d flagged\n", len(res.Cells), len(res.Findings()))
+		for _, c := range res.Cells {
+			fmt.Fprintf(w, "  %-14s %-16s defended=%-5v races(%s)=%d total=%d\n",
+				c.Row, c.Defense, c.ActualDefended, c.Channel, c.ChannelRaces, c.TotalRaces)
+		}
+	}
+	if n := len(res.Mismatches); n > 0 {
+		for _, m := range res.Mismatches {
+			fmt.Fprintf(w, "race mismatch: %s\n", m)
+		}
+		return fmt.Errorf("%d cells disagree with the experiment verdicts", n)
+	}
+	if !asJSON {
+		fmt.Fprintln(w, "race verdicts agree with the experiment verdicts on every cell")
+	}
+	return nil
+}
+
+// cellResult is one cell's output in cell mode.
+type cellResult struct {
+	Row       string       `json:"row"`
+	Defense   string       `json:"defense"`
+	Defended  bool         `json:"defended"`
+	Exploited bool         `json:"exploited"`
+	Channel   string       `json:"channel"`
+	Findings  []hb.Finding `json:"findings"`
+}
+
+// runCells runs one CVE row against one or all defenses.
+func runCells(w io.Writer, cfg expr.Config, cveID, defID, export, reportDir string, asJSON bool) error {
+	var row *attack.CVEAttack
+	rowIdx := -1
+	for i, a := range attack.CVEAttacks() {
+		if string(a.CVE) == cveID {
+			row, rowIdx = a, i
+		}
+	}
+	if row == nil {
+		return fmt.Errorf("unknown CVE %q", cveID)
+	}
+	var cols []defense.Defense
+	var colIdx []int
+	for i, d := range defense.TableIDefenses() {
+		if defID == "" || d.ID == defID {
+			cols = append(cols, d)
+			colIdx = append(colIdx, i)
+		}
+	}
+	if len(cols) == 0 {
+		return fmt.Errorf("unknown defense %q", defID)
+	}
+	if (export != "" || reportDir != "") && len(cols) != 1 {
+		return fmt.Errorf("-export and -report need a single cell: pass -defense")
+	}
+
+	channel, _ := expr.CVEChannel(row.CVE)
+	var results []cellResult
+	for ci, d := range cols {
+		sess := trace.NewSession()
+		retain := export != ""
+		sess.SetRetain(retain)
+		det := hb.NewDetector()
+		sess.Attach(det)
+		var prof *obs.Profiler
+		if reportDir != "" {
+			prof = obs.NewProfiler()
+			sess.Attach(prof)
+		}
+		// Same derived seed as the matrix cell, so findings here reproduce
+		// the matrix (and the checked-in goldens) exactly.
+		out := attack.EvaluateCVE(row, d.WithTracer(sess), expr.RaceCellSeed(cfg, rowIdx, colIdx[ci]))
+		sess.Close()
+		findings := det.Findings()
+		results = append(results, cellResult{
+			Row: string(row.CVE), Defense: d.ID,
+			Defended: out.Defended, Exploited: out.Exploited,
+			Channel: channel, Findings: findings,
+		})
+		if export != "" {
+			if err := exportRecords(sess, export); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "exported record stream -> %s\n", export)
+		}
+		if reportDir != "" {
+			if err := writeReport(sess, prof, findings, string(row.CVE)+"/"+d.ID, reportDir); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "obs report -> %s\n", reportDir)
+		}
+	}
+	if asJSON {
+		return writeJSON(w, results)
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s under %s: defended=%v races(%s)=%d total=%d\n",
+			r.Row, r.Defense, r.Defended, r.Channel, countClass(r.Findings, r.Channel), len(r.Findings))
+		printFindings(w, r.Findings)
+	}
+	return nil
+}
+
+// replayFile re-runs the detector over an exported record stream.
+func replayFile(w io.Writer, path string, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	recs, err := trace.ReadRecords(f)
+	if err != nil {
+		return err
+	}
+	findings := hb.Replay(recs)
+	if asJSON {
+		return writeJSON(w, findings)
+	}
+	fmt.Fprintf(w, "replayed %d records: %d races\n", len(recs), len(findings))
+	printFindings(w, findings)
+	return nil
+}
+
+// exportRecords writes a session's retained records as JSONL.
+func exportRecords(sess *trace.Session, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rw := trace.NewRecordWriter(f)
+	rw.WriteAll(sess.Records())
+	if err := rw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeReport joins the race findings into the obs telemetry report.
+func writeReport(sess *trace.Session, prof *obs.Profiler, findings []hb.Finding, title, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	in := obs.ReportInput{
+		Title:    title,
+		Profiler: prof,
+		Races:    findings,
+		Metrics:  sess.Metrics(),
+	}
+	jf, err := os.Create(filepath.Join(dir, "report.json"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteReportJSON(jf, in); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	sf, err := os.Create(filepath.Join(dir, "summary.txt"))
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteReportSummary(sf, in); err != nil {
+		sf.Close()
+		return err
+	}
+	return sf.Close()
+}
+
+func printFindings(w io.Writer, findings []hb.Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "  race run=%d %s/%d guardian=%v\n", f.Run, f.Class, f.Target, f.Guardian)
+		fmt.Fprintf(w, "    first:  %s %s #%d vt=%v clock=%d\n",
+			f.First.Context, f.First.Action, f.First.Seq, f.First.VT, f.First.Clock)
+		fmt.Fprintf(w, "    second: %s %s #%d vt=%v clock=%d vc=%s\n",
+			f.Second.Context, f.Second.Action, f.Second.Seq, f.Second.VT, f.Second.Clock, f.Second.VC)
+	}
+}
+
+func countClass(findings []hb.Finding, class string) int {
+	n := 0
+	for _, f := range findings {
+		if f.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+func writeJSON(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

@@ -12,6 +12,9 @@
 //     through an explicitly seeded *rand.Rand stream.
 //   - detmapiter: ranging over a map while producing order-sensitive
 //     output (appends, prints, float accumulation) without a sort.
+//   - detselect: select statements with two or more communication
+//     cases in internal packages — the runtime picks among ready
+//     cases uniformly at random.
 //   - goroutinescope: go statements outside the scheduler/runtime
 //     allowlist — stray goroutines race the discrete-event loop.
 //   - panicsafe: raw Policy.Evaluate / Event.Callback invocations that
@@ -88,6 +91,7 @@ func Analyzers() []*Analyzer {
 		DetWallTime,
 		DetRand,
 		DetMapIter,
+		DetSelect,
 		GoroutineScope,
 		PanicSafe,
 	}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DetSelect flags select statements with two or more communication
+// cases inside internal/... packages. When several cases are ready at
+// once the Go runtime picks one uniformly at random, so a multi-way
+// select is a nondeterminism source exactly like an unseeded rand draw:
+// replaying the same virtual-time schedule can take a different arm and
+// diverge byte-for-byte identical runs. The sanctioned shapes are
+//
+//   - a single communication case (blocking receive/send: no choice),
+//   - a single case plus default (a deterministic poll),
+//   - the kernel's own event queue, which totally orders deliveries.
+//
+// Service-layer code that genuinely multiplexes OS-level channels
+// (request completion vs. context cancellation) carries an explicit
+// //jsk:lint-ignore detselect directive with its justification, keeping
+// every racy select audited.
+var DetSelect = &Analyzer{
+	Name:    "detselect",
+	Doc:     "forbid multi-way select (runtime-randomized choice) in internal packages",
+	Applies: isInternalPkg,
+	Run:     runDetSelect,
+}
+
+// isInternalPkg reports whether pkgPath sits under an internal/ tree
+// (e.g. "jskernel/internal/serve"). Command mains and external code are
+// out of scope: the determinism argument is about the simulation and
+// its libraries.
+func isInternalPkg(pkgPath string) bool {
+	return strings.HasPrefix(pkgPath, "internal/") ||
+		strings.Contains(pkgPath, "/internal/")
+}
+
+func runDetSelect(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			comms := 0
+			for _, clause := range sel.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					comms++
+				}
+			}
+			if comms >= 2 {
+				p.Reportf(sel.Pos(), "select with %d communication cases resolves ready cases in runtime-randomized order; restructure to a single case (plus default for polling) or suppress with a justification", comms)
+			}
+			return true
+		})
+	}
+}

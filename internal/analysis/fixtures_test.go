@@ -261,6 +261,68 @@ func sup(m map[string][]int, key string) []int {
 	})
 }
 
+func TestDetSelect(t *testing.T) {
+	t.Run("multi-way select flagged, deterministic poll clean", func(t *testing.T) {
+		diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+func bad(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func poll(a chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func blockingRecv(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+`)
+		wantFindings(t, diags, [2]any{"detselect", 4})
+	})
+	t.Run("suppressed with reason", func(t *testing.T) {
+		diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+func sup(a, b chan int) int {
+	//jsk:lint-ignore detselect fixture demonstrates a sanctioned exception
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+`)
+		wantFindings(t, diags)
+	})
+	t.Run("commands are out of scope", func(t *testing.T) {
+		diags := fixtures.run(t, "jskernel/cmd/fixture", `package main
+
+func race(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+`)
+		wantFindings(t, diags)
+	})
+}
+
 func TestGoroutineScope(t *testing.T) {
 	t.Run("go statement flagged outside allowlist", func(t *testing.T) {
 		diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture

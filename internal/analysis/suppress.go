@@ -16,6 +16,15 @@ import (
 // mandatory and the analyzer name must be real — violations of either
 // rule are reported as "lint-ignore" diagnostics so a suppression can
 // never silently rot.
+//
+// When the targeted line begins a simple statement that continues over
+// several lines (a wrapped call, assignment, or return), the directive
+// covers the statement's whole line span: analyzers anchor findings at
+// the offending expression, which on a wrapped statement can sit lines
+// below the statement keyword, and a directive that names the statement
+// should cover all of it. Block-carrying statements (if, for, switch,
+// select) and statements containing multi-line function literals keep
+// the single-line rule — a directive must never blanket a body.
 const ignoreDirective = "jsk:lint-ignore"
 
 // suppressions indexes parsed directives for one package.
@@ -55,6 +64,7 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File, valid map[string]
 	sup := &suppressions{byKey: make(map[string]bool)}
 	for _, f := range files {
 		codeLines := codeLineSet(fset, f)
+		spans := simpleStmtSpans(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := directiveText(c.Text)
@@ -89,12 +99,20 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File, valid map[string]
 					continue
 				}
 				// A trailing comment suppresses its own line; a comment on
-				// a line of its own suppresses the next line.
+				// a line of its own suppresses the next line. Either way,
+				// if the target line opens a multi-line simple statement
+				// the directive covers the statement's full span.
 				target := pos.Line
 				if !codeLines[pos.Line] {
 					target = pos.Line + 1
 				}
-				sup.byKey[supKey(name, pos.Filename, target)] = true
+				end := target
+				if e, ok := spans[target]; ok {
+					end = e
+				}
+				for line := target; line <= end; line++ {
+					sup.byKey[supKey(name, pos.Filename, line)] = true
+				}
 			}
 		}
 	}
@@ -122,6 +140,59 @@ func directiveText(comment string) (string, bool) {
 		return "", false // e.g. jsk:lint-ignorex — a different word
 	}
 	return strings.TrimSpace(rest), true
+}
+
+// simpleStmtSpans maps the start line of every multi-line simple
+// statement to its end line. Only statements without bodies of their
+// own qualify — expression and assignment statements, returns, sends,
+// increments, go/defer, and declarations — and only when they contain
+// no multi-line function literal: extending a directive over a literal's
+// body would blanket-suppress code the directive never named. Block
+// statements (if, for, switch, select, range) are deliberately absent,
+// which is what keeps TestSuppressionStandaloneDoesNotReachPastNextLine
+// true: the old off-by-one was a directive above a wrapped statement
+// missing findings anchored on its continuation lines, not a license to
+// cover whole blocks.
+func simpleStmtSpans(fset *token.FileSet, f *ast.File) map[int]int {
+	spans := make(map[int]int)
+	mark := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end <= start || containsMultiLineFuncLit(fset, n) {
+			return
+		}
+		if cur, ok := spans[start]; !ok || end > cur {
+			spans[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.IncDecStmt,
+			*ast.SendStmt, *ast.GoStmt, *ast.DeferStmt, *ast.DeclStmt, *ast.GenDecl:
+			mark(n)
+		}
+		return true
+	})
+	return spans
+}
+
+// containsMultiLineFuncLit reports whether n encloses a function
+// literal spanning more than one line.
+func containsMultiLineFuncLit(fset *token.FileSet, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := c.(*ast.FuncLit); ok {
+			if fset.Position(fl.End()).Line > fset.Position(fl.Pos()).Line {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
 }
 
 // codeLineSet records which lines of a file carry code tokens, so a

@@ -46,6 +46,79 @@ func f() int {
 	wantFindings(t, diags, [2]any{"detrand", 8})
 }
 
+func TestSuppressionCoversWrappedStatement(t *testing.T) {
+	// The finding anchors at the rand.Intn call on the continuation line
+	// of a wrapped assignment. Before the span fix, the standalone
+	// directive covered only the statement's first line and the finding
+	// leaked through — the off-by-one this test pins the fix for.
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func pair(a int) (int, int) { return a, a }
+
+func f() (int, int) {
+	//jsk:lint-ignore detrand wrapped statement is covered end to end
+	x, y := pair(
+		rand.Intn(10))
+	return x, y
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestSuppressionTrailingCoversWrappedStatement(t *testing.T) {
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func pair(a int) (int, int) { return a, a }
+
+func f() (int, int) {
+	x, y := pair( //jsk:lint-ignore detrand trailing directive covers the wrapped statement too
+		rand.Intn(10))
+	return x, y
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestSuppressionDoesNotBlanketBlocks(t *testing.T) {
+	// An if statement carries a body: the directive covers only the
+	// header line, never the block, so the violation inside still flags.
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f(ok bool) int {
+	//jsk:lint-ignore detrand block statements keep the single-line rule
+	if ok {
+		return rand.Intn(10)
+	}
+	return 0
+}
+`)
+	wantFindings(t, diags, [2]any{"detrand", 8})
+}
+
+func TestSuppressionDoesNotReachIntoFuncLit(t *testing.T) {
+	// A statement containing a multi-line function literal is not span
+	// extended: the directive must not blanket the literal's body.
+	diags := fixtures.run(t, "jskernel/internal/fixture", `package fixture
+
+import "math/rand"
+
+func f() func() int {
+	//jsk:lint-ignore detrand literal bodies are never blanket-covered
+	g := func() int {
+		return rand.Intn(10)
+	}
+	return g
+}
+`)
+	wantFindings(t, diags, [2]any{"detrand", 8})
+}
+
 func TestSuppressionWrongAnalyzerNameDoesNotSuppress(t *testing.T) {
 	// detwalltime is a real analyzer, so the directive is well-formed —
 	// but it must not silence a detrand finding.

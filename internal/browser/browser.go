@@ -191,6 +191,7 @@ func (b *Browser) RunFor(d sim.Duration) error { return b.Sim.RunUntil(b.Sim.Now
 // while workers may still be running (CVE-2010-4576's precondition).
 func (b *Browser) TearDownDocument() {
 	b.tornDown = true
+	b.access(b.main, "doc", 0, AccessWrite)
 	b.trace(TraceEvent{Kind: TraceDocumentTeardown, ThreadID: b.main.ID()})
 }
 

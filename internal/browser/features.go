@@ -73,6 +73,16 @@ func (g *Global) checkBufferAccess(buf *SharedBuffer, idx int, op string) error 
 		buf.freed = true
 		detail = op + ":use-after-free"
 	}
+	if buf.freed {
+		// Hazard witness: the backing store died with its owner thread;
+		// this access touches freed memory (CVE-2014-1488).
+		b.access(g.thread, "buffer", buf.ID, AccessWrite|AccessGuardian)
+	}
+	kind := int64(0)
+	if op == "write" {
+		kind = AccessWrite
+	}
+	b.access(g.thread, "buffer", buf.ID, kind)
 	// Stamp the in-task cursor time: cross-thread race detection needs
 	// finer resolution than the task-level simulator clock.
 	b.trace(TraceEvent{Kind: TraceSharedBufferOp, ThreadID: g.thread.id, Value: buf.ID, Detail: detail, At: g.thread.Now()})
@@ -163,7 +173,11 @@ func (s *IDBStore) Put(key, value string) error {
 	detail := ""
 	if s.private {
 		detail = "private-mode"
+		// Hazard witness: a private-browsing write landing in persistent
+		// state (CVE-2017-7843).
+		b.access(s.g.thread, "idb", 0, AccessWrite|AccessGuardian)
 	}
+	b.access(s.g.thread, "idb", 0, AccessWrite)
 	b.trace(TraceEvent{Kind: TraceIndexedDBPut, ThreadID: s.g.thread.id, URL: s.name, Detail: detail})
 	s.g.thread.advance(80 * sim.Microsecond)
 	b.idb.data[s.name][key] = value

@@ -224,6 +224,12 @@ func (g *Global) nativeAbortFetch(id FetchID) {
 	case rec.done:
 		detail = "late"
 	}
+	if rec.orphaned {
+		// Hazard witness: the abort lands in the freed worker's request
+		// state (CVE-2018-5092's final step).
+		b.access(g.thread, "worker", int64(rec.workerID), AccessWrite|AccessGuardian)
+		b.access(g.thread, "worker", int64(rec.workerID), AccessWrite)
+	}
 	b.trace(TraceEvent{Kind: TraceFetchAbort, ThreadID: g.thread.id, WorkerID: rec.workerID, URL: rec.url, Detail: detail, Value: int64(id)})
 	if rec.done || rec.aborted {
 		return
@@ -265,6 +271,12 @@ func (g *Global) nativeXHR(url string) (string, error) {
 			detail = "cross-origin-worker"
 		}
 	}
+	if detail == "cross-origin-worker" {
+		// Hazard witness: a worker-thread request crossing the origin
+		// boundary unchecked (CVE-2013-1714).
+		b.access(g.thread, "origin", 0, AccessWrite|AccessGuardian)
+		b.access(g.thread, "origin", 0, 0)
+	}
 	b.trace(TraceEvent{Kind: TraceXHR, ThreadID: g.thread.id, URL: url, Detail: detail})
 	if crossOrigin && g.worker == nil {
 		return "", fmt.Errorf("browser: XHR to %s blocked by same-origin policy", url)
@@ -295,6 +307,10 @@ func (g *Global) nativeImportScripts(url string) error {
 			Message: fmt.Sprintf("NetworkError: importScripts failed for %s (%v; upstream status visible)", url, err),
 			URL:     url,
 		}
+		// Hazard witness: the leaky error text exposes cross-origin
+		// resolution state (CVE-2015-7215 / CVE-2014-1487 family).
+		b.access(g.thread, "origin", 0, AccessWrite|AccessGuardian)
+		b.access(g.thread, "origin", 0, 0)
 		b.trace(TraceEvent{Kind: TraceNavigationError, ThreadID: g.thread.id, WorkerID: g.worker.id, URL: url, Detail: "leaky-error"})
 		g.reportWorkerError(werr)
 		return werr

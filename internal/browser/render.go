@@ -278,6 +278,7 @@ func (g *Global) nativeDOMSetAttribute(el *dom.Element, name, value string) {
 		return
 	}
 	g.thread.advance(g.browser.Profile.DOMAttrAccess)
+	g.browser.access(g.thread, "dom", int64(el.Seq()), AccessWrite)
 	el.SetAttribute(name, value)
 }
 
@@ -286,5 +287,6 @@ func (g *Global) nativeDOMGetAttribute(el *dom.Element, name string) (string, bo
 		return "", false
 	}
 	g.thread.advance(g.browser.Profile.DOMAttrAccess)
+	g.browser.access(g.thread, "dom", int64(el.Seq()), 0)
 	return el.Attribute(name)
 }

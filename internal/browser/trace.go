@@ -41,6 +41,25 @@ const (
 	TraceMessageCallback
 	TraceFrameTick
 	TraceLoadDone
+	// TraceAccess marks one shared-target access for the happens-before
+	// race analysis (internal/hb): Detail is the target class ("buffer",
+	// "worker", "dom", ...), Value the target ID, Aux the accessKind
+	// bits. Emitted whenever a tracer is attached; like obs kinds, the
+	// emission never advances simulated time.
+	TraceAccess
+)
+
+// Access-kind bits carried in a TraceAccess event's Aux field.
+const (
+	// AccessWrite marks the access as a write (unset = read).
+	AccessWrite int64 = 1 << iota
+	// AccessGuardian attributes the access to the target's hazard
+	// guardian — a per-target pseudo-context modeling the freed/forbidden
+	// state a defense must order against (use-after-free, use-after-
+	// teardown, cross-origin exposure). Guardian accesses participate in
+	// happens-before only through their own program order, so they race
+	// with any plain access unless the defense suppressed the trigger.
+	AccessGuardian
 )
 
 // traceKindNames names each kind; KindByName inverts it. Both maps are
@@ -71,6 +90,7 @@ var traceKindNames = map[TraceKind]string{
 	TraceMessageCallback:  "message-callback",
 	TraceFrameTick:        "frame-tick",
 	TraceLoadDone:         "load-done",
+	TraceAccess:           "access",
 }
 
 var traceKindByName = map[string]TraceKind{
@@ -99,6 +119,7 @@ var traceKindByName = map[string]TraceKind{
 	"message-callback":  TraceMessageCallback,
 	"frame-tick":        TraceFrameTick,
 	"load-done":         TraceLoadDone,
+	"access":            TraceAccess,
 }
 
 // String names the trace kind for diagnostics.
@@ -180,6 +201,25 @@ func (m multiTracer) Trace(ev TraceEvent) {
 	for _, t := range m {
 		t.Trace(ev)
 	}
+}
+
+// access emits one TraceAccess event for the hb race analysis: class
+// names the shared-target class, id the target, kind the AccessWrite/
+// AccessGuardian bits. The event carries the emitting thread's in-task
+// cursor time, so co-scheduled accesses from different threads keep
+// their true temporal interleaving. No-op without a tracer.
+func (b *Browser) access(t *Thread, class string, id int64, kind int64) {
+	if b.tracer == nil {
+		return
+	}
+	b.tracer.Trace(TraceEvent{
+		Kind:     TraceAccess,
+		At:       t.Now(),
+		ThreadID: t.id,
+		Detail:   class,
+		Value:    id,
+		Aux:      kind,
+	})
 }
 
 // trace emits a native-layer event if a tracer is installed. Events carry

@@ -128,7 +128,11 @@ func (w *WorkerHandle) SetOnMessage(cb func(*Global, MessageEvent)) {
 	detail := "parent"
 	if st.thread.terminated {
 		detail = "null-deref"
+		// Hazard witness: the setter touches the dead worker's freed
+		// engine state (CVE-2013-5602's use-after-free).
+		b.access(st.parent, "worker", int64(st.id), AccessWrite|AccessGuardian)
 	}
+	b.access(st.parent, "worker", int64(st.id), AccessWrite)
 	b.trace(TraceEvent{Kind: TraceOnMessageSet, ThreadID: st.parent.id, WorkerID: st.id, Detail: detail})
 	st.handleOnMessage = cb
 }
@@ -159,6 +163,14 @@ func (w *WorkerHandle) Terminate() {
 		detail += "pending-fetch"
 	}
 	st.thread.terminate()
+	if st.inFlight > 0 || orphans > 0 {
+		// Hazard witness: terminating with messages or fetches still in
+		// flight frees state the pending work will touch (CVE-2014-1719,
+		// CVE-2018-5092's precondition). A merely not-yet-started worker
+		// (queue depth without in-flight work) is not the hazard.
+		b.access(st.parent, "worker", int64(st.id), AccessWrite|AccessGuardian)
+	}
+	b.access(st.parent, "worker", int64(st.id), AccessWrite)
 	b.trace(TraceEvent{
 		Kind: TraceWorkerTerminated, ThreadID: st.parent.id,
 		WorkerID: st.id, Detail: detail, Value: int64(orphans),
@@ -175,6 +187,7 @@ func (w *WorkerHandle) Release() {
 	if st.inFlight > 0 {
 		detail = "in-flight"
 	}
+	b.access(st.parent, "worker", int64(st.id), AccessWrite)
 	b.trace(TraceEvent{Kind: TraceWorkerError, ThreadID: st.parent.id, WorkerID: st.id, Detail: "released:" + detail})
 }
 
@@ -193,6 +206,10 @@ func (g *Global) nativeNewWorker(src string) (Worker, error) {
 			Message: fmt.Sprintf("SecurityError: cannot load worker from %s (resolved cross-origin, redirect-chain visible)", src),
 			URL:     src,
 		}
+		// Hazard witness: the leaky error text exposes cross-origin
+		// resolution state (CVE-2014-1487).
+		b.access(g.thread, "origin", 0, AccessWrite|AccessGuardian)
+		b.access(g.thread, "origin", 0, 0)
 		b.trace(TraceEvent{Kind: TraceWorkerError, ThreadID: g.thread.id, URL: src, Detail: "cross-origin-create"})
 		return nil, err
 	}
@@ -251,9 +268,18 @@ func (g *Global) nativePostMessage(data any) {
 	deliverAt := g.thread.Now() + b.Profile.MessageLatency
 	st.parent.PostTask(deliverAt, "parent-onmessage", func(pg *Global) {
 		st.inFlight--
+		if detail == "after-teardown" {
+			// Hazard witness: the delivery dereferences the torn-down
+			// document's freed state (CVE-2010-4576).
+			b.access(st.parent, "doc", 0, AccessWrite|AccessGuardian)
+			b.access(st.parent, "doc", 0, 0)
+		}
 		b.trace(TraceEvent{Kind: TraceMessageDelivered, ThreadID: st.parent.id, WorkerID: st.id, Detail: detail})
 		if st.released {
-			// Handle was GC'd; vulnerable engines still touch it.
+			// Handle was GC'd; vulnerable engines still touch it (the
+			// CVE-2013-6646 hazard witness).
+			b.access(st.parent, "worker", int64(st.id), AccessWrite|AccessGuardian)
+			b.access(st.parent, "worker", int64(st.id), 0)
 			b.trace(TraceEvent{Kind: TraceMessageDelivered, ThreadID: st.parent.id, WorkerID: st.id, Detail: "released-use"})
 		}
 		if st.handleOnMessage != nil {
@@ -302,6 +328,10 @@ func (g *Global) nativeWorkerLocation() string {
 	}
 	b := g.browser
 	if final, ok := b.redirects[g.worker.src]; ok && !webnet.SameOrigin(final, b.Origin) {
+		// Hazard witness: the post-redirect URL exposes cross-origin
+		// state (CVE-2011-1190).
+		b.access(g.thread, "origin", 0, AccessWrite|AccessGuardian)
+		b.access(g.thread, "origin", 0, 0)
 		b.trace(TraceEvent{Kind: TraceNavigationError, ThreadID: g.thread.id, WorkerID: g.worker.id, URL: final, Detail: "location-leak"})
 		return final
 	}

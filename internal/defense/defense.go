@@ -128,6 +128,31 @@ type traceBridge struct {
 }
 
 func (tb traceBridge) Trace(ev browser.TraceEvent) {
+	if ev.Kind == browser.TraceAccess {
+		// Shared-target accesses become first-class OpAccess records so
+		// the hb analysis (and jsk-race) can consume them without parsing
+		// native-event details: API carries the target class, Value the
+		// target ID, Action the read/write(+guardian) encoding.
+		action := "r"
+		if ev.Aux&browser.AccessWrite != 0 {
+			action = "w"
+		}
+		if ev.Aux&browser.AccessGuardian != 0 {
+			action += "g"
+		}
+		tb.s.Emit(trace.Record{
+			Run:      tb.run,
+			VT:       ev.At,
+			Thread:   ev.ThreadID,
+			WorkerID: ev.WorkerID,
+			Op:       trace.OpAccess,
+			API:      ev.Detail,
+			Action:   action,
+			Value:    ev.Value,
+			Aux:      ev.Aux,
+		})
+		return
+	}
 	tb.s.Emit(trace.Record{
 		Run:      tb.run,
 		VT:       ev.At,

@@ -160,6 +160,10 @@ func (e *Element) Remove() error {
 	return e.parent.RemoveChild(e)
 }
 
+// Seq returns the element's stable creation-order number. The race
+// analysis (internal/hb) uses it as the element's shared-target ID.
+func (e *Element) Seq() int { return e.seq }
+
 // Parent returns e's parent element, or nil when detached.
 func (e *Element) Parent() *Element { return e.parent }
 

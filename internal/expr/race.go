@@ -1,0 +1,177 @@
+package expr
+
+import (
+	"fmt"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/expr/runner"
+	"jskernel/internal/hb"
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+	"jskernel/internal/vuln"
+)
+
+// Race re-judging of Table I's CVE half: every (CVE, defense) cell runs
+// with a streaming hb.Detector attached to its trace session, and the
+// happens-before verdict — at least one data race on the CVE's channel
+// target class — is compared against the experiment's own exploited/
+// defended verdict. The two must agree on every cell: an exploited cell
+// shows a race on its channel, a defended one shows none.
+//
+// Cells are seeded with the same sim.DeriveSeed stream as table1Matrix
+// and ForensicsTable1 (the CVE half begins after the timing cells), so
+// the actual verdicts here are identical to Table1's and the matrix is
+// deterministic at any parallel width.
+
+// cveChannel maps each CVE row to the shared-target class its race
+// manifests on. The race verdict for a cell counts findings on this
+// class only: races the same run produces on unrelated targets (e.g.
+// DOM traffic) never flip a verdict.
+var cveChannel = map[vuln.CVE]string{
+	vuln.CVE20185092: "worker", // UAF: abort into a freed worker's fetch state
+	vuln.CVE20177843: "idb",    // private-mode write reaching persistent state
+	vuln.CVE20157215: "origin", // leaky importScripts error text
+	vuln.CVE20143194: "buffer", // unserialized shared-buffer access interleaving
+	vuln.CVE20141719: "worker", // terminate with messages in flight
+	vuln.CVE20141488: "buffer", // transferable freed with its original owner
+	vuln.CVE20141487: "origin", // cross-origin worker creation error
+	vuln.CVE20136646: "worker", // delivery into a released worker slot
+	vuln.CVE20135602: "worker", // onmessage-set on a terminated worker
+	vuln.CVE20131714: "origin", // worker XHR skipping the same-origin check
+	vuln.CVE20111190: "origin", // WorkerLocation after cross-origin redirect
+	vuln.CVE20104576: "doc",    // delivery after document teardown
+}
+
+// CVEChannel exposes the CVE → channel-class mapping (jsk-race lists it).
+func CVEChannel(cve vuln.CVE) (string, bool) {
+	c, ok := cveChannel[cve]
+	return c, ok
+}
+
+// RaceCell is one (CVE, defense) cell of the race matrix.
+type RaceCell struct {
+	// Row is the CVE ID.
+	Row string `json:"row"`
+	// Defense is the defense column ID.
+	Defense string `json:"defense"`
+	// ActualDefended is the experiment's own verdict for the cell.
+	ActualDefended bool `json:"actual_defended"`
+	// Channel is the CVE's shared-target class (the judged channel).
+	Channel string `json:"channel"`
+	// ChannelRaces counts deduplicated races on the channel class.
+	ChannelRaces int `json:"channel_races"`
+	// TotalRaces counts all races the cell produced, any class.
+	TotalRaces int `json:"total_races"`
+	// Flagged is the race verdict: the happens-before analysis found at
+	// least one race on the CVE's channel.
+	Flagged bool `json:"flagged"`
+	// Findings carries the channel-class races (flagged cells only),
+	// each with both access sites and vector-clock evidence.
+	Findings []hb.Finding `json:"findings,omitempty"`
+}
+
+// RaceResult is the full race matrix over Table I's CVE half.
+type RaceResult struct {
+	Cells []RaceCell `json:"cells"`
+	// Mismatches lists cells where the race verdict disagrees with the
+	// actual verdict; empty in a healthy run.
+	Mismatches []string `json:"mismatches"`
+}
+
+// Findings returns the flagged cells.
+func (r *RaceResult) Findings() []RaceCell {
+	var out []RaceCell
+	for _, c := range r.Cells {
+		if c.Flagged {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RaceCellSeed returns the derived seed the race matrix uses for the
+// cell at (rowIdx, defIdx) — the same sim.DeriveSeed stream position as
+// table1Matrix, so a single cell re-run (jsk-race -cve/-defense)
+// reproduces the matrix's findings exactly.
+func RaceCellSeed(cfg Config, rowIdx, defIdx int) int64 {
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = attack.Reps
+	}
+	nDef := len(defense.TableIDefenses())
+	nTiming := len(attack.TimingAttacks()) * nDef * reps
+	return sim.DeriveSeed(cfg.Seed, int64(nTiming+rowIdx*nDef+defIdx))
+}
+
+// raceCellOut is one scheduled cell's raw result.
+type raceCellOut struct {
+	out      attack.Outcome
+	findings []hb.Finding
+}
+
+// RaceTable1 runs the CVE half of the Table I matrix with a streaming
+// race detector on every cell. Each cell traces into its own retain-off
+// session; nothing is buffered or absorbed.
+func RaceTable1(cfg Config) (*RaceResult, error) {
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = attack.Reps
+	}
+	defenses := defense.TableIDefenses()
+	cveRows := attack.CVEAttacks()
+
+	// Seed parity with table1Matrix/ForensicsTable1: the CVE cells start
+	// after the timing half's derived-seed stream.
+	nTiming := len(attack.TimingAttacks()) * len(defenses) * reps
+	nCells := len(cveRows) * len(defenses)
+
+	outs := runner.Map(cfg.Parallel, nCells, func(i int) raceCellOut {
+		seed := sim.DeriveSeed(cfg.Seed, int64(nTiming+i))
+		sess := trace.NewSession()
+		sess.SetRetain(false)
+		det := hb.NewDetector()
+		sess.Attach(det)
+
+		a := cveRows[i/len(defenses)]
+		d := defenses[i%len(defenses)].WithTracer(sess)
+		var out raceCellOut
+		out.out = attack.EvaluateCVE(a, d, seed)
+		sess.Close()
+		out.findings = det.Findings()
+		return out
+	})
+
+	res := &RaceResult{Mismatches: []string{}}
+	for ci, a := range cveRows {
+		for di, d := range defenses {
+			o := outs[ci*len(defenses)+di]
+			channel := cveChannel[a.CVE]
+			cell := RaceCell{
+				Row:            string(a.CVE),
+				Defense:        d.ID,
+				ActualDefended: o.out.Defended,
+				Channel:        channel,
+				TotalRaces:     len(o.findings),
+			}
+			for _, f := range o.findings {
+				if f.Class == channel {
+					cell.ChannelRaces++
+					cell.Findings = append(cell.Findings, f)
+				}
+			}
+			cell.Flagged = cell.ChannelRaces > 0
+			if !cell.Flagged {
+				cell.Findings = nil
+			}
+			res.Cells = append(res.Cells, cell)
+			if cell.Flagged == cell.ActualDefended {
+				res.Mismatches = append(res.Mismatches, fmt.Sprintf(
+					"%s/%s: actual defended=%v, race flagged=%v (%d races on %q, %d total)",
+					cell.Row, cell.Defense, cell.ActualDefended, cell.Flagged,
+					cell.ChannelRaces, channel, cell.TotalRaces))
+			}
+		}
+	}
+	return res, nil
+}

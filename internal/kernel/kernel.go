@@ -194,6 +194,14 @@ func (k *Kernel) emit(r trace.Record) {
 	t.Emit(r)
 }
 
+// emitEdge records one synchronization edge endpoint for the hb race
+// analysis: api names the sync-object class ("sab-lock", "sys"), id the
+// object, action "rel" (release) or "acq" (acquire). Release/acquire
+// pairs on the same (run, api, id) key become happens-before edges.
+func (k *Kernel) emitEdge(api string, id int64, action string) {
+	k.emit(trace.Record{Op: trace.OpEdge, API: api, Action: action, Value: id})
+}
+
 // Queue exposes the kernel event queue (tests and reports).
 func (k *Kernel) Queue() *EventQueue { return k.queue }
 

@@ -147,6 +147,9 @@ func (k *Kernel) onNativeMessage(g *browser.Global, m browser.MessageEvent) {
 // two kernel-space communication types are exchanging a clock and passing
 // the thread source; plus the Listing 4 fetch handshake).
 func (k *Kernel) handleSysMessage(env envelope) {
+	// Acquire side of the kernel-space handshake edge: the receiving
+	// kernel observes everything the sender published before the send.
+	k.emitEdge("sys", int64(env.Wid), "acq")
 	switch env.Op {
 	case "clockExchange":
 		// The parent kernel shares its logical time when the thread is
@@ -177,6 +180,9 @@ func (k *Kernel) sysToMain(env envelope) {
 	if mk == nil {
 		return
 	}
+	// Release side of the kernel-space handshake edge (the acquire is
+	// emitted by the receiving kernel in handleSysMessage).
+	k.emitEdge("sys", int64(env.Wid), "rel")
 	mk.handleSysMessage(env)
 }
 

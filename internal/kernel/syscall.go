@@ -130,6 +130,11 @@ func (k *Kernel) kSharedBufferRead(buf *browser.SharedBuffer, idx int) (int64, e
 		return 0, fmt.Errorf("%w: SharedArrayBuffer access", ErrPolicyDenied)
 	case ActionSerialize:
 		k.serializeBufAccess()
+		// The serialization queue acts as a per-buffer lock: the acquire/
+		// release pair orders every kernel-mediated access for the hb
+		// analysis, mirroring the real mutual exclusion §III-E2 enforces.
+		k.emitEdge("sab-lock", buf.ID, "acq")
+		defer k.emitEdge("sab-lock", buf.ID, "rel")
 	}
 	return k.native.SharedBufferRead(buf, idx)
 }
@@ -141,6 +146,8 @@ func (k *Kernel) kSharedBufferWrite(buf *browser.SharedBuffer, idx int, val int6
 		return fmt.Errorf("%w: SharedArrayBuffer access", ErrPolicyDenied)
 	case ActionSerialize:
 		k.serializeBufAccess()
+		k.emitEdge("sab-lock", buf.ID, "acq")
+		defer k.emitEdge("sab-lock", buf.ID, "rel")
 	}
 	return k.native.SharedBufferWrite(buf, idx, val)
 }

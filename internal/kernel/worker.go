@@ -262,8 +262,10 @@ func (k *Kernel) kNewWorker(src string) (browser.Worker, error) {
 	// Kernel-space communication at thread creation (§III-E2): the parent
 	// passes its logical clock to the new kernel thread. (The thread
 	// source itself travels through the native worker bootstrap, the
-	// second communication type.)
-	native.PostMessage(envelope{Kind: "sys", Op: "clockExchange", Data: int64(k.clock.Now())})
+	// second communication type.) The Wid names the sync-object key the
+	// hb edge pairs on; clockExchange ignores it otherwise.
+	k.emitEdge("sys", int64(stub.id), "rel")
+	native.PostMessage(envelope{Kind: "sys", Op: "clockExchange", Wid: stub.id, Data: int64(k.clock.Now())})
 	return stub, nil
 }
 

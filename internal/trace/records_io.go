@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"jskernel/internal/sim"
+)
+
+// Raw record export/import: one JSON object per line, every Record
+// field preserved verbatim. Unlike the Chrome trace-event exporter
+// (chrome.go), which renders for human inspection in Perfetto, this
+// codec round-trips losslessly so exported traces can be replayed
+// offline through the validator and the internal/hb race detector
+// (jsk-race -export / -replay).
+
+// jsonRecord is the wire form of a Record. Ops travel as their String
+// names so exported traces stay readable and stable across enum
+// renumbering.
+type jsonRecord struct {
+	Seq       uint64   `json:"seq"`
+	Run       int      `json:"run,omitempty"`
+	VT        sim.Time `json:"vt"`
+	LC        sim.Time `json:"lc,omitempty"`
+	Thread    int      `json:"thread,omitempty"`
+	Scope     int      `json:"scope,omitempty"`
+	WorkerID  int      `json:"worker,omitempty"`
+	Op        string   `json:"op"`
+	API       string   `json:"api,omitempty"`
+	Event     uint64   `json:"event,omitempty"`
+	Predicted sim.Time `json:"predicted,omitempty"`
+	Action    string   `json:"action,omitempty"`
+	Reason    string   `json:"reason,omitempty"`
+	URL       string   `json:"url,omitempty"`
+	Depth     int      `json:"depth,omitempty"`
+	Value     int64    `json:"value,omitempty"`
+	Aux       int64    `json:"aux,omitempty"`
+}
+
+// allOps enumerates every defined Op for the name→Op decode table.
+var allOps = []Op{
+	OpInstall, OpPolicy, OpEnqueue, OpConfirm, OpDispatch, OpShed,
+	OpCancel, OpExpire, OpPanic, OpQuarantine, OpNative, OpAccess, OpEdge,
+}
+
+func opByName(name string) (Op, bool) {
+	for _, o := range allOps {
+		if o.String() == name {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// RecordWriter streams records to w as JSON lines. It implements Sink,
+// so it can be attached to a live session (retain-off sessions included)
+// or fed a buffered trace via WriteAll. Errors latch; check Flush.
+type RecordWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewRecordWriter wraps w in a buffered JSONL record stream.
+func NewRecordWriter(w io.Writer) *RecordWriter {
+	return &RecordWriter{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Observe writes one record line (Sink).
+func (rw *RecordWriter) Observe(r Record) {
+	if rw.err != nil {
+		return
+	}
+	line, err := json.Marshal(jsonRecord{
+		Seq: r.Seq, Run: r.Run, VT: r.VT, LC: r.LC, Thread: r.Thread,
+		Scope: r.Scope, WorkerID: r.WorkerID, Op: r.Op.String(), API: r.API,
+		Event: r.Event, Predicted: r.Predicted, Action: r.Action,
+		Reason: r.Reason, URL: r.URL, Depth: r.Depth, Value: r.Value, Aux: r.Aux,
+	})
+	if err != nil {
+		rw.err = err
+		return
+	}
+	if _, err := rw.bw.Write(line); err != nil {
+		rw.err = err
+		return
+	}
+	rw.err = rw.bw.WriteByte('\n')
+}
+
+// WriteAll streams a record slice through the writer.
+func (rw *RecordWriter) WriteAll(recs []Record) {
+	for _, r := range recs {
+		rw.Observe(r)
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (rw *RecordWriter) Flush() error {
+	if rw.err != nil {
+		return rw.err
+	}
+	return rw.bw.Flush()
+}
+
+// ReadRecords parses a JSONL record stream written by RecordWriter.
+func ReadRecords(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var jr jsonRecord
+		if err := json.Unmarshal(text, &jr); err != nil {
+			return nil, fmt.Errorf("trace: records line %d: %w", line, err)
+		}
+		op, ok := opByName(jr.Op)
+		if !ok {
+			return nil, fmt.Errorf("trace: records line %d: unknown op %q", line, jr.Op)
+		}
+		out = append(out, Record{
+			Seq: jr.Seq, Run: jr.Run, VT: jr.VT, LC: jr.LC, Thread: jr.Thread,
+			Scope: jr.Scope, WorkerID: jr.WorkerID, Op: op, API: jr.API,
+			Event: jr.Event, Predicted: jr.Predicted, Action: jr.Action,
+			Reason: jr.Reason, URL: jr.URL, Depth: jr.Depth, Value: jr.Value, Aux: jr.Aux,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: records scan: %w", err)
+	}
+	return out, nil
+}

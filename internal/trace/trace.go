@@ -65,6 +65,20 @@ const (
 	// records may carry in-task cursor timestamps, so they are exempt
 	// from the per-thread monotonicity invariant.
 	OpNative
+	// OpAccess records one shared-target access for the happens-before
+	// analysis in internal/hb: API is the target class ("buffer",
+	// "worker", "dom", ...), Value the target ID, Action "r" or "w" (a
+	// "g" suffix marks a hazard-guardian access attributed to the
+	// target's guardian context rather than the accessing thread). Like
+	// native records, accesses carry in-task cursor timestamps and are
+	// exempt from the per-thread monotonicity invariant.
+	OpAccess
+	// OpEdge records a sanctioned synchronization edge endpoint: API
+	// names the sync object class ("sab-lock", "sys", ...), Value the
+	// object ID, Action "rel" (release) or "acq" (acquire). The hb layer
+	// joins rel→acq pairs per (run, API, Value) into happens-before
+	// edges beyond the kernel lifecycle's own enqueue/confirm→dispatch.
+	OpEdge
 )
 
 // String names the operation for renderers.
@@ -92,6 +106,10 @@ func (o Op) String() string {
 		return "quarantine"
 	case OpNative:
 		return "native"
+	case OpAccess:
+		return "access"
+	case OpEdge:
+		return "edge"
 	default:
 		return "invalid"
 	}
@@ -102,6 +120,18 @@ func (o Op) String() string {
 func (o Op) Terminal() bool {
 	switch o {
 	case OpDispatch, OpShed, OpCancel, OpExpire:
+		return true
+	}
+	return false
+}
+
+// cursorTimed reports whether the operation's records carry in-task
+// cursor timestamps (native events, hb accesses and edges), exempting
+// them from the per-thread VT monotonicity invariant and the per-scope
+// logical-clock high-water fold.
+func (o Op) cursorTimed() bool {
+	switch o {
+	case OpNative, OpAccess, OpEdge:
 		return true
 	}
 	return false
@@ -268,7 +298,7 @@ func (s *Session) Emit(r Record) {
 	if r.VT > s.maxVT {
 		s.maxVT = r.VT
 	}
-	if r.Scope != 0 && r.Op != OpNative && r.LC > s.scopeLC[r.Scope] {
+	if r.Scope != 0 && !r.Op.cursorTimed() && r.LC > s.scopeLC[r.Scope] {
 		s.scopeLC[r.Scope] = r.LC
 	}
 	if s.retain {

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 
 	"jskernel/internal/sim"
@@ -13,9 +14,9 @@ import (
 //     order.
 //  2. Kernel-record virtual timestamps are monotone per (run, thread) —
 //     a session may trace many environments, each with its own simulator
-//     and thread numbering (native records may carry in-task cursor
-//     times and are exempt) — and each scope's logical clock never moves
-//     backwards.
+//     and thread numbering (native, access and edge records may carry
+//     in-task cursor times and are exempt) — and each scope's logical
+//     clock never moves backwards.
 //  3. Every event-scoped record belongs to an event that was enqueued
 //     exactly once, and no lifecycle record follows the event's terminal
 //     record.
@@ -27,11 +28,78 @@ import (
 //     AllowOpen relaxes the check for raw, unclosed traces.)
 //  5. No event dispatches without a prior policy decision and a prior
 //     confirmation.
+//
+// Violations are typed: every error is a *ValidationError wrapping one
+// of the Err… sentinels below, so callers (and tests) can distinguish,
+// say, a duplicated terminal state from a dispatch-before-confirm with
+// errors.Is instead of string matching.
 type Validator struct {
 	// AllowOpen accepts traces whose tail leaves events enqueued but
 	// unretired (a session that was not Closed).
 	AllowOpen bool
 }
+
+// Sentinel violation kinds. A validator error wraps exactly one of
+// these; match with errors.Is.
+var (
+	// ErrSeqOrder: sequence numbers not strictly increasing.
+	ErrSeqOrder = errors.New("sequence not strictly increasing")
+	// ErrTimeRegression: virtual time moved backwards within one
+	// (run, thread) on a kernel-timed record.
+	ErrTimeRegression = errors.New("virtual time moved backwards")
+	// ErrClockRegression: a scope's logical clock moved backwards.
+	ErrClockRegression = errors.New("logical clock moved backwards")
+	// ErrDuplicateEnqueue: one event enqueued twice.
+	ErrDuplicateEnqueue = errors.New("event enqueued twice")
+	// ErrDuplicateTerminal: a second terminal record for an event
+	// already retired.
+	ErrDuplicateTerminal = errors.New("duplicate terminal state")
+	// ErrAfterTerminal: a non-terminal lifecycle record after the
+	// event's terminal record.
+	ErrAfterTerminal = errors.New("lifecycle record after terminal state")
+	// ErrConfirmBeforeEnqueue: confirmation for an event never enqueued.
+	ErrConfirmBeforeEnqueue = errors.New("confirmation before enqueue")
+	// ErrDispatchBeforeEnqueue: dispatch of an event never enqueued.
+	ErrDispatchBeforeEnqueue = errors.New("dispatch before enqueue")
+	// ErrDispatchBeforePolicy: dispatch without a prior policy decision.
+	ErrDispatchBeforePolicy = errors.New("dispatch before policy decision")
+	// ErrDispatchBeforeConfirm: dispatch without a prior confirmation.
+	ErrDispatchBeforeConfirm = errors.New("dispatch before confirmation")
+	// ErrTerminalBeforeEnqueue: shed/cancel/expire for an event never
+	// enqueued.
+	ErrTerminalBeforeEnqueue = errors.New("terminal record before enqueue")
+	// ErrPanicOutsideDispatch: a panic-recovery record for an event that
+	// was never dispatched.
+	ErrPanicOutsideDispatch = errors.New("panic recovery outside a dispatch")
+	// ErrOpenEvents: enqueued events never reached a terminal state
+	// (strict mode only).
+	ErrOpenEvents = errors.New("enqueued events never reached a terminal state")
+	// ErrAccounting: dispatched+shed+cancelled+expired+open != enqueued.
+	ErrAccounting = errors.New("terminal accounting broken")
+)
+
+// ValidationError is one lifecycle-invariant violation: the sentinel
+// kind, the offending record's identity, and the detailed message.
+type ValidationError struct {
+	Kind  error  // one of the Err… sentinels
+	Seq   uint64 // offending record's sequence number (0 for end-of-trace checks)
+	Op    Op
+	API   string
+	Event uint64
+	Scope int
+	Msg   string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Seq == 0 && e.Op == 0 {
+		return "trace: " + e.Msg
+	}
+	return fmt.Sprintf("trace: invalid record #%d (%s %s ev=%d scope=%d): %s",
+		e.Seq, e.Op, e.API, e.Event, e.Scope, e.Msg)
+}
+
+// Unwrap exposes the sentinel kind to errors.Is.
+func (e *ValidationError) Unwrap() error { return e.Kind }
 
 // Report summarizes a validated trace.
 type Report struct {
@@ -104,14 +172,17 @@ func (v *StreamValidator) Observe(r Record) {
 }
 
 func (v *StreamValidator) observe(r Record) error {
-	fail := func(format string, args ...any) error {
-		return fmt.Errorf("trace: invalid record #%d (%s %s ev=%d scope=%d): %s",
-			r.Seq, r.Op, r.API, r.Event, r.Scope, fmt.Sprintf(format, args...))
+	fail := func(kind error, format string, args ...any) error {
+		return &ValidationError{
+			Kind: kind, Seq: r.Seq, Op: r.Op, API: r.API,
+			Event: r.Event, Scope: r.Scope,
+			Msg: fmt.Sprintf(format, args...),
+		}
 	}
 
 	v.rep.Records++
 	if r.Seq <= v.lastSeq {
-		return fail("sequence not strictly increasing (prev %d)", v.lastSeq)
+		return fail(ErrSeqOrder, "sequence not strictly increasing (prev %d)", v.lastSeq)
 	}
 	v.lastSeq = r.Seq
 	tk := uint64(r.Run)<<32 | uint64(uint32(r.Thread))
@@ -120,15 +191,15 @@ func (v *StreamValidator) observe(r Record) error {
 		v.scopes[r.Scope] = true
 	}
 
-	if r.Op != OpNative {
+	if !r.Op.cursorTimed() {
 		if vt, ok := v.lastVT[tk]; ok && r.VT < vt {
-			return fail("virtual time moved backwards on run %d thread %d (%s < %s)",
+			return fail(ErrTimeRegression, "virtual time moved backwards on run %d thread %d (%s < %s)",
 				r.Run, r.Thread, fmtVT(r.VT), fmtVT(vt))
 		}
 		v.lastVT[tk] = r.VT
 		if r.Scope != 0 {
 			if lc, ok := v.lastLC[r.Scope]; ok && r.LC < lc {
-				return fail("logical clock moved backwards on scope %d (%s < %s)",
+				return fail(ErrClockRegression, "logical clock moved backwards on scope %d (%s < %s)",
 					r.Scope, fmtVT(r.LC), fmtVT(lc))
 			}
 			v.lastLC[r.Scope] = r.LC
@@ -138,7 +209,7 @@ func (v *StreamValidator) observe(r Record) error {
 	switch r.Op {
 	case OpPolicy:
 		v.rep.PolicyDecisions++
-	case OpInstall, OpNative, OpQuarantine:
+	case OpInstall, OpNative, OpQuarantine, OpAccess, OpEdge:
 		// Not event-scoped.
 		return nil
 	}
@@ -153,37 +224,40 @@ func (v *StreamValidator) observe(r Record) error {
 		v.events[k] = st
 	}
 	if st.terminal != 0 && r.Op != OpPolicy {
-		return fail("lifecycle record after terminal %s", st.terminal)
+		if r.Op.Terminal() {
+			return fail(ErrDuplicateTerminal, "terminal %s after terminal %s", r.Op, st.terminal)
+		}
+		return fail(ErrAfterTerminal, "lifecycle record after terminal %s", st.terminal)
 	}
 	switch r.Op {
 	case OpPolicy:
 		st.policied = true
 	case OpEnqueue:
 		if st.enqueued {
-			return fail("event enqueued twice")
+			return fail(ErrDuplicateEnqueue, "event enqueued twice")
 		}
 		st.enqueued = true
 		v.rep.Enqueued++
 	case OpConfirm:
 		if !st.enqueued {
-			return fail("confirmation for an event never enqueued")
+			return fail(ErrConfirmBeforeEnqueue, "confirmation for an event never enqueued")
 		}
 		st.confirmed = true
 	case OpDispatch:
 		if !st.enqueued {
-			return fail("dispatch of an event never enqueued")
+			return fail(ErrDispatchBeforeEnqueue, "dispatch of an event never enqueued")
 		}
 		if !st.policied {
-			return fail("dispatch without a prior policy decision")
+			return fail(ErrDispatchBeforePolicy, "dispatch without a prior policy decision")
 		}
 		if !st.confirmed {
-			return fail("dispatch without a prior confirmation")
+			return fail(ErrDispatchBeforeConfirm, "dispatch without a prior confirmation")
 		}
 		st.terminal = OpDispatch
 		v.rep.Dispatched++
 	case OpShed, OpCancel, OpExpire:
 		if !st.enqueued {
-			return fail("terminal %s for an event never enqueued", r.Op)
+			return fail(ErrTerminalBeforeEnqueue, "terminal %s for an event never enqueued", r.Op)
 		}
 		st.terminal = r.Op
 		switch r.Op {
@@ -196,7 +270,7 @@ func (v *StreamValidator) observe(r Record) error {
 		}
 	case OpPanic:
 		if st.terminal != OpDispatch {
-			return fail("panic recovery outside a dispatch")
+			return fail(ErrPanicOutsideDispatch, "panic recovery outside a dispatch")
 		}
 	}
 	return nil
@@ -218,10 +292,12 @@ func (v *StreamValidator) Finish() (*Report, error) {
 	rep.Threads = len(v.threads)
 
 	if rep.Open > 0 && !v.allowOpen {
-		return nil, fmt.Errorf("trace: %d enqueued events never reached a terminal state (close the session, or set AllowOpen for raw traces)", rep.Open)
+		return nil, &ValidationError{Kind: ErrOpenEvents, Msg: fmt.Sprintf(
+			"%d enqueued events never reached a terminal state (close the session, or set AllowOpen for raw traces)", rep.Open)}
 	}
 	if got := rep.Dispatched + rep.Shed + rep.Cancelled + rep.Expired + rep.Open; got != rep.Enqueued {
-		return nil, fmt.Errorf("trace: terminal accounting broken: dispatched+shed+cancelled+expired+open = %d, enqueued = %d", got, rep.Enqueued)
+		return nil, &ValidationError{Kind: ErrAccounting, Msg: fmt.Sprintf(
+			"terminal accounting broken: dispatched+shed+cancelled+expired+open = %d, enqueued = %d", got, rep.Enqueued)}
 	}
 	return &rep, nil
 }
