@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check chaos races bench-parallel bench-obs bench-serve clean
+.PHONY: all build test race vet lint check chaos races explore bench-parallel bench-obs bench-serve clean
 
 all: build
 
@@ -37,6 +37,12 @@ chaos:
 # with the experiment's own exploited/defended verdict.
 races:
 	$(GO) run ./cmd/jsk-race
+
+# explore is the bounded schedule-search smoke: PCT + DPOR over two CVE
+# cells with the attack state machines unarmed; nonzero unless every
+# discovery's replay token reproduces its finding byte-identically.
+explore:
+	$(GO) run ./cmd/jsk-explore -matrix -cves CVE-2018-5092,CVE-2014-3194 -budget 2 -dpor-budget 4
 
 # bench-parallel times Table I serially vs. on the worker pool, checks
 # byte-identity, and writes BENCH_parallel.json (includes the host's

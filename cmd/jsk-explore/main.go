@@ -1,0 +1,164 @@
+// Command jsk-explore searches the kernel's schedule space for racing
+// interleavings (internal/explore): PCT randomized priorities and DPOR
+// race reversals over the simulator's scheduler seam, judged by the
+// streaming happens-before detector with every CVE oracle unarmed.
+//
+// Matrix mode explores every CVE row (or a subset) under one defense
+// column and reports each discovered schedule as a minimal replay
+// token:
+//
+//	jsk-explore -matrix
+//	jsk-explore -matrix -cves CVE-2018-5092,CVE-2014-3194 -budget 4
+//	jsk-explore -matrix -json -o report.json
+//
+// Replay mode re-executes one token and prints the reproduced findings
+// — byte-identical to the live discovery, every time:
+//
+//	jsk-explore -replay v1:CVE-2018-5092:chrome:42:-
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"jskernel/internal/explore"
+	"jskernel/internal/hb"
+	"jskernel/internal/vuln"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jsk-explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("jsk-explore", flag.ContinueOnError)
+	var (
+		matrix     = fs.Bool("matrix", false, "explore the CVE corpus and report discovered schedules")
+		replay     = fs.String("replay", "", "re-execute a replay token and print the reproduced findings")
+		cves       = fs.String("cves", "", "comma-separated CVE subset for -matrix (default: all 12)")
+		defID      = fs.String("defense", "chrome", "defense column (a Table I ID)")
+		seed       = fs.Int64("seed", 42, "root seed; every schedule derives from it")
+		budget     = fs.Int("budget", 6, "PCT schedules per cell beyond the default-order baseline")
+		depth      = fs.Int("depth", 3, "PCT bug-depth parameter d (d-1 priority change points)")
+		dporBudget = fs.Int("dpor-budget", 12, "DPOR executions per cell for cells PCT leaves undiscovered (0 = off)")
+		parallel   = fs.Int("parallel", 0, "worker-pool width (0 = one per CPU); reports are byte-identical at any width")
+		asJSON     = fs.Bool("json", false, "emit the report as JSON")
+		outPath    = fs.String("o", "", "also write the JSON report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *replay != "" {
+		return runReplay(w, *replay, *asJSON)
+	}
+	if !*matrix {
+		return fmt.Errorf("pass -matrix to explore or -replay <token> to reproduce a discovery")
+	}
+
+	cfg := explore.Config{
+		Seed:       *seed,
+		Budget:     *budget,
+		Depth:      *depth,
+		DPORBudget: *dporBudget,
+		Parallel:   *parallel,
+		DefenseID:  *defID,
+	}
+	if *cves != "" {
+		for _, s := range strings.Split(*cves, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			cfg.CVEs = append(cfg.CVEs, vuln.CVE(s))
+		}
+	}
+	rep, err := explore.Matrix(cfg)
+	if err != nil {
+		return err
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *asJSON {
+		return writeJSON(w, rep)
+	}
+	printReport(w, rep)
+	for _, c := range rep.Cells {
+		if c.Discovery != nil && !c.Discovery.ReplayIdentical {
+			return fmt.Errorf("replay of %s did not reproduce the live finding", c.Discovery.Token)
+		}
+	}
+	return nil
+}
+
+// printReport renders the matrix result.
+func printReport(w io.Writer, rep *explore.Report) {
+	fmt.Fprintf(w, "schedule exploration: defense=%s seed=%d budget=%d depth=%d dpor=%d\n",
+		rep.Defense, rep.Seed, rep.Budget, rep.Depth, rep.DPORBudget)
+	for _, c := range rep.Cells {
+		if c.Discovery == nil {
+			fmt.Fprintf(w, "  %-14s %-7s undiscovered after %d schedules\n", c.CVE, c.Channel, c.Schedules)
+			continue
+		}
+		d := c.Discovery
+		fmt.Fprintf(w, "  %-14s %-7s %-7s schedule=%d replay=%v token=%s\n",
+			c.CVE, c.Channel, d.Strategy, d.Schedule, d.ReplayIdentical, d.Token)
+	}
+	fmt.Fprintf(w, "discovered racing interleavings for %d/%d CVEs, attacks unarmed\n",
+		rep.Discovered, len(rep.Cells))
+}
+
+// runReplay re-executes one token.
+func runReplay(w io.Writer, token string, asJSON bool) error {
+	tok, err := explore.ParseToken(token)
+	if err != nil {
+		return err
+	}
+	findings, err := explore.ReplayRun(tok)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return writeJSON(w, findings)
+	}
+	fmt.Fprintf(w, "replayed %s: %d findings\n", token, len(findings))
+	printFindings(w, findings)
+	return nil
+}
+
+func printFindings(w io.Writer, findings []hb.Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "  race run=%d %s/%d guardian=%v\n", f.Run, f.Class, f.Target, f.Guardian)
+		fmt.Fprintf(w, "    first:  %s %s #%d vt=%v clock=%d\n",
+			f.First.Context, f.First.Action, f.First.Seq, f.First.VT, f.First.Clock)
+		fmt.Fprintf(w, "    second: %s %s #%d vt=%v clock=%d vc=%s\n",
+			f.Second.Context, f.Second.Action, f.Second.Seq, f.Second.VT, f.Second.Clock, f.Second.VC)
+	}
+}
+
+func writeJSON(w io.Writer, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", b)
+	return err
+}

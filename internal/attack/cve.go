@@ -426,11 +426,19 @@ func CVEAttacks() []*CVEAttack {
 	}
 }
 
+// RequiresPrivateMode reports whether this CVE's exploit only makes
+// sense in private browsing (CVE-2017-7843's precondition). Callers
+// that build environments directly — schedule exploration, the service
+// layer — must mirror EvaluateCVE and set EnvOptions.PrivateMode.
+func (a *CVEAttack) RequiresPrivateMode() bool {
+	return a.CVE == vuln.CVE20177843
+}
+
 // EvaluateCVE runs one CVE attack under a defense, handling the
 // private-browsing precondition of CVE-2017-7843.
 func EvaluateCVE(a *CVEAttack, d defense.Defense, baseSeed int64) Outcome {
 	opts := defense.EnvOptions{Seed: baseSeed + 1}
-	if a.CVE == vuln.CVE20177843 {
+	if a.RequiresPrivateMode() {
 		opts.PrivateMode = true
 	}
 	return a.evaluateWithOptions(d, opts)

@@ -175,6 +175,13 @@ type EnvOptions struct {
 	NetConfig *webnet.Config
 	// MaxSteps bounds the simulation (default 20M).
 	MaxSteps uint64
+	// Chooser, when non-nil, is installed as the simulator's scheduler
+	// tie-break hook before any event is scheduled, so schedule
+	// exploration steers the whole run (see sim.Chooser).
+	Chooser sim.Chooser
+	// Unarmed builds the environment with every CVE detector disarmed:
+	// execution is byte-identical but nothing is marked exploited.
+	Unarmed bool
 }
 
 // Env is a ready-to-run environment: one browser under one defense.
@@ -195,6 +202,9 @@ type Env struct {
 // NewEnv builds an environment for this defense.
 func (d Defense) NewEnv(opts EnvOptions) *Env {
 	s := sim.New(opts.Seed)
+	if opts.Chooser != nil {
+		s.SetChooser(opts.Chooser)
+	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 20_000_000
 	}
@@ -216,6 +226,9 @@ func (d Defense) NewEnv(opts EnvOptions) *Env {
 	}
 	net := webnet.New(cfg, s.Rand())
 	reg := vuln.NewRegistry()
+	if opts.Unarmed {
+		reg = vuln.NewUnarmedRegistry()
+	}
 
 	var inj *fault.Injector
 	if d.FaultPlan != nil {

@@ -1,0 +1,184 @@
+package explore
+
+import (
+	"math/rand"
+
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+// point is one recorded choice point: the dispatch step it resolved,
+// the candidate event seqs offered (in default order), and the index
+// chosen.
+type point struct {
+	step   uint64
+	cands  []uint64
+	chosen int
+}
+
+// recorder wraps an inner chooser and records everything exploration
+// needs to branch and replay: the choice vector, the per-point
+// candidate sets, the step → event-seq dispatch log, and the trace
+// access-record → step map (via its trace.Sink facet — attach it to the
+// session *before* the detector so the map already covers a finding's
+// evidence when the finding fires). A nil inner chooser reproduces the
+// simulator's default lowest-seq order.
+type recorder struct {
+	inner   sim.Chooser
+	vector  []int
+	points  []point
+	curStep uint64
+	seqAt   map[uint64]uint64 // dispatch step -> event seq
+	stepOf  map[uint64]uint64 // OpAccess record Seq -> dispatch step
+}
+
+func newRecorder(inner sim.Chooser) *recorder {
+	return &recorder{
+		inner:  inner,
+		seqAt:  make(map[uint64]uint64),
+		stepOf: make(map[uint64]uint64),
+	}
+}
+
+func (r *recorder) Choose(now sim.Time, cands []sim.Choice) int {
+	idx := 0
+	if r.inner != nil {
+		idx = r.inner.Choose(now, cands)
+		if idx < 0 || idx >= len(cands) {
+			idx = 0
+		}
+	}
+	seqs := make([]uint64, len(cands))
+	for i, c := range cands {
+		seqs[i] = c.Seq
+	}
+	// The chosen candidate dispatches as the step after the current one.
+	r.points = append(r.points, point{step: r.curStep + 1, cands: seqs, chosen: idx})
+	r.vector = append(r.vector, idx)
+	return idx
+}
+
+func (r *recorder) Dispatched(step uint64, c sim.Choice) {
+	r.curStep = step
+	r.seqAt[step] = c.Seq
+}
+
+func (r *recorder) Observe(rec trace.Record) {
+	if rec.Op == trace.OpAccess {
+		r.stepOf[rec.Seq] = r.curStep
+	}
+}
+
+// trimmed returns the choice vector with trailing zeros removed: replay
+// defaults to index 0 past the vector's end, so trailing defaults carry
+// no information. This is what makes replay tokens minimal.
+func (r *recorder) trimmed() []int {
+	v := r.vector
+	for len(v) > 0 && v[len(v)-1] == 0 {
+		v = v[:len(v)-1]
+	}
+	out := make([]int, len(v))
+	copy(out, v)
+	return out
+}
+
+// Replay is a Chooser that plays back a recorded choice vector: one
+// decision per choice point, in order, defaulting to index 0 (the
+// simulator's default order) once the vector is exhausted or when a
+// decision is out of range for the offered candidates.
+type Replay struct {
+	vector []int
+	pos    int
+}
+
+// NewReplay returns a replay chooser for the given choice vector.
+func NewReplay(vector []int) *Replay {
+	return &Replay{vector: vector}
+}
+
+func (r *Replay) Choose(_ sim.Time, cands []sim.Choice) int {
+	if r.pos >= len(r.vector) {
+		return 0
+	}
+	idx := r.vector[r.pos]
+	r.pos++
+	if idx < 0 || idx >= len(cands) {
+		return 0
+	}
+	return idx
+}
+
+// PCT priority bands: fresh events draw random priorities from the high
+// band; change points demote into the strictly lower band, so a demoted
+// event only runs when nothing high-band is ready — the classic PCT
+// structure (Burckhardt et al., ASPLOS 2010).
+const (
+	pctLowBandStart  = uint64(1) << 20
+	pctHighBandFloor = uint64(1) << 21
+	pctHighBandSpan  = int64(1) << 40
+)
+
+// PCT is the probabilistic concurrency testing chooser: each event gets
+// a seeded random priority on first sight, the highest-priority ready
+// candidate runs, and at d−1 pre-sampled change points the current
+// winner is demoted below everything seen so far. For a program with at
+// most n schedulable events and k choice points, a depth-d bug is
+// detected with probability ≥ 1/(n·k^(d−1)) per schedule.
+type PCT struct {
+	rng     *rand.Rand
+	prio    map[uint64]uint64 // event seq -> priority
+	change  map[int]bool      // choice-point index -> demote here
+	nextLow uint64
+	point   int
+}
+
+// NewPCT returns a PCT chooser. depth is the bug-depth parameter d
+// (d−1 change points); horizon is the choice-point count the change
+// points are sampled from — points past the horizon never demote.
+// Everything is a pure function of seed, so a PCT schedule is
+// reproducible without recording anything (exploration records the
+// resulting choice vector anyway, for seedless replay tokens).
+func NewPCT(seed int64, depth, horizon int) *PCT {
+	rng := rand.New(rand.NewSource(seed))
+	if horizon < 1 {
+		horizon = 1
+	}
+	change := make(map[int]bool, depth)
+	for i := 0; i < depth-1; i++ {
+		change[rng.Intn(horizon)] = true
+	}
+	return &PCT{
+		rng:     rng,
+		prio:    make(map[uint64]uint64),
+		change:  change,
+		nextLow: pctLowBandStart,
+	}
+}
+
+func (p *PCT) Choose(_ sim.Time, cands []sim.Choice) int {
+	for _, c := range cands {
+		if _, ok := p.prio[c.Seq]; !ok {
+			p.prio[c.Seq] = pctHighBandFloor + uint64(p.rng.Int63n(pctHighBandSpan))
+		}
+	}
+	best := p.argmax(cands)
+	if p.change[p.point] {
+		p.prio[cands[best].Seq] = p.nextLow
+		p.nextLow--
+		best = p.argmax(cands)
+	}
+	p.point++
+	return best
+}
+
+// argmax returns the index of the highest-priority candidate, lowest
+// index winning ties — fully deterministic.
+func (p *PCT) argmax(cands []sim.Choice) int {
+	best := 0
+	for i := 1; i < len(cands); i++ {
+		if p.prio[cands[i].Seq] > p.prio[cands[best].Seq] {
+			best = i
+		}
+	}
+	return best
+}

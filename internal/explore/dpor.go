@@ -1,0 +1,156 @@
+package explore
+
+import (
+	"fmt"
+
+	"jskernel/internal/hb"
+)
+
+// Dynamic partial-order reduction over the choice-vector space, with
+// sleep sets. Each executed schedule is mined for racing transition
+// pairs: the infinite-window detector reports every unordered
+// conflicting access pair, and the recorder maps each pair's evidence
+// records back to dispatch steps. For a pair (s1 < s2), the state just
+// before s1 is where the race could resolve the other way, so DPOR
+// branches at the choice point that dispatched s1:
+//
+//   - if the event dispatched at s2 was among that point's candidates,
+//     the single reversal picking it is enqueued (a genuine race
+//     reversal — the racing transition was enabled there);
+//   - otherwise the racing event was not yet schedulable at s1 and the
+//     classic fallback enqueues every alternative at the point.
+//
+// Sleep sets carry the exploration's memory down each branch: when a
+// child is enqueued, the decision its parent actually took at the
+// branch point joins the child's sleep set, so re-reversing the same
+// pair from the other side — which would re-explore a Mazurkiewicz-
+// equivalent interleaving — is pruned. A visited set over whole
+// prefixes catches the remaining collisions. The frontier is FIFO and
+// every source of candidates is deterministically ordered (findings
+// sorted, candidates in seq order), so a DPOR search is a pure
+// function of (seed, budget).
+
+// dporNode is one frontier entry: a prefix to replay plus the sleep set
+// accumulated on the path to it.
+type dporNode struct {
+	prefix []int
+	sleep  map[string]bool
+}
+
+// dporOut summarizes one CVE's DPOR search.
+type dporOut struct {
+	// found is the first standard-window channel finding, nil if the
+	// budget exhausted without one.
+	found *hb.Finding
+	// vector is the discovering schedule's trimmed choice vector.
+	vector []int
+	// executions counts schedules actually run.
+	executions int
+}
+
+// sleepKey names one (choice point, candidate event) decision.
+func sleepKey(pointIdx int, candSeq uint64) string {
+	return fmt.Sprintf("%d:%d", pointIdx, candSeq)
+}
+
+// prefixKey canonicalizes a prefix for the visited set.
+func prefixKey(prefix []int) string { return fmt.Sprint(prefix) }
+
+// dporSearch explores reversals of racing transition pairs for one
+// cell, starting from the default schedule, until a standard-window
+// race on channel is found or budget executions are spent.
+func dporSearch(spec runSpec, channel string, budget int) dporOut {
+	out := dporOut{}
+	frontier := []dporNode{{prefix: nil, sleep: map[string]bool{}}}
+	visited := map[string]bool{}
+	for budget > out.executions && len(frontier) > 0 {
+		node := frontier[0]
+		frontier = frontier[1:]
+		pk := prefixKey(node.prefix)
+		if visited[pk] {
+			continue
+		}
+		visited[pk] = true
+
+		spec.Inner = NewReplay(node.prefix)
+		spec.StopClass = channel
+		spec.Wide = true
+		res := runSchedule(spec)
+		out.executions++
+
+		if f := firstOn(res.findings, channel); f != nil {
+			ff := *f
+			out.found = &ff
+			out.vector = res.rec.trimmed()
+			return out
+		}
+		frontier = append(frontier, dporExpand(node, res)...)
+	}
+	return out
+}
+
+// dporExpand mines one executed schedule for reversal candidates.
+func dporExpand(node dporNode, res runOut) []dporNode {
+	var children []dporNode
+	for _, f := range res.wide {
+		if len(f.Evidence) != 2 {
+			continue
+		}
+		s1, ok1 := res.rec.stepOf[f.Evidence[0]]
+		s2, ok2 := res.rec.stepOf[f.Evidence[1]]
+		if !ok1 || !ok2 || s1 == s2 {
+			continue
+		}
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		// The choice point that dispatched the pair's first access; a
+		// forced step offers no freedom to reverse.
+		pi := -1
+		for i := range res.rec.points {
+			if res.rec.points[i].step == s1 {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			continue
+		}
+		p := res.rec.points[pi]
+		target := res.rec.seqAt[s2]
+		var alts []int
+		targetIdx := -1
+		for j, seq := range p.cands {
+			if seq == target {
+				targetIdx = j
+				break
+			}
+		}
+		if targetIdx >= 0 {
+			if targetIdx != p.chosen {
+				alts = []int{targetIdx}
+			}
+		} else {
+			for j := range p.cands {
+				if j != p.chosen {
+					alts = append(alts, j)
+				}
+			}
+		}
+		for _, j := range alts {
+			if node.sleep[sleepKey(pi, p.cands[j])] {
+				continue
+			}
+			child := make([]int, pi+1)
+			copy(child, res.rec.vector[:pi])
+			child[pi] = j
+			sleep := make(map[string]bool, len(node.sleep)+1)
+			for k := range node.sleep {
+				sleep[k] = true
+			}
+			sleep[sleepKey(pi, p.cands[p.chosen])] = true
+			children = append(children, dporNode{prefix: child, sleep: sleep})
+		}
+	}
+	return children
+}

@@ -1,0 +1,127 @@
+// Package explore searches the schedule space of kernel environments
+// for racing interleavings. PR 7's happens-before detector judges one
+// deterministic interleaving per seed; this package supplies the other
+// half of ROADMAP item 1: the simulator's scheduler seam (sim.Chooser)
+// turns every same-virtual-time tie into a recorded choice point, so a
+// schedule is a replayable vector of decisions, and two classic
+// systematic-testing strategies — PCT's randomized priorities and DPOR
+// with sleep sets — enumerate alternative vectors until the streaming
+// hb.Detector reports a race on the CVE's channel class.
+//
+// The headline property is that discovery needs no oracle: every
+// environment runs with the CVE registry *unarmed* (vuln.
+// NewUnarmedRegistry — execution byte-identical, verdicts off), so a
+// discovered race is established purely by vector-clock evidence, then
+// cross-checked against expr.CVEChannel's class map. Each discovery is
+// summarized by a minimal replay token (root seed + trimmed choice
+// vector) that reproduces the identical finding byte-for-byte.
+package explore
+
+import (
+	"encoding/json"
+
+	"jskernel/internal/attack"
+	"jskernel/internal/defense"
+	"jskernel/internal/hb"
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+// wideWindow is the temporal window used by the DPOR candidate
+// detector: effectively infinite, so every unordered conflicting pair —
+// exploitable at this schedule or not — becomes a reversal candidate.
+const wideWindow = sim.Duration(1) << 62
+
+// runSpec describes one schedule execution.
+type runSpec struct {
+	Attack  *attack.CVEAttack
+	Defense defense.Defense
+	// EnvSeed seeds the environment (already offset like EvaluateCVE).
+	EnvSeed int64
+	// Inner steers tie-breaks; nil runs the default order.
+	Inner sim.Chooser
+	// StopClass, when non-empty, stops the simulation at the first
+	// standard-window finding on this class, truncating the recorded
+	// choice vector to a minimal witness prefix.
+	StopClass string
+	// Wide additionally attaches an infinite-window detector whose
+	// findings seed DPOR's reversal candidates.
+	Wide bool
+}
+
+// runOut is one schedule execution's result.
+type runOut struct {
+	rec *recorder
+	// findings are the standard-window detector's races (sorted).
+	findings []hb.Finding
+	// wide are the infinite-window detector's races (sorted; nil unless
+	// requested).
+	wide []hb.Finding
+	// err is the exploit driver's error, recorded for diagnostics only:
+	// an early-stopped run surfaces sim.ErrStopped here by design.
+	err error
+}
+
+// runSchedule executes one full cell under the given chooser with the
+// streaming race detector attached. The recorder is attached to the
+// trace session before the detectors so its record→step map already
+// covers a finding's evidence when the finding (and any early stop)
+// fires.
+func runSchedule(spec runSpec) runOut {
+	rec := newRecorder(spec.Inner)
+	sess := trace.NewSession()
+	sess.SetRetain(false)
+	sess.Attach(rec)
+	det := hb.NewDetector()
+	sess.Attach(det)
+	var wide *hb.Detector
+	if spec.Wide {
+		wide = hb.NewDetector()
+		wide.SetWindow(wideWindow)
+		sess.Attach(wide)
+	}
+
+	d := spec.Defense.WithTracer(sess)
+	env := d.NewEnv(defense.EnvOptions{
+		Seed:        spec.EnvSeed,
+		Chooser:     rec,
+		Unarmed:     true,
+		PrivateMode: spec.Attack.RequiresPrivateMode(),
+	})
+	if spec.StopClass != "" {
+		stop := spec.StopClass
+		det.SetOnFinding(func(f hb.Finding) {
+			if f.Class == stop {
+				env.Sim.Stop()
+			}
+		})
+	}
+	err := spec.Attack.Exploit(env)
+	sess.Close()
+	out := runOut{rec: rec, findings: det.Findings(), err: err}
+	if wide != nil {
+		out.wide = wide.Findings()
+	}
+	return out
+}
+
+// firstOn returns the first finding on the class in the detector's
+// deterministic order, or nil.
+func firstOn(findings []hb.Finding, class string) *hb.Finding {
+	for i := range findings {
+		if findings[i].Class == class {
+			return &findings[i]
+		}
+	}
+	return nil
+}
+
+// findingsJSON renders a findings slice to canonical JSON for the
+// byte-identical replay comparison.
+func findingsJSON(fs []hb.Finding) string {
+	b, err := json.Marshal(fs)
+	if err != nil {
+		return "marshal-error: " + err.Error()
+	}
+	return string(b)
+}

@@ -1,0 +1,12 @@
+package explore
+
+import "jskernel/internal/sim"
+
+// fakeCands builds an n-way candidate list for chooser unit tests.
+func fakeCands(n int) []sim.Choice {
+	cands := make([]sim.Choice, n)
+	for i := range cands {
+		cands[i] = sim.Choice{ID: sim.EventID(i + 1), Seq: uint64(i + 1), At: 100, Name: "tie"}
+	}
+	return cands
+}

@@ -1,0 +1,81 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jskernel/internal/vuln"
+)
+
+// Replay tokens are the minimal self-contained witness of a discovered
+// schedule:
+//
+//	v1:<cve>:<defense>:<rootSeed>:<choice-vector>
+//
+// The choice vector is dot-separated decisions ("0.2.1"), or "-" when
+// empty — every decision the replay chooser does not cover defaults to
+// index 0, so trailing defaults are trimmed before encoding. Everything
+// else a replay needs (cell seed, environment construction, private-
+// mode precondition, channel class) is a pure function of (cve,
+// defense, rootSeed) through the same derivation the matrix uses, so
+// the token alone reproduces the identical finding byte-for-byte.
+
+// Token identifies one discovered schedule.
+type Token struct {
+	CVE      vuln.CVE
+	Defense  string
+	RootSeed int64
+	Vector   []int
+}
+
+// String encodes the token.
+func (t Token) String() string {
+	vec := "-"
+	if len(t.Vector) > 0 {
+		parts := make([]string, len(t.Vector))
+		for i, v := range t.Vector {
+			parts[i] = strconv.Itoa(v)
+		}
+		vec = strings.Join(parts, ".")
+	}
+	return fmt.Sprintf("v1:%s:%s:%d:%s", t.CVE, t.Defense, t.RootSeed, vec)
+}
+
+// ParseToken decodes a replay token, validating the CVE against the
+// modeled corpus.
+func ParseToken(s string) (Token, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 5 || parts[0] != "v1" {
+		return Token{}, fmt.Errorf("explore: malformed token %q (want v1:<cve>:<defense>:<seed>:<vector>)", s)
+	}
+	cve := vuln.CVE(parts[1])
+	known := false
+	for _, c := range vuln.All() {
+		if c == cve {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return Token{}, fmt.Errorf("explore: unknown CVE %q in token", parts[1])
+	}
+	if parts[2] == "" {
+		return Token{}, fmt.Errorf("explore: empty defense in token %q", s)
+	}
+	seed, err := strconv.ParseInt(parts[3], 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("explore: bad seed in token %q: %v", s, err)
+	}
+	t := Token{CVE: cve, Defense: parts[2], RootSeed: seed}
+	if parts[4] != "-" && parts[4] != "" {
+		for _, d := range strings.Split(parts[4], ".") {
+			v, err := strconv.Atoi(d)
+			if err != nil || v < 0 {
+				return Token{}, fmt.Errorf("explore: bad choice %q in token %q", d, s)
+			}
+			t.Vector = append(t.Vector, v)
+		}
+	}
+	return t, nil
+}

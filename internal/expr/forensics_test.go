@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
-	"os"
 	"path/filepath"
 	"testing"
 )
@@ -111,24 +110,7 @@ func TestForensicsGoldenCVE20185092(t *testing.T) {
 	}
 	got := mustJSON(t, row)
 
-	path := filepath.Join("testdata", "forensics_cve-2018-5092.golden.json")
-	if *updateForensics {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatalf("mkdir testdata: %v", err)
-		}
-		if err := os.WriteFile(path, got, 0o644); err != nil {
-			t.Fatalf("write golden: %v", err)
-		}
-		return
-	}
-	want, err := os.ReadFile(path)
-	if err != nil {
-		t.Fatalf("read golden (run with -update to create): %v", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Fatalf("CVE-2018-5092 forensic findings drifted from golden %s\n got: %s\nwant: %s",
-			path, got, want)
-	}
+	checkGolden(t, filepath.Join("testdata", "forensics_cve-2018-5092.golden.json"), got)
 }
 
 // mustJSON marshals deterministically for byte comparison.

@@ -1,0 +1,93 @@
+package expr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Shared golden-file flow for the expr matrix gates. The compare core
+// returns errors instead of failing the test directly so the flow's own
+// contract is testable — in particular that a *missing* golden is a
+// hard failure with an actionable -update hint, never a silent pass.
+
+// missingGoldenError is the typed hard failure for an absent golden.
+type missingGoldenError struct{ path string }
+
+func (e *missingGoldenError) Error() string {
+	return fmt.Sprintf("golden file %s does not exist: run the test with -update to create it, then commit the file", e.path)
+}
+
+// compareGolden is the error-returning core: in update mode it rewrites
+// the golden; otherwise it compares bytes, distinguishing a missing
+// golden (typed, with the -update hint) from drift.
+func compareGolden(path string, got []byte, update bool) error {
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return fmt.Errorf("mkdir %s: %w", filepath.Dir(path), err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			return fmt.Errorf("write golden: %w", err)
+		}
+		return nil
+	}
+	want, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return &missingGoldenError{path: path}
+	}
+	if err != nil {
+		return fmt.Errorf("read golden: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("drifted from golden %s\n got: %s\nwant: %s", path, got, want)
+	}
+	return nil
+}
+
+// checkGolden fails the test on any compare error, honoring -update.
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if err := compareGolden(path, got, *updateForensics); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissingGoldenIsHardFailure pins the flow's failure modes: a
+// missing golden errors with the -update hint (typed), drift errors,
+// a matching golden passes, and update mode creates the file.
+func TestMissingGoldenIsHardFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "absent.golden.json")
+
+	err := compareGolden(path, []byte("{}"), false)
+	if err == nil {
+		t.Fatal("missing golden passed silently")
+	}
+	var mg *missingGoldenError
+	if !errors.As(err, &mg) {
+		t.Fatalf("missing golden produced untyped error: %v", err)
+	}
+	for _, want := range []string{path, "-update"} {
+		if !bytes.Contains([]byte(err.Error()), []byte(want)) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+
+	if err := compareGolden(path, []byte("{}"), true); err != nil {
+		t.Fatalf("update mode: %v", err)
+	}
+	if err := compareGolden(path, []byte("{}"), false); err != nil {
+		t.Fatalf("fresh golden should match: %v", err)
+	}
+	err = compareGolden(path, []byte("{\"drift\":1}"), false)
+	if err == nil {
+		t.Fatal("drift passed")
+	}
+	if errors.As(err, &mg) {
+		t.Fatalf("drift misreported as missing golden: %v", err)
+	}
+}

@@ -250,16 +250,39 @@ func (rs *runState) renderVC(v VC) string {
 // like the obs sinks; a nil *Detector is a valid no-op sink. Records
 // must arrive in Seq order per run, which Session guarantees.
 type Detector struct {
-	runs     map[int]*runState
-	window   sim.Duration
-	findings []Finding
-	seen     map[string]bool
+	runs      map[int]*runState
+	window    sim.Duration
+	findings  []Finding
+	seen      map[string]bool
+	onFinding func(Finding)
 }
 
 // NewDetector returns a streaming detector with the standard temporal
 // window.
 func NewDetector() *Detector {
 	return &Detector{runs: make(map[int]*runState), window: Window, seen: make(map[string]bool)}
+}
+
+// SetWindow overrides the plain-plain temporal-overlap window. Schedule
+// exploration widens it to catalogue *every* unordered conflicting pair
+// (DPOR's racing-transition candidates), while a second detector keeps
+// the standard window for exploitability verdicts.
+func (d *Detector) SetWindow(w sim.Duration) {
+	if d == nil {
+		return
+	}
+	d.window = w
+}
+
+// SetOnFinding installs a callback invoked synchronously as each new
+// (deduplicated) finding is recorded, before Observe returns. Explore
+// uses it to stop a run at first detection so the recorded choice
+// vector is a minimal replay token. Nil removes the callback.
+func (d *Detector) SetOnFinding(fn func(Finding)) {
+	if d == nil {
+		return
+	}
+	d.onFinding = fn
 }
 
 var _ trace.Sink = (*Detector)(nil)
@@ -575,6 +598,9 @@ func (d *Detector) check(rs *runState, r trace.Record, tk targetKey, prev, cur *
 	}
 	d.seen[k] = true
 	d.findings = append(d.findings, f)
+	if d.onFinding != nil {
+		d.onFinding(f)
+	}
 }
 
 // sortedReads returns the read map's entries in deterministic context

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// Edge cases the scheduler seam must preserve: the chooser path removes
+// events with heap.Remove instead of heap.Pop, so the already-popped
+// bookkeeping, exact-deadline semantics, and cooperative-cancellation
+// interleaving are each pinned here against both dispatch paths.
+
+// runBothPaths executes body once with the default (nil-chooser) path
+// and once with an index-0 chooser, which must be behaviourally
+// identical to it.
+func runBothPaths(t *testing.T, body func(t *testing.T, s *Simulator)) {
+	t.Helper()
+	t.Run("default", func(t *testing.T) {
+		body(t, New(7))
+	})
+	t.Run("chooser", func(t *testing.T) {
+		s := New(7)
+		s.SetChooser(&pickChooser{idx: 0})
+		body(t, s)
+	})
+}
+
+// TestCancelAlreadyPoppedEvent: once an event has been dispatched its ID
+// is spent — Cancel must report false, both from inside the event's own
+// callback (popped but still executing) and after the run completes.
+func TestCancelAlreadyPoppedEvent(t *testing.T) {
+	runBothPaths(t, func(t *testing.T, s *Simulator) {
+		var id EventID
+		var duringFn bool
+		id = s.Schedule(10, "self", func() {
+			duringFn = s.Cancel(id)
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if duringFn {
+			t.Fatal("Cancel of the currently-executing event reported true")
+		}
+		if s.Cancel(id) {
+			t.Fatal("Cancel of a long-fired event reported true")
+		}
+	})
+}
+
+// TestRunUntilExactEventTime: an event scheduled exactly at the deadline
+// fires (the bound is inclusive), one nanosecond past it stays queued,
+// and the clock lands exactly on the deadline either way.
+func TestRunUntilExactEventTime(t *testing.T) {
+	runBothPaths(t, func(t *testing.T, s *Simulator) {
+		var atDeadline, past bool
+		s.Schedule(100, "at-deadline", func() { atDeadline = true })
+		s.Schedule(101, "past", func() { past = true })
+		if err := s.RunUntil(100); err != nil {
+			t.Fatalf("run until: %v", err)
+		}
+		if !atDeadline {
+			t.Fatal("event at exactly the deadline did not fire")
+		}
+		if past {
+			t.Fatal("event past the deadline fired")
+		}
+		if s.Now() != 100 {
+			t.Fatalf("clock at %v, want 100", s.Now())
+		}
+		if s.Pending() != 1 {
+			t.Fatalf("%d events pending, want the past-deadline one", s.Pending())
+		}
+		// A chained event scheduled *during* the deadline step, still at
+		// the deadline, also fires within the same RunUntil window.
+		s2 := New(7)
+		var chained bool
+		s2.Schedule(100, "parent", func() {
+			s2.Schedule(100, "chained", func() { chained = true })
+		})
+		if err := s2.RunUntil(100); err != nil {
+			t.Fatalf("run until (chained): %v", err)
+		}
+		if !chained {
+			t.Fatal("event scheduled at the deadline during the deadline step did not fire")
+		}
+	})
+}
+
+// TestSetCanceledBetweenNextAtAndStep: flipping the cancellation flag
+// from inside an event callback — i.e. after NextAt was consulted for
+// that step but before the next poll — aborts the run with ErrCanceled
+// at the next stride boundary, never mid-event, leaving the rest of the
+// schedule queued.
+func TestSetCanceledBetweenNextAtAndStep(t *testing.T) {
+	runBothPaths(t, func(t *testing.T, s *Simulator) {
+		canceled := false
+		s.SetCanceled(func() bool { return canceled })
+		const total = 4 * cancelPollStride
+		fired := 0
+		for i := 0; i < total; i++ {
+			i := i
+			s.Schedule(Time(i+1), "tick", func() {
+				fired++
+				if i == 10 {
+					canceled = true
+				}
+			})
+		}
+		err := s.RunUntil(Time(total))
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		// The event that flipped the flag completed (cancellation is
+		// cooperative, between dispatches), and the abort happened at the
+		// next stride poll — within one stride of the flip.
+		if fired < 11 {
+			t.Fatalf("flipping event did not complete: fired=%d", fired)
+		}
+		if fired > 11+cancelPollStride {
+			t.Fatalf("cancellation latency %d events, want <= stride %d", fired-11, cancelPollStride)
+		}
+		if fired%cancelPollStride != 0 {
+			t.Fatalf("aborted after %d dispatches, want a stride boundary", fired)
+		}
+		if s.Pending() != total-fired {
+			t.Fatalf("%d pending, want %d (canceled run abandons the queue intact)", s.Pending(), total-fired)
+		}
+	})
+}

@@ -123,6 +123,13 @@ type Simulator struct {
 	stopped bool
 	steps   uint64
 
+	// chooser, when non-nil, breaks ties among same-virtual-time ready
+	// events (see choose.go); nil keeps the default lowest-seq order.
+	// observer is the chooser's optional DispatchObserver facet, cached
+	// at SetChooser time so the hot path pays one nil check.
+	chooser  Chooser
+	observer DispatchObserver
+
 	// canceled, when non-nil, is polled between dispatches (every
 	// cancelPollStride steps); returning true aborts Run/RunUntil with
 	// ErrCanceled. It is the service layer's bridge for propagating
@@ -208,14 +215,23 @@ func (s *Simulator) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	evAny := heap.Pop(&s.queue)
-	ev, ok := evAny.(*event)
-	if !ok {
-		return false
+	var ev *event
+	if s.chooser == nil {
+		evAny := heap.Pop(&s.queue)
+		e, ok := evAny.(*event)
+		if !ok {
+			return false
+		}
+		ev = e
+	} else {
+		ev = s.chooseNext()
 	}
 	delete(s.byID, ev.id)
 	s.now = ev.at
 	s.steps++
+	if s.observer != nil {
+		s.observer.Dispatched(s.steps, Choice{ID: ev.id, Seq: ev.seq, At: ev.at, Name: ev.name})
+	}
 	ev.fn()
 	return true
 }

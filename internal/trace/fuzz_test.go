@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRecords drives arbitrary bytes through the JSONL codec and
+// pins its robustness contract:
+//
+//   - ReadRecords never panics, whatever the input (malformed JSON,
+//     truncation mid-record, binary noise, absurd numbers);
+//   - anything it accepts round-trips losslessly: re-encoding the
+//     parsed records with RecordWriter and re-parsing yields the exact
+//     same records (write→read is a fixpoint after one normalization);
+//   - empty lines are skipped, not errors, matching the writer's
+//     trailing-newline framing.
+//
+// Seed corpus under testdata/fuzz/FuzzReadRecords covers the
+// interesting shapes: valid streams, duplicate run-end terminals,
+// unknown ops, truncated tails. Run the fuzzer with:
+//
+//	go test ./internal/trace -fuzz FuzzReadRecords -fuzztime 30s
+func FuzzReadRecords(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"seq":1,"vt":0,"op":"enqueue","api":"setTimeout"}` + "\n"))
+	f.Add([]byte(`{"seq":1,"vt":100,"op":"access","api":"buffer","action":"w","value":7}` + "\n" +
+		`{"seq":2,"vt":150,"op":"access","api":"buffer","action":"w","value":7,"thread":2}` + "\n"))
+	f.Add([]byte(`{"seq":1,"op":"dispatch","event":3,"scope":1}` + "\n" + `{"seq":2,"op":"dispa`))
+	f.Add([]byte(`{"seq":1,"op":"nosuchop"}` + "\n"))
+	f.Add([]byte(`{"seq":18446744073709551615,"vt":-9223372036854775808,"op":"edge","action":"rel"}` + "\n"))
+	f.Add([]byte("\x00\x01\x02 not json at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ReadRecords(bytes.NewReader(data))
+		if err != nil {
+			// Rejection is fine; the contract is no panic and a
+			// line-numbered error.
+			if !strings.Contains(err.Error(), "trace: records") {
+				t.Fatalf("error without codec context: %v", err)
+			}
+			return
+		}
+		// Accepted input must round-trip exactly through the writer.
+		var buf bytes.Buffer
+		rw := NewRecordWriter(&buf)
+		rw.WriteAll(recs)
+		if err := rw.Flush(); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := ReadRecords(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v\noutput: %q", err, buf.String())
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+		for i := range recs {
+			if recs[i] != again[i] {
+				t.Fatalf("record %d changed in round trip:\nfirst:  %+v\nsecond: %+v", i, recs[i], again[i])
+			}
+		}
+		// And the second encoding must be byte-identical to the first —
+		// the writer is deterministic.
+		var buf2 bytes.Buffer
+		rw2 := NewRecordWriter(&buf2)
+		rw2.WriteAll(again)
+		if err := rw2.Flush(); err != nil {
+			t.Fatalf("third encode failed: %v", err)
+		}
+		first := renderAll(recs)
+		if first != buf2.String() {
+			t.Fatalf("writer not deterministic:\n%q\nvs\n%q", first, buf2.String())
+		}
+	})
+}
+
+// renderAll encodes records to a string via a fresh writer.
+func renderAll(recs []Record) string {
+	var buf bytes.Buffer
+	rw := NewRecordWriter(&buf)
+	rw.WriteAll(recs)
+	if err := rw.Flush(); err != nil {
+		return "encode-error: " + err.Error()
+	}
+	return buf.String()
+}
+
+// TestReadRecordsTruncatedTail: a stream cut mid-record errors with the
+// offending line number instead of silently dropping the tail.
+func TestReadRecordsTruncatedTail(t *testing.T) {
+	in := `{"seq":1,"op":"enqueue","api":"fetch"}` + "\n" + `{"seq":2,"op":"enq`
+	_, err := ReadRecords(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error does not name the truncated line: %v", err)
+	}
+}
+
+// TestReadRecordsDuplicateTerminals: duplicate run-end terminal records
+// are data, not protocol — the codec preserves both.
+func TestReadRecordsDuplicateTerminals(t *testing.T) {
+	line := `{"seq":9,"op":"dispatch","action":"run-end","scope":1,"event":4}`
+	recs, err := ReadRecords(strings.NewReader(line + "\n" + line + "\n"))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(recs) != 2 || recs[0] != recs[1] {
+		t.Fatalf("duplicate terminals mangled: %+v", recs)
+	}
+}

@@ -123,6 +123,21 @@ func NewRegistry(cves ...CVE) *Registry {
 	return r
 }
 
+// NewUnarmedRegistry returns a registry with every detector disarmed: it
+// still consumes the native trace (state machines advance so execution
+// is byte-identical to an armed run) but marks nothing as exploited.
+// Schedule exploration uses it to prove discoveries come from the
+// happens-before detector alone, not from the scripted CVE oracles.
+func NewUnarmedRegistry() *Registry {
+	return &Registry{
+		armed:           make(map[CVE]bool),
+		exploited:       make(map[CVE]sim.Time),
+		orphanedWorkers: make(map[int]bool),
+		transferredBufs: make(map[int64]bool),
+		lastBufAccess:   make(map[int64]bufAccess),
+	}
+}
+
 // Exploited reports whether the CVE's trigger was reached.
 func (r *Registry) Exploited(c CVE) bool {
 	r.mu.Lock()

@@ -79,6 +79,31 @@ diff -u "$trace_tmp/race-live-findings.txt" "$trace_tmp/race-replay-findings.txt
 	|| fail "jsk-race replay diverged from the live run"
 test -s "$trace_tmp/race-live-findings.txt" || fail "jsk-race (no findings on an exploited cell)"
 
+# Explore smoke: the schedule-space search must rediscover the CVE
+# races with the attack state machines unarmed (small PCT budget on two
+# cells, DPOR fallback), its report must be byte-identical at any
+# -parallel width, and a replay token must reproduce its findings
+# identically on every invocation. The non-JSON path exits nonzero if
+# any discovery's own replay check fails, so the exit code doubles as
+# the token-determinism gate; -o keeps the JSON report as an artifact.
+stage "jsk-explore smoke (unarmed rediscovery + replay determinism)"
+go run ./cmd/jsk-explore -matrix -cves CVE-2018-5092,CVE-2014-3194 \
+	-budget 2 -dpor-budget 4 -parallel 1 \
+	-o "$trace_tmp/explore-p1.json" >/dev/null || fail "jsk-explore matrix (-parallel 1)"
+go run ./cmd/jsk-explore -matrix -cves CVE-2018-5092,CVE-2014-3194 \
+	-budget 2 -dpor-budget 4 -parallel 4 \
+	-o "$trace_tmp/explore-p4.json" >/dev/null || fail "jsk-explore matrix (-parallel 4)"
+diff -u "$trace_tmp/explore-p1.json" "$trace_tmp/explore-p4.json" \
+	|| fail "jsk-explore report differs across -parallel widths"
+go run ./cmd/jsk-explore -replay v1:CVE-2018-5092:chrome:42:- \
+	>"$trace_tmp/explore-replay-1.txt" || fail "jsk-explore replay"
+go run ./cmd/jsk-explore -replay v1:CVE-2018-5092:chrome:42:- \
+	>"$trace_tmp/explore-replay-2.txt" || fail "jsk-explore replay (second run)"
+diff -u "$trace_tmp/explore-replay-1.txt" "$trace_tmp/explore-replay-2.txt" \
+	|| fail "jsk-explore replay token is nondeterministic"
+grep -q '^  race ' "$trace_tmp/explore-replay-1.txt" \
+	|| fail "jsk-explore replay reproduced no findings"
+
 # Service smoke: boot the jsk-serve daemon on a loopback port and hold
 # its load-shedding-never-accuracy-shedding contract end to end —
 # concurrent requests return byte-identical responses across pool
