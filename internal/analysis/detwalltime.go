@@ -38,6 +38,13 @@ var wallClockAllowedPkgs = []string{
 	// response body (pinned by the serve determinism tests).
 	"internal/serve",
 	"cmd/jsk-serve",
+	// The observability plane lives on the service side of the
+	// determinism boundary: its event hub timestamps nothing, but its
+	// subscriber wait (Hub.Wait) and SSE keepalives are real-time
+	// contracts with live scrape/stream clients. Nothing it computes
+	// flows back into an evaluation or a response body — pinned by
+	// TestResponseDeterminismAcrossPlaneModes in internal/serve.
+	"internal/telemetry",
 }
 
 // DetWallTime rejects wall-clock observation outside the allowlist.

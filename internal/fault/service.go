@@ -40,6 +40,17 @@ type ServiceFaults struct {
 	// quarantine by replacement and answer with a typed, retryable
 	// error; neighbors keep their verdicts.
 	EnvPanicRate float64
+	// ScrapeRate is the probability a client scrapes /metricsz
+	// concurrently with its evaluation traffic. The scrape must return a
+	// complete exposition that passes the self-check parser — including
+	// during a SIGTERM drain — and must never block or perturb an
+	// evaluation.
+	ScrapeRate float64
+	// SlowEventsRate is the probability a client subscribes to
+	// /v1/events and consumes it slowly. A lagging subscriber must never
+	// apply backpressure to the flusher or to eval workers; it falls
+	// behind the replay ring and receives an explicit gap event.
+	SlowEventsRate float64
 }
 
 // ServicePlan is one named service-layer chaos scenario.
@@ -62,6 +73,8 @@ const (
 	ServiceStall
 	ServiceMalformed
 	ServiceEnvPanic
+	ServiceScrape
+	ServiceSlowEvents
 )
 
 // String names the fault kind.
@@ -77,6 +90,10 @@ func (f ServiceFault) String() string {
 		return "malformed"
 	case ServiceEnvPanic:
 		return "env-panic"
+	case ServiceScrape:
+		return "scrape"
+	case ServiceSlowEvents:
+		return "slow-events"
 	default:
 		return fmt.Sprintf("servicefault(%d)", int(f))
 	}
@@ -90,17 +107,19 @@ type ServiceCounts struct {
 	Stalls      uint64
 	Malformed   uint64
 	EnvPanics   uint64
+	Scrapes     uint64
+	SlowEvents  uint64
 }
 
 // Total sums every category.
 func (c ServiceCounts) Total() uint64 {
-	return c.Disconnects + c.Stalls + c.Malformed + c.EnvPanics
+	return c.Disconnects + c.Stalls + c.Malformed + c.EnvPanics + c.Scrapes + c.SlowEvents
 }
 
 // String formats the counts for reports.
 func (c ServiceCounts) String() string {
-	return fmt.Sprintf("disconnect=%d stall=%d malformed=%d envpanic=%d",
-		c.Disconnects, c.Stalls, c.Malformed, c.EnvPanics)
+	return fmt.Sprintf("disconnect=%d stall=%d malformed=%d envpanic=%d scrape=%d slowevents=%d",
+		c.Disconnects, c.Stalls, c.Malformed, c.EnvPanics, c.Scrapes, c.SlowEvents)
 }
 
 // ServiceInjector realises one service plan against one chaos run. It
@@ -114,6 +133,8 @@ type ServiceInjector struct {
 	stalls      atomic.Uint64
 	malformed   atomic.Uint64
 	envPanics   atomic.Uint64
+	scrapes     atomic.Uint64
+	slowEvents  atomic.Uint64
 }
 
 // NewServiceInjector builds an injector for one chaos run. runSeed
@@ -141,6 +162,10 @@ func (in *ServiceInjector) Decide(requestIndex int) ServiceFault {
 		in.malformed.Add(1)
 	case ServiceEnvPanic:
 		in.envPanics.Add(1)
+	case ServiceScrape:
+		in.scrapes.Add(1)
+	case ServiceSlowEvents:
+		in.slowEvents.Add(1)
 	}
 	return f
 }
@@ -167,6 +192,14 @@ func (in *ServiceInjector) Peek(requestIndex int) ServiceFault {
 	if draw < cum {
 		return ServiceEnvPanic
 	}
+	cum += s.ScrapeRate
+	if draw < cum {
+		return ServiceScrape
+	}
+	cum += s.SlowEventsRate
+	if draw < cum {
+		return ServiceSlowEvents
+	}
 	return ServiceNone
 }
 
@@ -177,6 +210,8 @@ func (in *ServiceInjector) Counts() ServiceCounts {
 		Stalls:      in.stalls.Load(),
 		Malformed:   in.malformed.Load(),
 		EnvPanics:   in.envPanics.Load(),
+		Scrapes:     in.scrapes.Load(),
+		SlowEvents:  in.slowEvents.Load(),
 	}
 }
 
@@ -191,6 +226,9 @@ func ServicePlans() []*ServicePlan {
 		{Name: "svc-envpanic", Seed: 0x5EB4, Service: ServiceFaults{EnvPanicRate: 0.25}},
 		{Name: "svc-mixed", Seed: 0x5EB5, Service: ServiceFaults{
 			DisconnectRate: 0.10, StallRate: 0.10, MalformedRate: 0.10, EnvPanicRate: 0.10,
+		}},
+		{Name: "svc-telemetry", Seed: 0x5EB6, Service: ServiceFaults{
+			DisconnectRate: 0.05, EnvPanicRate: 0.05, ScrapeRate: 0.20, SlowEventsRate: 0.15,
 		}},
 	}
 }

@@ -78,7 +78,8 @@ func TestServicePlansFire(t *testing.T) {
 			t.Errorf("%s: counted %d faults, delivered %d", plan.Name, got, n-perKind[ServiceNone])
 		}
 		total := plan.Service.DisconnectRate + plan.Service.StallRate +
-			plan.Service.MalformedRate + plan.Service.EnvPanicRate
+			plan.Service.MalformedRate + plan.Service.EnvPanicRate +
+			plan.Service.ScrapeRate + plan.Service.SlowEventsRate
 		want := total * n
 		got := float64(c.Total())
 		if got < want*0.7 || got > want*1.3 {
@@ -94,6 +95,8 @@ func TestServicePlansFire(t *testing.T) {
 			{plan.Service.StallRate, ServiceStall, c.Stalls},
 			{plan.Service.MalformedRate, ServiceMalformed, c.Malformed},
 			{plan.Service.EnvPanicRate, ServiceEnvPanic, c.EnvPanics},
+			{plan.Service.ScrapeRate, ServiceScrape, c.Scrapes},
+			{plan.Service.SlowEventsRate, ServiceSlowEvents, c.SlowEvents},
 		}
 		for _, ch := range checks {
 			if ch.rate > 0 && ch.fired == 0 {

@@ -172,6 +172,45 @@ func (d *Detectors) Observe(r trace.Record) {
 	}
 }
 
+// FragmentCount is one detector's raw tally across every subject —
+// below-threshold evidence included. Per-request forensics (Finish)
+// only reports counters that crossed their thresholds; a probe split
+// across requests stays below every one of them by design, so the
+// cross-request ledger consumes these raw fragments instead and applies
+// its own accumulation thresholds.
+type FragmentCount struct {
+	// Detector names the fragment kind (Detect* constants).
+	Detector string `json:"detector"`
+	// Count is the total matching events across runs and subjects.
+	Count int `json:"count"`
+}
+
+// Fragments sums every counter per detector, sorted by detector name.
+func (d *Detectors) Fragments() []FragmentCount {
+	total := func(m map[subjKey]*tally) int {
+		n := 0
+		for _, t := range m {
+			n += t.count
+		}
+		return n
+	}
+	out := []FragmentCount{
+		{Detector: DetectImplicitClockTimer, Count: total(d.zeroTimer)},
+		{Detector: DetectImplicitClockPost, Count: total(d.msgCB)},
+		{Detector: DetectEventLoopProbe, Count: total(d.clockRead)},
+		{Detector: DetectQueueBurst, Count: total(d.burst)},
+		{Detector: DetectQueueShed, Count: total(d.shed)},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Detector < out[j].Detector })
+	filtered := out[:0]
+	for _, f := range out {
+		if f.Count > 0 {
+			filtered = append(filtered, f)
+		}
+	}
+	return filtered
+}
+
 // sortedKeys renders a counter map's keys in (run, id) order.
 func sortedKeys(m map[subjKey]*tally) []subjKey {
 	keys := make([]subjKey, 0, len(m))

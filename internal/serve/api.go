@@ -51,6 +51,11 @@ type Request struct {
 	// cancellation: a request that cannot finish in budget returns a
 	// typed deadline error, never a partial verdict.
 	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Tenant attributes this request in the cross-request forensics
+	// ledger (empty accumulates under the anonymous tenant). It never
+	// affects the evaluation or the response bytes — the same cell with
+	// a different tenant returns identical bodies.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Channel is the per-channel statistical outcome of a timing cell,
@@ -157,6 +162,10 @@ const (
 	// validation). Permanent: retries would loudly fail again, which is
 	// the point — this class must page, not mask.
 	CodeInternal Code = "internal"
+	// CodeTelemetryOff: the request needs the telemetry plane
+	// (/v1/events, /ledgerz) but the server runs with telemetry
+	// disabled. Permanent — this replica will keep refusing.
+	CodeTelemetryOff Code = "telemetry_off"
 )
 
 // codeInfo is the typed-error classification table: HTTP status and
@@ -176,6 +185,7 @@ var codeInfo = map[Code]struct {
 	CodeDeadline:       {http.StatusGatewayTimeout, false},
 	CodeCanceled:       {http.StatusRequestTimeout, false},
 	CodeInternal:       {http.StatusInternalServerError, false},
+	CodeTelemetryOff:   {http.StatusNotFound, false},
 }
 
 // Error is the service's typed failure. It is both the wire format

@@ -28,6 +28,7 @@ func TestErrorClassificationTable(t *testing.T) {
 		{CodeDeadline, http.StatusGatewayTimeout, false},
 		{CodeCanceled, http.StatusRequestTimeout, false},
 		{CodeInternal, http.StatusInternalServerError, false},
+		{CodeTelemetryOff, http.StatusNotFound, false},
 	}
 	if len(cases) != len(codeInfo) {
 		t.Fatalf("audit table covers %d codes, server defines %d — extend the audit", len(cases), len(codeInfo))

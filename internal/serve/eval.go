@@ -6,8 +6,10 @@ import (
 
 	"jskernel/internal/attack"
 	"jskernel/internal/defense"
+	"jskernel/internal/hb"
 	"jskernel/internal/obs"
 	"jskernel/internal/report"
+	"jskernel/internal/telemetry"
 	"jskernel/internal/trace"
 )
 
@@ -90,38 +92,69 @@ func (c *Config) resolve(req Request) (*cell, *Error) {
 	return cl, nil
 }
 
+// evalCapture is the telemetry plane's view of one evaluation: pure
+// data assembled on the worker after the run, consumed by the plane
+// after the response is already decided. Everything here is derived
+// from the deterministic event stream — no wall clock, and nothing in
+// it feeds back into the Response, which is what keeps response bytes
+// byte-identical with the plane on or off.
+type evalCapture struct {
+	// metrics is the run's kernel metrics registry.
+	metrics *trace.Metrics
+	// link joins the request's wall-clock span to its virtual-time trace.
+	link telemetry.SpanLink
+	// forensics is the streaming per-request verdict (always assembled
+	// when the plane is on, independent of Request.Forensics), published
+	// on /v1/events.
+	forensics *ForensicsSummary
+	// fragments are the raw, below-threshold detector tallies plus
+	// happens-before race counts that feed the cross-request ledger.
+	fragments []telemetry.ClassFragment
+	// races are the happens-before findings for the events stream.
+	races []hb.Finding
+}
+
 // evaluate runs one resolved cell and assembles the wire response. rt
 // binds the worker's pooled environment and the request's cancellation
-// hook into every environment the evaluation builds; telemetry, when
-// non-nil, receives the run's kernel metrics for /statsz aggregation.
+// hook into every environment the evaluation builds; tel, when
+// non-nil, receives the run's kernel metrics for /statsz aggregation;
+// cap, when non-nil, additionally captures the streaming-forensics view
+// for the observability plane.
 //
 // A canceled run never reaches response assembly: the worker checks the
 // request context after evaluate returns and discards the result — a
 // simulation abandoned mid-run has partial, meaningless samples, and
 // returning them would be exactly the silent wrong answer this layer
 // exists to prevent.
-func evaluate(cl *cell, rt *defense.Runtime, telemetry func(*trace.Metrics)) (*Response, *Error) {
+func evaluate(cl *cell, rt *defense.Runtime, tel func(*trace.Metrics), cap *evalCapture) (*Response, *Error) {
 	d := cl.defense.WithRuntime(rt)
 
 	// One trace session serves every consumer of this request: the
 	// response's validated trace summary (retained records), the
-	// forensic re-judgement (collector + detectors), and the server's
-	// telemetry aggregation (metrics registry). Tracing and obs events
-	// never perturb execution — the PR 5 pin — so attaching any subset
+	// forensic re-judgement (collector + detectors), the server's
+	// telemetry aggregation (metrics registry), and the live plane's
+	// streaming forensics (capture). Tracing and obs events never
+	// perturb execution — the PR 5 pin — so attaching any subset
 	// leaves the response bytes unchanged.
 	var sess *trace.Session
 	var col *obs.Collector
 	var det *obs.Detectors
+	var races *hb.Detector
 	wantTrace := cl.req.Trace
-	if wantTrace || cl.req.Forensics || telemetry != nil {
+	wantForensics := cl.req.Forensics || cap != nil
+	if wantTrace || wantForensics || tel != nil {
 		sess = trace.NewSession()
 		sess.SetRetain(wantTrace)
-		if cl.req.Forensics {
+		if wantForensics {
 			col = obs.NewCollector()
 			det = obs.NewDetectors(obs.DefaultDetectorConfig())
 			sess.Attach(col)
 			sess.Attach(det)
 			d = d.WithObs(true)
+		}
+		if cap != nil {
+			races = hb.NewDetector()
+			sess.Attach(races)
 		}
 		d = d.WithTracer(sess)
 	}
@@ -152,12 +185,23 @@ func evaluate(cl *cell, rt *defense.Runtime, telemetry func(*trace.Metrics)) (*R
 
 	if sess != nil {
 		sess.Close()
-		if telemetry != nil {
-			telemetry(sess.Metrics())
+		if tel != nil {
+			tel(sess.Metrics())
 		}
 	}
 	if wantTrace {
-		rep, err := trace.Validate(sess.Records())
+		recs := sess.Records()
+		if cap != nil && !cl.req.Forensics {
+			// The plane forced obs events on for its streaming detectors,
+			// but this request did not ask for forensics: its trace summary
+			// must read exactly as it would with the plane off, so the
+			// obs-only records are stripped before validation. Obs emission
+			// never advances simulated time or perturbs other records (the
+			// PR 5 pin), so the remainder is byte-identical to a plane-off
+			// run's record set.
+			recs = stripObsRecords(recs)
+		}
+		rep, err := trace.Validate(recs)
 		if err != nil {
 			return nil, errf(CodeInternal, "trace failed validation: %v", err)
 		}
@@ -165,6 +209,20 @@ func evaluate(cl *cell, rt *defense.Runtime, telemetry func(*trace.Metrics)) (*R
 	}
 	if cl.req.Forensics {
 		resp.Forensics = assembleForensics(cl, col, det)
+	}
+	if cap != nil {
+		cap.metrics = sess.Metrics()
+		cap.link = telemetry.SpanLink{
+			Runs:    sess.Runs(),
+			LastSeq: sess.LastSeq(),
+			VTMaxMs: sess.MaxVT().Milliseconds(),
+		}
+		// The streaming verdict reuses the exact per-response judgement,
+		// so the /v1/events stream agrees with body forensics on every
+		// request by construction.
+		cap.forensics = assembleForensics(cl, col, det)
+		cap.races = races.Findings()
+		cap.fragments = captureFragments(det, races)
 	}
 
 	var label string
@@ -184,6 +242,31 @@ func evaluate(cl *cell, rt *defense.Runtime, telemetry func(*trace.Metrics)) (*R
 	}
 	resp.Table = buf.String()
 	return resp, nil
+}
+
+// obsOnlyNativeKinds are the native-record API names emitted solely
+// when a defense runs with obs events on (browser.TraceTimerFired and
+// friends). Everything else in the record stream is present with obs
+// off too.
+var obsOnlyNativeKinds = map[string]bool{
+	"timer-fired":      true,
+	"clock-read":       true,
+	"message-callback": true,
+	"frame-tick":       true,
+	"load-done":        true,
+}
+
+// stripObsRecords removes the obs-only native records, recovering the
+// record set an obs-off run of the same cell would have produced.
+func stripObsRecords(recs []trace.Record) []trace.Record {
+	out := make([]trace.Record, 0, len(recs))
+	for _, r := range recs {
+		if r.Op == trace.OpNative && obsOnlyNativeKinds[r.API] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // assembleForensics re-judges the cell from its event stream alone,

@@ -17,6 +17,7 @@ import (
 
 	"jskernel/internal/defense"
 	"jskernel/internal/kernel"
+	"jskernel/internal/telemetry"
 	"jskernel/internal/trace"
 )
 
@@ -56,9 +57,22 @@ type Config struct {
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
 	// Telemetry attaches a retain-off trace session to every evaluation
-	// and aggregates its kernel metrics registry into /statsz. Tracing
-	// never perturbs a run, so responses are byte-identical either way.
+	// and aggregates its kernel metrics registry into /statsz. It also
+	// mounts the live observability plane: per-request spans and
+	// streaming forensics on /v1/events, kernel aggregates on /metricsz,
+	// the cross-request ledger on /ledgerz. Tracing never perturbs a
+	// run, so responses are byte-identical either way.
 	Telemetry bool
+	// TelemetrySync disables the plane's batching flusher, applying
+	// every telemetry item inline on the submitting goroutine. This is
+	// the un-batched baseline jsk-bench -serve quantifies the flusher
+	// against; production keeps it off.
+	TelemetrySync bool
+	// TelemetryEventRing overrides the /v1/events replay ring size.
+	// Consumers that fall behind the ring receive an explicit gap event
+	// rather than applying backpressure; chaos tests shrink the ring to
+	// force that path. Default: the plane's own default.
+	TelemetryEventRing int
 	// FaultHook, when non-nil, is called from every cancellation poll of
 	// a running evaluation (chaos harness only). It may panic to model a
 	// poisoned environment mid-request; the worker's recover path then
@@ -135,15 +149,26 @@ type job struct {
 	cl   *cell
 	ctx  context.Context
 	done chan jobOutcome // buffered: the worker never blocks on an abandoned handler
+
+	// Span bookkeeping (telemetry plane only). requestID also rides the
+	// Jsk-Request-Id response header; admittedAt feeds the queue phase.
+	requestID  string
+	admittedAt time.Time
 }
 
 type jobOutcome struct {
 	resp *Response
 	err  *Error
+	// queueNs/evalNs are the worker-side span phases; link joins the
+	// span to the request's virtual-time trace. Zero/nil without the
+	// telemetry plane.
+	queueNs int64
+	evalNs  int64
+	link    *telemetry.SpanLink
 }
 
-func (j *job) finish(resp *Response, err *Error) {
-	j.done <- jobOutcome{resp: resp, err: err}
+func (j *job) finish(out jobOutcome) {
+	j.done <- out
 }
 
 // Server is the kernel service: admission control in front of a bounded
@@ -166,6 +191,13 @@ type Server struct {
 	// deadline-aware admission estimate and Retry-After hints.
 	ewmaNs atomic.Int64
 
+	// plane is the live observability plane (nil without Telemetry).
+	plane *telemetry.Plane
+	// reqSeq numbers requests for the Jsk-Request-Id header and the
+	// forensics ledger. A plain counter, never a timestamp: request IDs
+	// must not smuggle wall-clock state anywhere near response bodies.
+	reqSeq atomic.Uint64
+
 	httpSrv *http.Server
 	lnAddr  atomic.Value // string; set by Start
 }
@@ -179,14 +211,29 @@ func New(cfg Config) *Server {
 	s.breaker.threshold = s.cfg.breakerThreshold()
 	s.breaker.cooldown = s.cfg.breakerCooldown()
 	s.breaker.log = s.cfg.log()
+	if cfg.Telemetry {
+		s.plane = telemetry.NewPlane(telemetry.PlaneConfig{
+			Sync:      cfg.TelemetrySync,
+			EventRing: cfg.TelemetryEventRing,
+			Ledger:    telemetry.DefaultLedgerConfig(),
+		})
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/eval", s.handleEval)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	s.mux.HandleFunc("GET /versionz", s.handleVersionz)
+	s.mux.HandleFunc("GET /ledgerz", s.handleLedgerz)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.startWorkers()
 	return s
 }
+
+// Plane exposes the observability plane (nil without Telemetry) for
+// tests and the smoke harness.
+func (s *Server) Plane() *telemetry.Plane { return s.plane }
 
 // Handler exposes the server's HTTP surface without a listener.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -218,6 +265,10 @@ func (s *Server) startWorkers() {
 func (s *Server) serveJob(j *job, env *kernel.Environment) (next *kernel.Environment) {
 	next = env
 	start := time.Now()
+	var queueNs int64
+	if !j.admittedAt.IsZero() {
+		queueNs = start.Sub(j.admittedAt).Nanoseconds()
+	}
 	defer s.jobs.Done()
 	defer func() {
 		if r := recover(); r != nil {
@@ -229,13 +280,16 @@ func (s *Server) serveJob(j *job, env *kernel.Environment) (next *kernel.Environ
 			s.stats.envReplaced.Add(1)
 			s.breaker.failure(time.Now())
 			fmt.Fprintf(s.cfg.log(), "jsk-serve: evaluation panic (%v); environment discarded\n", r)
-			j.finish(nil, errf(CodeEnvPoisoned, "evaluation panicked: %v; environment discarded and replaced", r))
+			j.finish(jobOutcome{
+				err:     errf(CodeEnvPoisoned, "evaluation panicked: %v; environment discarded and replaced", r),
+				queueNs: queueNs,
+			})
 		}
 	}()
 
 	if j.ctx.Err() != nil {
 		// Spent its whole budget queued. Typed rejection, never silent.
-		j.finish(nil, ctxError(j.ctx))
+		j.finish(jobOutcome{err: ctxError(j.ctx), queueNs: queueNs})
 		return env
 	}
 
@@ -254,22 +308,52 @@ func (s *Server) serveJob(j *job, env *kernel.Environment) (next *kernel.Environ
 	if s.cfg.Telemetry {
 		tel = s.stats.absorbKernel
 	}
-	resp, eerr := evaluate(j.cl, rt, tel)
+	var cap *evalCapture
+	if s.plane != nil {
+		cap = &evalCapture{}
+	}
+	resp, eerr := evaluate(j.cl, rt, tel, cap)
+	evalNs := time.Since(start).Nanoseconds()
 	if j.ctx.Err() != nil {
 		// Canceled mid-run: the simulation was abandoned and whatever
 		// evaluate assembled is not trustworthy. Shed the work, keep the
-		// accuracy.
-		j.finish(nil, ctxError(j.ctx))
+		// accuracy. The abandoned run's telemetry is discarded with it —
+		// partial fragments must never feed the ledger.
+		j.finish(jobOutcome{err: ctxError(j.ctx), queueNs: queueNs, evalNs: evalNs})
 		return env
 	}
 	s.breaker.success()
 	s.observeService(time.Since(start))
 	if eerr != nil {
-		j.finish(nil, eerr)
+		j.finish(jobOutcome{err: eerr, queueNs: queueNs, evalNs: evalNs})
 		return env
 	}
+	out := jobOutcome{resp: resp, queueNs: queueNs, evalNs: evalNs}
+	if s.plane != nil && cap != nil && cap.metrics != nil {
+		// The response is already fully assembled: everything submitted
+		// from here on is pure data for the plane and cannot change what
+		// the client receives.
+		link := cap.link
+		out.link = &link
+		s.plane.SubmitEval(&telemetry.EvalRecord{
+			RequestID: j.requestID,
+			Tenant:    j.cl.req.Tenant,
+			Scope:     j.cl.req.Attack,
+			Metrics:   cap.metrics,
+			Forensics: &ForensicsEvent{
+				RequestID: j.requestID,
+				Tenant:    j.cl.req.Tenant,
+				Attack:    j.cl.req.Attack,
+				Defense:   j.cl.req.Defense,
+				Seed:      j.cl.req.Seed,
+				Summary:   cap.forensics,
+				Races:     cap.races,
+			},
+			Fragments: cap.fragments,
+		})
+	}
 	s.stats.completed.Add(1)
-	j.finish(resp, nil)
+	j.finish(out)
 	return env
 }
 
@@ -304,12 +388,33 @@ func (s *Server) estimateWait(queued int) time.Duration {
 
 // handleEval is the admission path: parse, resolve, admit (or reject
 // explicitly), then wait for the worker or the deadline — whichever
-// comes first.
+// comes first. Every request gets a service-assigned ID in the
+// Jsk-Request-Id response header — a header, never a body field, so
+// response bodies stay a pure function of the Request.
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	arrived := time.Now()
+	requestID := fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+	w.Header().Set("Jsk-Request-Id", requestID)
+	span := &telemetry.Span{RequestID: requestID}
+	finishSpan := func(code Code, out *jobOutcome) {
+		if s.plane == nil {
+			return
+		}
+		span.Code = string(code)
+		if out != nil {
+			span.QueueNs = out.queueNs
+			span.EvalNs = out.evalNs
+			span.Link = out.link
+		}
+		s.plane.SubmitSpan(span)
+	}
+
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.maxBodyBytes()))
 	if err != nil {
 		s.stats.rejectedBadRequest.Add(1)
+		span.AdmissionNs = time.Since(arrived).Nanoseconds()
 		s.writeError(w, errf(CodeBadRequest, "reading body: %v", err))
+		finishSpan(CodeBadRequest, nil)
 		return
 	}
 	var req Request
@@ -317,13 +422,23 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.stats.rejectedBadRequest.Add(1)
+		span.AdmissionNs = time.Since(arrived).Nanoseconds()
 		s.writeError(w, errf(CodeBadRequest, "parsing request: %v", err))
+		finishSpan(CodeBadRequest, nil)
 		return
 	}
+	// ?trace=summary folds into the body's trace flag before resolution,
+	// so the query form and the body form produce identical responses.
+	if r.URL.Query().Get("trace") == "summary" {
+		req.Trace = true
+	}
+	span.Tenant, span.Attack, span.Defense = req.Tenant, req.Attack, req.Defense
 	cl, rerr := s.cfg.resolve(req)
 	if rerr != nil {
 		s.stats.rejectedBadRequest.Add(1)
+		span.AdmissionNs = time.Since(arrived).Nanoseconds()
 		s.writeError(w, rerr)
+		finishSpan(rerr.Code, nil)
 		return
 	}
 
@@ -333,12 +448,15 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), budget)
 	defer cancel()
-	j := &job{cl: cl, ctx: ctx, done: make(chan jobOutcome, 1)}
+	j := &job{cl: cl, ctx: ctx, done: make(chan jobOutcome, 1), requestID: requestID}
 
 	if aerr := s.admit(j, budget); aerr != nil {
+		span.AdmissionNs = time.Since(arrived).Nanoseconds()
 		s.writeError(w, aerr)
+		finishSpan(aerr.Code, nil)
 		return
 	}
+	span.AdmissionNs = time.Since(arrived).Nanoseconds()
 
 	//jsk:lint-ignore detselect wall-clock service boundary: completion and client cancellation are OS events with no deterministic order to preserve
 	select {
@@ -346,9 +464,13 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		if out.err != nil {
 			s.countError(out.err)
 			s.writeError(w, out.err)
+			finishSpan(out.err.Code, &out)
 			return
 		}
+		renderStart := time.Now()
 		s.writeJSON(w, http.StatusOK, out.resp)
+		span.RenderNs = time.Since(renderStart).Nanoseconds()
+		finishSpan("", &out)
 	case <-ctx.Done():
 		// The worker will notice the same cancellation and discard the
 		// run; respond with the typed error now rather than holding the
@@ -356,6 +478,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		cerr := ctxError(ctx)
 		s.countError(cerr)
 		s.writeError(w, cerr)
+		finishSpan(cerr.Code, nil)
 	}
 }
 
@@ -386,6 +509,7 @@ func (s *Server) admit(j *job, budget time.Duration) *Error {
 		return e
 	}
 	s.jobs.Add(1)
+	j.admittedAt = time.Now()
 	select {
 	case s.queue <- j:
 		s.stats.admitted.Add(1)
@@ -471,6 +595,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	close(s.queue)
 	s.workers.Wait()
+	if s.plane != nil {
+		// After the workers: every in-flight submission has been made.
+		// Before the HTTP listener: closing the plane ends the event hub,
+		// which unblocks /v1/events handlers so httpSrv.Shutdown can
+		// finish. A scrape racing the drain still gets a complete,
+		// parseable exposition — the plane applies post-close submissions
+		// inline and never drops them.
+		s.plane.Close()
+	}
 	if s.httpSrv != nil {
 		if err := s.httpSrv.Shutdown(ctx); err != nil {
 			return err

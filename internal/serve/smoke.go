@@ -3,16 +3,19 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"jskernel/internal/expr/runner"
+	"jskernel/internal/telemetry"
 )
 
 // Smoke is the CI smoke suite for the service layer, run in-process by
@@ -26,10 +29,17 @@ import (
 //     Retry-After hints while every admitted request still answers
 //     correctly (no silent drops: completions + typed rejections add up);
 //  3. drain — SIGTERM lets in-flight requests finish, rejects new ones
-//     with a typed draining error, and stops within the timeout.
+//     with a typed draining error, and stops within the timeout;
+//  4. telemetry — /metricsz scraped mid-load passes the in-repo
+//     OpenMetrics parser, every verdict streamed on /v1/events agrees
+//     byte-for-byte with its response's forensics, and the campaign
+//     fixture (a probe split across requests, each individually clean)
+//     is flagged by the cross-request ledger.
 //
-// Any violation returns an error; CI fails the stage on non-zero exit.
-func Smoke(out io.Writer) error {
+// ledgerReport, when non-empty, receives the final forensics ledger
+// JSON as a CI artifact. Any violation returns an error; CI fails the
+// stage on non-zero exit.
+func Smoke(out io.Writer, ledgerReport string) error {
 	if err := smokeDeterminism(out); err != nil {
 		return fmt.Errorf("determinism: %w", err)
 	}
@@ -38,6 +48,9 @@ func Smoke(out io.Writer) error {
 	}
 	if err := smokeDrain(out); err != nil {
 		return fmt.Errorf("drain: %w", err)
+	}
+	if err := smokeTelemetry(out, ledgerReport); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
 	}
 	fmt.Fprintln(out, "serve smoke: all stages passed")
 	return nil
@@ -258,6 +271,183 @@ func smokeDrain(out io.Writer) error {
 		return fmt.Errorf("request after drain completed was served")
 	}
 	fmt.Fprintf(out, "serve smoke: drain ok (%d served, %d refused typed, drained in %v)\n", served, refused, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// smokeTelemetry exercises the live observability plane against the
+// smoke matrix: a subscriber on /v1/events collects every streamed
+// forensic verdict while the cells run and /metricsz is scraped
+// mid-load; afterwards each streamed summary must byte-match the
+// forensics in the corresponding response body (100% agreement), the
+// campaign fixture must be flagged by the ledger while staying clean
+// per-request, and the drain must end the event stream cleanly.
+func smokeTelemetry(out io.Writer, ledgerReport string) error {
+	s, client, err := startLoopback(Config{Pool: 2, QueueDepth: 32, Telemetry: true, Log: io.Discard})
+	if err != nil {
+		return err
+	}
+	shut := false
+	defer func() {
+		if !shut {
+			shutdownQuiet(s)
+		}
+	}()
+
+	// The live subscriber: collects streamed verdicts keyed by the
+	// cell coordinate (unique per request in this stage).
+	type streamed struct {
+		summaries map[string]json.RawMessage
+		campaigns int
+		err       error
+	}
+	coord := func(attack, defense string, seed int64) string {
+		return fmt.Sprintf("%s|%s|%d", attack, defense, seed)
+	}
+	subDone := make(chan streamed, 1)
+	go func() {
+		st := streamed{summaries: make(map[string]json.RawMessage)}
+		st.err = client.Events(context.Background(), 0, func(ev StreamEvent) error {
+			switch ev.Type {
+			case telemetry.EventForensics:
+				var fe struct {
+					Attack  string          `json:"attack"`
+					Defense string          `json:"defense"`
+					Seed    int64           `json:"seed"`
+					Summary json.RawMessage `json:"summary"`
+				}
+				if err := json.Unmarshal(ev.Data, &fe); err != nil {
+					return fmt.Errorf("undecodable forensics event: %v", err)
+				}
+				st.summaries[coord(fe.Attack, fe.Defense, fe.Seed)] = fe.Summary
+			case telemetry.EventCampaign:
+				st.campaigns++
+			}
+			return nil
+		})
+		subDone <- st
+	}()
+
+	// Drive the matrix with forensics on, scraping /metricsz between
+	// requests — every scrape must pass the self-check parser.
+	scrape := func(when string) error {
+		resp, err := http.Get(client.BaseURL + "/metricsz")
+		if err != nil {
+			return fmt.Errorf("scrape %s: %v", when, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("scrape %s read: %v", when, err)
+		}
+		if _, err := telemetry.ParseExposition(string(body)); err != nil {
+			return fmt.Errorf("scrape %s failed the OpenMetrics self-check: %v", when, err)
+		}
+		return nil
+	}
+	bodyForensics := make(map[string]json.RawMessage)
+	for i, req := range smokeCells() {
+		req.Forensics = true
+		req.Tenant = "smoke"
+		body, err := client.EvalBytes(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("cell %d: %v", i, err)
+		}
+		var resp struct {
+			Forensics json.RawMessage `json:"forensics"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("cell %d: undecodable response: %v", i, err)
+		}
+		bodyForensics[coord(req.Attack, req.Defense, req.Seed)] = resp.Forensics
+		if err := scrape(fmt.Sprintf("after cell %d", i)); err != nil {
+			return err
+		}
+	}
+
+	// The campaign fixture: one implicit-clock probe split across five
+	// requests against a defended surface. Each request must stay clean
+	// on its own; only the ledger sees the campaign.
+	const probes = 5
+	for i := 0; i < probes; i++ {
+		req := Request{Attack: "loopscan", Defense: "jskernel-chrome", Seed: 9_000 + int64(i),
+			Reps: 1, Forensics: true, Tenant: "smoke-campaign"}
+		body, err := client.EvalBytes(context.Background(), req)
+		if err != nil {
+			return fmt.Errorf("campaign probe %d: %v", i, err)
+		}
+		var resp struct {
+			Forensics struct {
+				Flagged bool `json:"flagged"`
+			} `json:"forensics"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return fmt.Errorf("campaign probe %d: undecodable response: %v", i, err)
+		}
+		if resp.Forensics.Flagged {
+			return fmt.Errorf("campaign probe %d flagged per-request — the fixture must stay under per-request thresholds", i)
+		}
+	}
+
+	// Settle the plane, pull the ledger, keep it as the CI artifact.
+	s.Plane().Barrier()
+	resp, err := http.Get(client.BaseURL + "/ledgerz")
+	if err != nil {
+		return fmt.Errorf("ledgerz: %v", err)
+	}
+	ledgerBytes, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("ledgerz read: %v", err)
+	}
+	var ledger telemetry.LedgerReport
+	if err := json.Unmarshal(ledgerBytes, &ledger); err != nil {
+		return fmt.Errorf("ledgerz undecodable: %v", err)
+	}
+	campaign := false
+	for _, e := range ledger.Entries {
+		if e.Flagged && e.Tenant == "smoke-campaign" {
+			campaign = true
+		}
+	}
+	if !campaign {
+		return fmt.Errorf("ledger missed the split campaign after %d individually-clean probes:\n%s", probes, ledgerBytes)
+	}
+	if ledgerReport != "" {
+		if err := os.WriteFile(ledgerReport, ledgerBytes, 0o644); err != nil {
+			return fmt.Errorf("writing ledger report: %v", err)
+		}
+	}
+
+	// Drain; the subscriber must observe a clean end of stream.
+	shut = true
+	shutdownQuiet(s)
+	st := <-subDone
+	if st.err != nil {
+		return fmt.Errorf("event stream ended uncleanly: %v", st.err)
+	}
+
+	// 100% agreement: every response's forensics has a byte-identical
+	// streamed twin.
+	keys := make([]string, 0, len(bodyForensics))
+	for key := range bodyForensics {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		want := bodyForensics[key]
+		got, ok := st.summaries[key]
+		if !ok {
+			return fmt.Errorf("cell %s: no streamed verdict (silent drop)", key)
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("cell %s: streamed verdict disagrees with response forensics\nbody:   %s\nstream: %s", key, want, got)
+		}
+	}
+	if st.campaigns == 0 {
+		return fmt.Errorf("campaign finding never reached /v1/events")
+	}
+	fmt.Fprintf(out, "serve smoke: telemetry ok (%d verdicts streamed in agreement, %d scrapes parsed, campaign flagged by ledger, %d campaign events)\n",
+		len(bodyForensics), len(bodyForensics), st.campaigns)
 	return nil
 }
 

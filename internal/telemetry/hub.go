@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Event is one streamed observability finding: a span, a per-request
+// forensics verdict, a ledger campaign flag, or a gap marker. IDs are
+// assigned by the hub in publish order, start at 1, and never repeat,
+// which is what makes Last-Event-ID resume and client-side dedup exact.
+type Event struct {
+	ID   uint64          `json:"id"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Event types published by the plane.
+const (
+	EventSpan      = "span"      // per-request service span + kernel trace link
+	EventForensics = "forensics" // per-request streaming forensic verdict
+	EventCampaign  = "campaign"  // cross-request ledger campaign finding
+	EventGap       = "gap"       // ring overrun: events [From, To] were evicted
+)
+
+// GapData is the payload of an EventGap: the evicted ID range. A gap is
+// the hub's refusal to drop silently — a consumer that fell behind the
+// ring learns exactly which events it lost.
+type GapData struct {
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+}
+
+// Hub buffers published events in a bounded ring and wakes blocked
+// subscribers. Subscribers poll with Since (resumable by event ID) and
+// park in Wait between polls; the hub holds no per-subscriber queues,
+// so one slow consumer can never apply backpressure to publishers or
+// to eval workers — it simply falls behind the ring and receives an
+// explicit gap event when it resumes.
+type Hub struct {
+	mu      sync.Mutex
+	ring    []Event // last ringCap events, oldest first
+	ringCap int
+	next    uint64        // next event ID to assign
+	notify  chan struct{} // closed on publish, then replaced
+	closed  bool
+
+	published map[string]uint64 // per-type publish counters
+	evicted   uint64            // events pushed out of the ring
+}
+
+// NewHub builds a hub retaining the last ringCap events (default 1024).
+func NewHub(ringCap int) *Hub {
+	if ringCap <= 0 {
+		ringCap = 1024
+	}
+	return &Hub{
+		ringCap:   ringCap,
+		next:      1,
+		notify:    make(chan struct{}),
+		published: make(map[string]uint64),
+	}
+}
+
+// Publish appends one event, assigning its ID. Payloads that fail to
+// encode are dropped with a count under type "encode-error" — the only
+// event loss the hub tolerates, and it is counted, never silent.
+// Publishing to a closed hub is a counted no-op.
+func (h *Hub) Publish(eventType string, payload any) uint64 {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		h.mu.Lock()
+		h.published["encode-error"]++
+		h.mu.Unlock()
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		h.published["after-close"]++
+		return 0
+	}
+	ev := Event{ID: h.next, Type: eventType, Data: data}
+	h.next++
+	h.published[eventType]++
+	if len(h.ring) == h.ringCap {
+		copy(h.ring, h.ring[1:])
+		h.ring[len(h.ring)-1] = ev
+		h.evicted++
+	} else {
+		h.ring = append(h.ring, ev)
+	}
+	close(h.notify)
+	h.notify = make(chan struct{})
+	return ev.ID
+}
+
+// Since returns up to max events with ID > after, plus a gap describing
+// any events already evicted from the ring past the caller's cursor.
+// A nil gap means the resume is exact.
+func (h *Hub) Since(after uint64, max int) ([]Event, *GapData) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var gap *GapData
+	if len(h.ring) > 0 && h.ring[0].ID > after+1 {
+		gap = &GapData{From: after + 1, To: h.ring[0].ID - 1}
+	} else if len(h.ring) == 0 && h.next > after+1 {
+		gap = &GapData{From: after + 1, To: h.next - 1}
+	}
+	var out []Event
+	for _, ev := range h.ring {
+		if ev.ID <= after {
+			continue
+		}
+		out = append(out, ev)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out, gap
+}
+
+// Wait blocks until a publish after the call, the context ends, the
+// hub closes, or maxWait elapses. It returns true when the caller
+// should poll again (publish or timeout) and false when the stream is
+// over (context done or hub closed).
+func (h *Hub) Wait(ctx context.Context, maxWait time.Duration) bool {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return false
+	}
+	notify := h.notify
+	h.mu.Unlock()
+	timer := time.NewTimer(maxWait)
+	defer timer.Stop()
+	//jsk:lint-ignore detselect wall-clock service boundary: a subscriber parks on OS events (publish wakeup, client disconnect, keepalive tick) with no deterministic order to preserve
+	select {
+	case <-notify:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return true
+	}
+}
+
+// LastID reports the most recently assigned event ID (0 when none).
+func (h *Hub) LastID() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next - 1
+}
+
+// Counts snapshots the per-type publish counters and the eviction
+// count for the exposition.
+func (h *Hub) Counts() (published map[string]uint64, evicted uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]uint64, len(h.published))
+	for k, v := range h.published {
+		out[k] = v
+	}
+	return out, h.evicted
+}
+
+// Close ends the stream: blocked subscribers wake and see a closed
+// hub; later publishes are counted no-ops. Idempotent.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	close(h.notify)
+}
+
+// Closed reports whether Close has run.
+func (h *Hub) Closed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}

@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestHubPublishAndSince(t *testing.T) {
+	h := NewHub(8)
+	for i := 0; i < 3; i++ {
+		h.Publish(EventSpan, map[string]int{"i": i})
+	}
+	evs, gap := h.Since(0, 0)
+	if gap != nil {
+		t.Fatalf("unexpected gap: %+v", gap)
+	}
+	if len(evs) != 3 || evs[0].ID != 1 || evs[2].ID != 3 {
+		t.Fatalf("Since(0) = %+v", evs)
+	}
+	evs, gap = h.Since(2, 0)
+	if gap != nil || len(evs) != 1 || evs[0].ID != 3 {
+		t.Fatalf("Since(2) = %+v gap=%+v", evs, gap)
+	}
+}
+
+func TestHubRingEvictionReportsGap(t *testing.T) {
+	h := NewHub(4)
+	for i := 0; i < 10; i++ {
+		h.Publish(EventForensics, i)
+	}
+	// Ring holds IDs 7..10; a resume from 2 lost 3..6.
+	evs, gap := h.Since(2, 0)
+	if gap == nil || gap.From != 3 || gap.To != 6 {
+		t.Fatalf("gap = %+v, want [3,6]", gap)
+	}
+	if len(evs) != 4 || evs[0].ID != 7 {
+		t.Fatalf("events after gap = %+v", evs)
+	}
+	_, evicted := h.Counts()
+	if evicted != 6 {
+		t.Fatalf("evicted = %d, want 6", evicted)
+	}
+}
+
+func TestHubWaitWakesOnPublish(t *testing.T) {
+	h := NewHub(4)
+	done := make(chan bool, 1)
+	go func() { done <- h.Wait(context.Background(), 5*time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	h.Publish(EventSpan, 1)
+	select {
+	case again := <-done:
+		if !again {
+			t.Fatal("Wait returned false on publish")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait did not wake on publish")
+	}
+}
+
+func TestHubWaitEndsOnCloseAndContext(t *testing.T) {
+	h := NewHub(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if h.Wait(ctx, time.Second) {
+		t.Fatal("Wait ignored cancelled context")
+	}
+	h.Close()
+	if h.Wait(context.Background(), time.Second) {
+		t.Fatal("Wait returned true on closed hub")
+	}
+	if id := h.Publish(EventSpan, 1); id != 0 {
+		t.Fatalf("publish after close returned id %d", id)
+	}
+	published, _ := h.Counts()
+	if published["after-close"] != 1 {
+		t.Fatalf("after-close publishes not counted: %+v", published)
+	}
+}
+
+func TestHubEncodeErrorCounted(t *testing.T) {
+	h := NewHub(4)
+	if id := h.Publish(EventSpan, func() {}); id != 0 {
+		t.Fatalf("unencodable payload got id %d", id)
+	}
+	published, _ := h.Counts()
+	if published["encode-error"] != 1 {
+		t.Fatalf("encode errors not counted: %+v", published)
+	}
+	if h.LastID() != 0 {
+		t.Fatalf("encode error consumed an ID")
+	}
+}

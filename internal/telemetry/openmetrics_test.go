@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+func buildSample() []Family {
+	var h trace.Histogram
+	h.Observe(1)
+	h.Observe(100)
+	h.Observe(5000)
+	h.Observe(1 << 40)
+	return []Family{
+		Counter("jsk_test_requests", "Requests seen.", 42),
+		Gauge("jsk_test_depth", "Current depth.", 3.5),
+		LabeledCounter("jsk_test_api", "Per-API counts.", "api", map[string]uint64{
+			"setTimeout":  7,
+			"postMessage": 2,
+		}),
+		HistogramFamily("jsk_test_latency_seconds", "Latency.", &h),
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteExposition(&sb, buildSample()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	text := sb.String()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition missing EOF terminator:\n%s", text)
+	}
+	fams, err := ParseExposition(text)
+	if err != nil {
+		t.Fatalf("self-check parser rejected our own exposition: %v\n%s", err, text)
+	}
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if f, ok := byName["jsk_test_requests"]; !ok || f.Type != TypeCounter {
+		t.Fatalf("jsk_test_requests missing or mistyped: %+v", byName)
+	}
+	if f := byName["jsk_test_api"]; len(f.Samples) != 2 {
+		t.Fatalf("labeled counter samples = %d, want 2", len(f.Samples))
+	} else if f.Samples[0].Labels[0].Value != "postMessage" {
+		t.Fatalf("labeled counter not sorted: %+v", f.Samples)
+	}
+	hist := byName["jsk_test_latency_seconds"]
+	if hist.Type != TypeHistogram {
+		t.Fatalf("histogram family mistyped: %v", hist.Type)
+	}
+	var sawInf, sawCount, sawSum bool
+	for _, s := range hist.Samples {
+		switch s.Suffix {
+		case "_bucket":
+			for _, l := range s.Labels {
+				if l.Name == "le" && l.Value == "+Inf" {
+					sawInf = true
+					if s.Value != 4 {
+						t.Fatalf("+Inf bucket = %v, want 4", s.Value)
+					}
+				}
+			}
+		case "_count":
+			sawCount = true
+			if s.Value != 4 {
+				t.Fatalf("_count = %v, want 4", s.Value)
+			}
+		case "_sum":
+			sawSum = true
+		}
+	}
+	if !sawInf || !sawCount || !sawSum {
+		t.Fatalf("histogram missing required samples: inf=%v count=%v sum=%v", sawInf, sawCount, sawSum)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var h trace.Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(sim.Duration(1) << uint(i*3))
+	}
+	fam := HistogramFamily("jsk_cum_seconds", "x", &h)
+	prev := -1.0
+	prevLe := -1.0
+	for _, s := range fam.Samples {
+		if s.Suffix != "_bucket" {
+			continue
+		}
+		var le string
+		for _, l := range s.Labels {
+			if l.Name == "le" {
+				le = l.Value
+			}
+		}
+		if le == "+Inf" {
+			continue
+		}
+		edge := mustFloat(t, le)
+		if edge <= prevLe {
+			t.Fatalf("le edges not strictly increasing: %v after %v", edge, prevLe)
+		}
+		prevLe = edge
+		if s.Value < prev {
+			t.Fatalf("bucket counts not cumulative: %v after %v", s.Value, prev)
+		}
+		prev = s.Value
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	fams, err := ParseExposition("# TYPE x gauge\nx " + s + "\n# EOF\n")
+	if err != nil {
+		t.Fatalf("parse float %q: %v", s, err)
+	}
+	return fams[0].Samples[0].Value
+}
+
+func TestParserRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"missing EOF", "# TYPE a counter\na_total 1\n"},
+		{"content after EOF", "# TYPE a counter\na_total 1\n# EOF\na_total 2\n"},
+		{"duplicate sample", "# TYPE a counter\na_total 1\na_total 2\n# EOF\n"},
+		{"negative counter", "# TYPE a counter\na_total -1\n# EOF\n"},
+		{"counter bad suffix", "# TYPE a counter\na_bucket 1\n# EOF\n"},
+		{"duplicate type", "# TYPE a counter\n# TYPE a gauge\na 1\n# EOF\n"},
+		{"nan value", "# TYPE a gauge\na NaN\n# EOF\n"},
+		{"blank line", "# TYPE a gauge\n\na 1\n# EOF\n"},
+		{"histogram no inf", "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n# EOF\n"},
+		{"histogram non-cumulative", "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 2\nh_sum 1\n# EOF\n"},
+		{"histogram count mismatch", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 3\nh_sum 1\n# EOF\n"},
+		{"histogram missing sum", "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n# EOF\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseExposition(tc.text); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition", tc.name)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	fams := []Family{{
+		Name: "jsk_esc",
+		Type: TypeCounter,
+		Help: "x",
+		Samples: []Sample{{
+			Suffix: "_total",
+			Labels: []Label{{Name: "k", Value: "a\"b\\c\nd"}},
+			Value:  1,
+		}},
+	}}
+	var sb strings.Builder
+	if err := WriteExposition(&sb, fams); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	parsed, err := ParseExposition(sb.String())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := parsed[0].Samples[0].Labels[0].Value
+	if got != "a\"b\\c\nd" {
+		t.Fatalf("label escape round-trip: got %q", got)
+	}
+}

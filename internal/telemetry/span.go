@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"jskernel/internal/sim"
+	"jskernel/internal/trace"
+)
+
+// Span is one request's wall-clock service span: where the request's
+// real time went between arriving at the daemon and its response bytes
+// leaving it. Spans exist strictly outside the determinism boundary —
+// they are published on /v1/events and aggregated into /metricsz, and
+// never appear in /v1/eval response bytes.
+type Span struct {
+	// RequestID is the service-assigned request identifier (also
+	// returned to the caller in the Jsk-Request-Id response header).
+	RequestID string `json:"request_id"`
+	Tenant    string `json:"tenant,omitempty"`
+	Attack    string `json:"attack"`
+	Defense   string `json:"defense"`
+	// Code is the typed error code for failed requests, "" for 200s.
+	Code string `json:"code,omitempty"`
+
+	// Phase durations, wall nanoseconds: admission (parse + resolve +
+	// admission control), queue (admitted until a worker dequeued it),
+	// eval (the evaluation on the worker), render (encoding and writing
+	// the response).
+	AdmissionNs int64 `json:"admission_ns"`
+	QueueNs     int64 `json:"queue_ns"`
+	EvalNs      int64 `json:"eval_ns"`
+	RenderNs    int64 `json:"render_ns"`
+
+	// Link joins this wall-clock span to the request's virtual-time
+	// kernel trace.
+	Link *SpanLink `json:"link,omitempty"`
+}
+
+// SpanLink is the span-link record: the join between one service span
+// and the deterministic kernel trace the request produced. The two
+// sides share no clock — the link carries the trace's own coordinates
+// (environment runs, final record sequence, virtual-time high water)
+// so an offline trace export can be matched to the request that
+// produced it.
+type SpanLink struct {
+	// Runs is the number of kernel environment generations the
+	// evaluation traced.
+	Runs int `json:"runs"`
+	// LastSeq is the request trace session's final record sequence.
+	LastSeq uint64 `json:"last_seq"`
+	// VTMaxMs is the trace's virtual-time high water in milliseconds.
+	VTMaxMs float64 `json:"vt_max_ms"`
+}
+
+// Span phases, in exposition label order.
+var spanPhases = [...]string{"admission", "queue", "eval", "render"}
+
+// SpanStats aggregates span phase latencies for the exposition: one
+// power-of-two histogram per phase over wall nanoseconds.
+type SpanStats struct {
+	Count   uint64
+	Failed  uint64
+	ByPhase [len(spanPhases)]trace.Histogram
+}
+
+// Fold adds one span.
+func (st *SpanStats) Fold(sp *Span) {
+	st.Count++
+	if sp.Code != "" {
+		st.Failed++
+	}
+	durs := [...]int64{sp.AdmissionNs, sp.QueueNs, sp.EvalNs, sp.RenderNs}
+	for i, d := range durs {
+		st.ByPhase[i].Observe(sim.Duration(d))
+	}
+}
+
+// Families renders the span aggregate as exposition families.
+func (st *SpanStats) Families() []Family {
+	fams := []Family{
+		Counter("jsk_spans", "Completed request spans recorded by the telemetry plane.", st.Count),
+		Counter("jsk_spans_failed", "Spans whose request ended in a typed error.", st.Failed),
+	}
+	hist := Family{
+		Name: "jsk_span_phase_seconds",
+		Type: TypeHistogram,
+		Help: "Wall-clock time per request phase (admission, queue, eval, render).",
+	}
+	for i, phase := range spanPhases {
+		part := HistogramFamily("jsk_span_phase_seconds", "", &st.ByPhase[i], Label{Name: "phase", Value: phase})
+		hist.Samples = append(hist.Samples, part.Samples...)
+	}
+	fams = append(fams, hist)
+	return fams
+}

@@ -414,6 +414,34 @@ func (s *Session) Metrics() *Metrics {
 	return s.metrics
 }
 
+// LastSeq reports the sequence number of the most recently emitted
+// record (0 when none). Together with Runs and MaxVT it forms the
+// span-link coordinates joining a wall-clock service span to this
+// session's virtual-time trace.
+func (s *Session) LastSeq() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seq
+}
+
+// Runs reports how many environment generations the session has
+// allocated.
+func (s *Session) Runs() int {
+	if s == nil {
+		return 0
+	}
+	return s.runs
+}
+
+// MaxVT reports the virtual-time high water across every record.
+func (s *Session) MaxVT() sim.Time {
+	if s == nil {
+		return 0
+	}
+	return s.maxVT
+}
+
 // Open reports how many enqueued events have not yet reached a terminal
 // state.
 func (s *Session) Open() int {

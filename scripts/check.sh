@@ -109,9 +109,15 @@ grep -q '^  race ' "$trace_tmp/explore-replay-1.txt" \
 # concurrent requests return byte-identical responses across pool
 # widths and reuse generations, a saturated pool sheds with typed 429s
 # and Retry-After (never silently), and SIGTERM drains in-flight work
-# before the process exits.
-stage "jsk-serve smoke (determinism + overload + drain)"
-go run ./cmd/jsk-serve -smoke || fail "jsk-serve smoke"
+# before the process exits. The telemetry stage scrapes /metricsz
+# mid-load and validates it with the in-repo OpenMetrics parser,
+# subscribes to /v1/events for the whole matrix and requires 100%
+# agreement between streamed and per-response forensic verdicts, and
+# runs the split-campaign fixture through the cross-request ledger; the
+# final ledger report is kept as a CI artifact.
+stage "jsk-serve smoke (determinism + overload + drain + telemetry)"
+go run ./cmd/jsk-serve -smoke -ledger-report ledger-report.json || fail "jsk-serve smoke"
+test -s ledger-report.json || fail "jsk-serve smoke (empty ledger report)"
 
 echo ""
 echo "== OK: all stages passed"
